@@ -1,0 +1,59 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Budgets are *virtual seconds* (see ``repro.fuzz.executor.CostModel``):
+the default maps one full campaign to the paper's 4-hour axis.  Set
+``REPRO_BENCH_BUDGET`` to scale all campaign budgets (e.g. ``1.0`` for a
+quick smoke pass, ``8.0`` for a higher-fidelity run).
+
+Every benchmark both prints its table/figure rows and appends them to
+``benchmarks/_results/<name>.txt`` so the output survives pytest's
+capture.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pathlib
+from typing import Dict, Iterable, List
+
+#: Default virtual budget of one campaign ↔ the paper's 4 fuzzing hours.
+DEFAULT_BUDGET = 3.0
+
+#: The eight evaluated programs, in Table 3 order.
+WORKLOADS = ["btree", "rbtree", "rtree", "skiplist", "hashmap_tx",
+             "hashmap_atomic", "memcached", "redis"]
+
+#: Display names matching the paper's tables.
+DISPLAY = {
+    "btree": "B-Tree", "rbtree": "RB-Tree", "rtree": "R-Tree",
+    "skiplist": "Skip-List", "hashmap_tx": "Hashmap-TX",
+    "hashmap_atomic": "Hashmap-Atomic", "memcached": "Memcached",
+    "redis": "Redis",
+}
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+def budget() -> float:
+    """The per-campaign virtual budget (env-tunable)."""
+    return float(os.environ.get("REPRO_BENCH_BUDGET", DEFAULT_BUDGET))
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [max(v, 1e-9) for v in values]
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def emit(name: str, lines: List[str]) -> None:
+    """Print the result block and persist it under _results/."""
+    block = "\n".join(lines)
+    print("\n" + block)
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    path = _RESULTS_DIR / f"{name}.txt"
+    path.write_text(block + "\n")
+
+
+def checkpoints(total: float, count: int = 8) -> List[float]:
+    """Evenly spaced sample times, matching Figure 13's 0:30 grid."""
+    return [total * (i + 1) / count for i in range(count)]

@@ -1,0 +1,121 @@
+"""Figure 13: PM-path coverage over time, 8 workloads × 5 configurations.
+
+Regenerates the paper's central figure: for every workload, the number
+of unique PM paths covered by each Table-2 configuration, sampled along
+the (virtual) 4-hour axis.  The absolute counts are simulator-scale; the
+*shape* is asserted:
+
+* PMFuzz covers the most PM paths on every workload;
+* AFL++ w/ SysOpt ≥ AFL++ (the paper's geo-mean 1.4×);
+* AFL++ w/ ImgFuzz trails everything (invalid images, Figure 5a);
+* the two databases have the fewest PM paths (small PM code fraction).
+
+Also prints Table 1's stand-in: the virtual cost-model configuration.
+"""
+
+import pytest
+from bench_util import DISPLAY, WORKLOADS, budget, checkpoints, emit, geomean
+
+from repro.core.config import CONFIGS
+from repro.core.pmfuzz import run_campaign
+from repro.fuzz.executor import CostModel
+
+CONFIG_NAMES = ["pmfuzz", "pmfuzz_no_sysopt", "aflpp", "aflpp_sysopt",
+                "aflpp_imgfuzz"]
+
+#: Collected across the per-workload benchmarks for the summary test.
+_RESULTS = {}
+
+
+def _run_workload(name):
+    total = budget()
+    rows = {}
+    for config in CONFIG_NAMES:
+        rows[config] = run_campaign(name, config, total)
+    _RESULTS[name] = rows
+    return rows
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_fig13_workload(benchmark, name):
+    rows = benchmark.pedantic(_run_workload, args=(name,), rounds=1,
+                              iterations=1)
+    total = budget()
+    marks = checkpoints(total)
+    lines = [f"== Figure 13: PM path coverage — {DISPLAY[name]} ==",
+             "(virtual axis mapped to the paper's 0:00-4:00 grid)"]
+    for config in CONFIG_NAMES:
+        stats = rows[config]
+        lines.append(f"{stats.config_name:18s} "
+                     f"{stats.render_curve(marks, total_budget=total)}")
+    emit(f"fig13_{name}", lines)
+
+    final = {c: rows[c].final_pm_paths for c in CONFIG_NAMES}
+    # Shape assertions (who wins, where the curves sit).
+    assert final["pmfuzz"] >= final["aflpp_sysopt"], final
+    assert final["pmfuzz"] > final["aflpp"], final
+    assert final["pmfuzz"] > final["aflpp_imgfuzz"], final
+    # SysOpt buys executions, not feedback: per-workload it must be at
+    # least comparable.  Workloads with tiny PM-path spaces (the
+    # databases) saturate early, so single-run inversions of ±20% are
+    # small-sample noise; the geo-mean assertion in test_fig13_summary
+    # requires SysOpt to win on average.
+    assert final["aflpp_sysopt"] >= final["aflpp"] * 0.8, final
+    assert final["aflpp_imgfuzz"] <= final["aflpp"], final
+    assert final["pmfuzz_no_sysopt"] <= final["pmfuzz"], final
+
+
+def test_fig13_summary(benchmark):
+    """Geo-mean coverage ratios across all eight workloads."""
+    def ensure_all():
+        for name in WORKLOADS:
+            if name not in _RESULTS:
+                _run_workload(name)
+        return _RESULTS
+
+    results = benchmark.pedantic(ensure_all, rounds=1, iterations=1)
+    ratio_aflpp = geomean(
+        results[w]["pmfuzz"].final_pm_paths
+        / max(1, results[w]["aflpp"].final_pm_paths)
+        for w in WORKLOADS
+    )
+    ratio_sysopt = geomean(
+        results[w]["aflpp_sysopt"].final_pm_paths
+        / max(1, results[w]["aflpp"].final_pm_paths)
+        for w in WORKLOADS
+    )
+    cost = CostModel()
+    lines = [
+        "== Figure 13 summary ==",
+        f"{'workload':16s}" + "".join(f"{c:>18s}" for c in CONFIG_NAMES),
+    ]
+    for w in WORKLOADS:
+        lines.append(
+            f"{DISPLAY[w]:16s}" + "".join(
+                f"{results[w][c].final_pm_paths:18d}" for c in CONFIG_NAMES)
+        )
+    lines += [
+        "",
+        f"geo-mean PMFuzz / AFL++           : {ratio_aflpp:.2f}x "
+        "(paper: 4.6x at real-workload scale)",
+        f"geo-mean AFL++ w/ SysOpt / AFL++  : {ratio_sysopt:.2f}x "
+        "(paper: 1.4x)",
+        "",
+        "== Table 1 stand-in: simulated system configuration ==",
+        f"exec base {cost.exec_base * 1e3:.1f} ms, "
+        f"per command {cost.per_command * 1e3:.2f} ms, "
+        f"PM bandwidth {cost.pm_bandwidth / 1e9:.0f} GB/s, "
+        f"SSD bandwidth {cost.ssd_bandwidth / 1e6:.0f} MB/s, "
+        f"syscall overhead {cost.syscall_overhead * 1e3:.1f} ms",
+    ]
+    emit("fig13_summary", lines)
+
+    assert ratio_aflpp > 1.15, "PMFuzz must clearly beat AFL++"
+    assert ratio_sysopt >= 1.0, "SysOpt must not hurt AFL++"
+    # The databases carry the fewest PM paths (paper's closing remark
+    # on Figure 13) — compare against the simple KV structures.
+    db_mean = geomean(results[w]["pmfuzz"].final_pm_paths
+                      for w in ("memcached", "redis"))
+    kv_mean = geomean(results[w]["pmfuzz"].final_pm_paths
+                      for w in ("btree", "rbtree", "hashmap_tx"))
+    assert db_mean < kv_mean

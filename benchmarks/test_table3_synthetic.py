@@ -1,0 +1,96 @@
+"""Table 3: synthetic bug detection, PMFuzz vs AFL++ w/ SysOpt.
+
+For each workload: run a campaign per configuration, intersect the
+covered PM-operation sites with the workload's synthetic-bug sites, and
+confirm every covered bug by replaying its witness test case with the
+injection active.
+
+Shape asserted (paper: PMFuzz detects all 125 bugs, 1.4× over AFL++ w/
+SysOpt): PMFuzz detects at least as many as the baseline on every
+workload, and strictly more in aggregate.
+"""
+
+import pytest
+from bench_util import DISPLAY, WORKLOADS, budget, emit
+
+from repro.core.config import config_by_name
+from repro.core.pipeline import evaluate_synthetic_bugs
+from repro.core.pmfuzz import build_engine
+from repro.workloads import get_workload
+
+#: Paper Table 3 reference values: (injected, detected by AFL++ w/
+#: SysOpt, detected by PMFuzz).
+PAPER_TABLE3 = {
+    "btree": (17, 13, 17), "rbtree": (14, 10, 14), "rtree": (16, 12, 16),
+    "skiplist": (12, 8, 12), "hashmap_tx": (21, 16, 21),
+    "hashmap_atomic": (14, 10, 14), "memcached": (17, 14, 17),
+    "redis": (14, 9, 14),
+}
+
+_ROWS = {}
+
+
+def _evaluate(name):
+    counts = {}
+    for config_name in ("pmfuzz", "aflpp_sysopt"):
+        engine = build_engine(name, config_by_name(config_name))
+        stats = engine.run(budget())
+        detections = evaluate_synthetic_bugs(name, stats, engine.storage)
+        counts[config_name] = sum(d.confirmed for d in detections)
+        counts[f"{config_name}_covered"] = sum(d.site_covered
+                                               for d in detections)
+    counts["injected"] = len(get_workload(name).synthetic_bugs())
+    _ROWS[name] = counts
+    return counts
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_table3_workload(benchmark, name):
+    counts = benchmark.pedantic(_evaluate, args=(name,), rounds=1,
+                                iterations=1)
+    injected, paper_afl, paper_pmfuzz = PAPER_TABLE3[name]
+    assert counts["injected"] == injected, "bug catalogue drifted"
+    # Shape: PMFuzz detects at least as many as the AFL++ baseline
+    # (tolerance 1 per workload: at seconds-scale budgets a single deep
+    # bug's confirmation is witness-luck; the aggregate assertion in
+    # test_table3_summary stays strict).
+    assert counts["pmfuzz"] >= counts["aflpp_sysopt"] - 1, counts
+    # PMFuzz must detect the clear majority of the injected bugs.
+    assert counts["pmfuzz"] >= injected * 0.6, counts
+
+
+def test_table3_summary(benchmark):
+    def ensure_all():
+        for name in WORKLOADS:
+            if name not in _ROWS:
+                _evaluate(name)
+        return _ROWS
+
+    rows = benchmark.pedantic(ensure_all, rounds=1, iterations=1)
+    lines = [
+        "== Table 3: synthetic bug detection ==",
+        f"{'Program':16s} {'#Synthetic':>10s} {'AFL++ w/ SysOpt':>16s} "
+        f"{'PMFuzz':>8s}   (paper: inj/afl/pmfuzz)",
+    ]
+    total_pmfuzz = total_afl = total_injected = 0
+    for name in WORKLOADS:
+        injected = rows[name]["injected"]
+        afl = rows[name]["aflpp_sysopt"]
+        pmf = rows[name]["pmfuzz"]
+        total_injected += injected
+        total_afl += afl
+        total_pmfuzz += pmf
+        paper = PAPER_TABLE3[name]
+        lines.append(
+            f"{DISPLAY[name]:16s} {injected:>10d} {afl:>16d} {pmf:>8d}"
+            f"   ({paper[0]}/{paper[1]}/{paper[2]})"
+        )
+    ratio = total_pmfuzz / max(1, total_afl)
+    lines += [
+        "",
+        f"total: {total_injected} injected, PMFuzz {total_pmfuzz}, "
+        f"AFL++ w/ SysOpt {total_afl} → PMFuzz/AFL++ = {ratio:.2f}x "
+        "(paper: 1.4x, PMFuzz detecting all 125)",
+    ]
+    emit("table3_synthetic", lines)
+    assert total_pmfuzz > total_afl

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Reproduce a Figure 13 panel: PM-path coverage of the five fuzzers.
+
+Runs all Table-2 comparison points on one workload and renders the
+coverage curves as ASCII sparklines, mapped onto the paper's 0:00-4:00
+axis.  (Equivalent to ``python -m repro compare --workload <name>``.)
+
+Run:  python examples/compare_fuzzers.py [workload] [budget]
+"""
+
+import sys
+
+from repro.analysis.figures import render_coverage_figure
+from repro.core.config import CONFIGS
+from repro.core.pmfuzz import run_campaign
+from repro.workloads import workload_names
+
+
+def main(workload: str, budget: float) -> None:
+    print(f"workload={workload}, budget={budget} virtual seconds "
+          "(≈ the paper's 4 fuzzing hours)\n")
+    curves = {}
+    for config in CONFIGS:
+        print(f"running {config.name} …", flush=True)
+        curves[config.name] = run_campaign(workload, config.name, budget)
+
+    print()
+    print(render_coverage_figure(
+        curves, budget, title=f"PM path coverage — {workload}"))
+
+    pmfuzz = curves["PMFuzz (All Feat.)"].final_pm_paths
+    aflpp = curves["AFL++"].final_pm_paths
+    print(f"\nPMFuzz / AFL++ coverage ratio: {pmfuzz / max(1, aflpp):.2f}x")
+    print("Expected shape (paper Figure 13): PMFuzz on top, AFL++ w/")
+    print("ImgFuzz at the bottom stuck on invalid images, SysOpt lifting")
+    print("both PMFuzz and AFL++.")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "btree"
+    if name not in workload_names():
+        raise SystemExit(f"unknown workload {name!r}; "
+                         f"pick from {workload_names()}")
+    budget = float(sys.argv[2]) if len(sys.argv) > 2 else 3.0
+    main(name, budget)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Lets ``pip install -e . --no-build-isolation`` work in fully offline
+environments whose pip falls back to the setup.py develop path (PEP 660
+editable builds need the ``wheel`` package, which may be absent).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""PMFuzz reproduction: test case generation for persistent memory programs.
+
+A from-scratch Python reproduction of *PMFuzz: Test Case Generation for
+Persistent Memory Programs* (Liu, Mahar, Ray, Khan -- ASPLOS 2021),
+including every substrate the paper's evaluation depends on:
+
+* :mod:`repro.pmem` -- simulated persistent memory hardware (cache-line
+  persistence semantics, PM images, crash states);
+* :mod:`repro.pmdk` -- a PMDK-like library (pools, typed persistent
+  structs, a persistent heap, undo-log transactions, recovery);
+* :mod:`repro.instrument` -- PM-operation tracking (the Algorithm-1
+  counter map) and AFL-style branch coverage;
+* :mod:`repro.workloads` -- the eight evaluated PM programs, with the
+  paper's 12 real-world bugs as toggleable variants and the Table-3
+  synthetic-bug injection sites;
+* :mod:`repro.detect` -- Pmemcheck-like and XFDetector-like back-ends;
+* :mod:`repro.fuzz` -- the AFL++-style greybox substrate;
+* :mod:`repro.core` -- PMFuzz itself: PM-path prioritization, PM image
+  generation via program logic, crash-image generation at ordering
+  points, image dedup, test-case trees, and the fuzz-to-detect pipeline.
+
+Quick start::
+
+    from repro.core.pmfuzz import run_campaign
+    stats = run_campaign("btree", "pmfuzz", budget_vseconds=2.0)
+    print(stats.final_pm_paths, "PM paths covered")
+
+See ``examples/quickstart.py`` for the full tour and ``benchmarks/``
+for the reproduction of every table and figure in the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,52 @@
+"""Small shared utilities: stable hashing and formatting helpers.
+
+Python's built-in ``hash()`` is salted per process, which would break the
+paper's derandomization requirement (Section 4.4): identical inputs must
+produce identical coverage maps and image hashes across runs.  Everything
+here is deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+
+
+def stable_hash32(text: str) -> int:
+    """Return a deterministic 32-bit hash of ``text``."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+def stable_hash16(text: str) -> int:
+    """Return a deterministic 16-bit hash of ``text``.
+
+    Used to assign PM-operation call-site IDs, mirroring the compile-time
+    random IDs AFL-style instrumentation assigns to basic blocks.
+    """
+    h = stable_hash32(text)
+    return (h ^ (h >> 16)) & 0xFFFF
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the SHA-256 hex digest of ``data`` (PM-image dedup key)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value + alignment - 1) // alignment * alignment
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return value - (value % alignment)
+
+
+def format_duration(virtual_seconds: float) -> str:
+    """Format virtual seconds as the paper's H:MM axis labels."""
+    total_minutes = int(virtual_seconds // 60)
+    return f"{total_minutes // 60}:{total_minutes % 60:02d}"

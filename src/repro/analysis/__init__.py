@@ -1,0 +1,26 @@
+"""Result analysis: aggregation and rendering for the evaluation.
+
+Turns campaign statistics into the artifacts the paper reports:
+
+* :mod:`repro.analysis.aggregate` — geo-means, per-config ratios and
+  cross-workload summaries over :class:`~repro.fuzz.stats.FuzzStats`;
+* :mod:`repro.analysis.figures` — ASCII multi-series coverage plots in
+  the shape of Figure 13;
+* :mod:`repro.analysis.tables` — fixed-width table rendering for the
+  Table-2/Table-3 style outputs.
+"""
+
+from repro.analysis.aggregate import (
+    CampaignMatrix, coverage_ratio, geomean, summarize_matrix,
+)
+from repro.analysis.figures import render_coverage_figure
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "CampaignMatrix",
+    "coverage_ratio",
+    "geomean",
+    "render_coverage_figure",
+    "render_table",
+    "summarize_matrix",
+]

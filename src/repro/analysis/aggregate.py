@@ -1,0 +1,76 @@
+"""Aggregation over campaign statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.fuzz.stats import FuzzStats
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's cross-workload summary statistic)."""
+    vals = [max(float(v), 1e-12) for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def coverage_ratio(a: FuzzStats, b: FuzzStats) -> float:
+    """Final PM-path coverage of campaign ``a`` relative to ``b``."""
+    return a.final_pm_paths / max(1, b.final_pm_paths)
+
+
+@dataclass
+class CampaignMatrix:
+    """A workload × configuration grid of campaign results."""
+
+    results: Dict[str, Dict[str, FuzzStats]] = field(default_factory=dict)
+
+    def put(self, workload: str, config: str, stats: FuzzStats) -> None:
+        self.results.setdefault(workload, {})[config] = stats
+
+    def get(self, workload: str, config: str) -> FuzzStats:
+        return self.results[workload][config]
+
+    @property
+    def workloads(self) -> List[str]:
+        return list(self.results)
+
+    def configs(self) -> List[str]:
+        first = next(iter(self.results.values()), {})
+        return list(first)
+
+    def column(self, config: str) -> List[FuzzStats]:
+        """All campaigns of one configuration, in workload order."""
+        return [row[config] for row in self.results.values()]
+
+    def ratio_geomean(self, numerator: str, denominator: str) -> float:
+        """Geo-mean coverage ratio between two configurations."""
+        return geomean(
+            coverage_ratio(row[numerator], row[denominator])
+            for row in self.results.values()
+        )
+
+    def final_coverage(self, workload: str, config: str) -> int:
+        return self.results[workload][config].final_pm_paths
+
+
+def summarize_matrix(matrix: CampaignMatrix,
+                     baseline: str = "AFL++") -> List[str]:
+    """Human-readable summary lines of a full evaluation matrix."""
+    lines = []
+    configs = matrix.configs()
+    header = f"{'workload':16s}" + "".join(f"{c[:16]:>18s}" for c in configs)
+    lines.append(header)
+    for workload in matrix.workloads:
+        row = matrix.results[workload]
+        lines.append(f"{workload:16s}" + "".join(
+            f"{row[c].final_pm_paths:18d}" for c in configs))
+    for config in configs:
+        if config == baseline:
+            continue
+        ratio = matrix.ratio_geomean(config, baseline)
+        lines.append(f"geomean {config} / {baseline}: {ratio:.2f}x")
+    return lines

@@ -1,0 +1,46 @@
+"""ASCII coverage figures in the shape of the paper's Figure 13."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro._util import format_duration
+from repro.fuzz.stats import FuzzStats
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[int], peak: int, width: int = 32) -> str:
+    """Render a value series as a fixed-width unicode sparkline."""
+    if not values:
+        return " " * width
+    step = max(1, len(values) // width)
+    sampled = list(values[::step])[:width]
+    return "".join(
+        _BLOCKS[min(8, int(8 * v / max(1, peak)))] for v in sampled
+    ).ljust(width)
+
+
+def render_coverage_figure(
+    curves: Dict[str, FuzzStats],
+    budget: float,
+    title: str = "PM path coverage",
+    points: int = 32,
+) -> str:
+    """Render one Figure-13 panel for a set of named campaigns.
+
+    The x-axis is the virtual budget mapped onto the paper's 0:00-4:00
+    grid; each configuration gets a sparkline plus its final count.
+    """
+    marks = [budget * (i + 1) / points for i in range(points)]
+    peak = max((stats.final_pm_paths for stats in curves.values()),
+               default=1)
+    left = format_duration(0.0)
+    right = format_duration(4 * 3600)
+    lines = [f"== {title} ==",
+             f"{'':22s}{left}{'':>{points - len(left) - len(right)}s}{right}"]
+    for name, stats in curves.items():
+        series = [paths for _, paths in stats.series(marks)]
+        lines.append(f"{name:22s}{sparkline(series, peak, points)} "
+                     f"{stats.final_pm_paths:>6d}")
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Fixed-width table rendering for evaluation outputs."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render a list of rows as an aligned text table.
+
+    Column widths fit the longest cell; numeric cells are right-aligned,
+    text cells left-aligned — matching the style of the paper's tables.
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    numeric = [True] * len(headers)
+    for row in rows:
+        rendered = []
+        for i, cell in enumerate(row):
+            text = str(cell)
+            rendered.append(text)
+            if not isinstance(cell, (int, float)):
+                numeric[i] = False
+        cells.append(rendered)
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def fmt(row: List[str], header: bool = False) -> str:
+        parts = []
+        for i, text in enumerate(row):
+            if numeric[i] and not header:
+                parts.append(text.rjust(widths[i]))
+            else:
+                parts.append(text.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0], header=True))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The reproduction's equivalent of the artifact's driver scripts
+(``run-workloads.sh``, ``test-real-bugs.sh``, ``pmfuzz-fuzz.py``):
+
+``fuzz``
+    Run one fuzzing campaign (workload × Table-2 configuration) and
+    print the coverage summary, e.g.::
+
+        python -m repro fuzz --workload btree --config pmfuzz --budget 3
+
+``compare``
+    Run all five comparison points on one workload and render the
+    Figure-13 panel.
+
+``real-bugs``
+    Reproduce the paper's real-world bugs (``test-real-bugs.sh [1..12]``):
+    fuzz the buggy variant and report detection, optionally for a single
+    bug number.
+
+``workloads``
+    List the available PM programs and their bug flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.figures import render_coverage_figure
+from repro.core.config import CONFIGS, config_by_name
+from repro.core.pipeline import FuzzAndDetectPipeline
+from repro.core.pmfuzz import run_campaign
+from repro.workloads import workload_names
+from repro.workloads.realbugs import ALL_REAL_BUGS, bug_by_number, \
+    buggy_flags_for
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    stats = run_campaign(args.workload, args.config, args.budget,
+                         seed=args.seed)
+    print(f"configuration     : {stats.config_name}")
+    print(f"workload          : {stats.workload_name}")
+    print(f"executions        : {stats.executions}")
+    print(f"PM paths covered  : {stats.final_pm_paths}")
+    print(f"branch edges      : {stats.final_branch_edges}")
+    print(f"normal images     : {stats.normal_images_generated}")
+    print(f"crash images      : {stats.crash_images_generated}")
+    print(f"deduplicated      : {stats.images_deduplicated}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    curves = {}
+    for config in CONFIGS:
+        print(f"running {config.name} …", file=sys.stderr)
+        curves[config.name] = run_campaign(args.workload, config.name,
+                                           args.budget, seed=args.seed)
+    print(render_coverage_figure(
+        curves, args.budget,
+        title=f"PM path coverage — {args.workload}"))
+    return 0
+
+
+def _cmd_real_bugs(args: argparse.Namespace) -> int:
+    if args.bug is not None:
+        targets = [bug_by_number(args.bug)]
+    else:
+        targets = list(ALL_REAL_BUGS)
+    failures = 0
+    for workload in sorted({b.workload for b in targets}):
+        wanted = {b.number for b in targets if b.workload == workload}
+        pipe = FuzzAndDetectPipeline(workload, "pmfuzz",
+                                     bugs=buggy_flags_for(workload),
+                                     max_checked=48, seed=args.seed)
+        result = pipe.run(budget_vseconds=args.budget)
+        for r in result.real_bugs:
+            if r.bug.number in wanted:
+                status = "detected" if r.detected else "MISSED"
+                vtime = (f" at vt={r.first_detection_vtime:.4f}s"
+                         if r.detected else "")
+                print(f"bug {r.bug.number:>2d} ({r.bug.kind}, "
+                      f"{workload}): {status}{vtime}")
+                failures += not r.detected
+    return 1 if failures else 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    for name in workload_names():
+        flags = sorted(b.flag for b in ALL_REAL_BUGS if b.workload == name)
+        shown = ", ".join(flags) if flags else "-"
+        print(f"{name:16s} real-bug flags: {shown}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PMFuzz reproduction driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz = sub.add_parser("fuzz", help="run one fuzzing campaign")
+    fuzz.add_argument("--workload", required=True, choices=workload_names())
+    fuzz.add_argument("--config", default="pmfuzz")
+    fuzz.add_argument("--budget", type=float, default=2.0,
+                      help="virtual seconds (campaign length)")
+    fuzz.add_argument("--seed", type=int, default=0x504D465A)
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    compare = sub.add_parser("compare",
+                             help="all five configs on one workload")
+    compare.add_argument("--workload", required=True,
+                         choices=workload_names())
+    compare.add_argument("--budget", type=float, default=2.0)
+    compare.add_argument("--seed", type=int, default=0x504D465A)
+    compare.set_defaults(func=_cmd_compare)
+
+    bugs = sub.add_parser("real-bugs",
+                          help="reproduce the paper's 12 bugs")
+    bugs.add_argument("--bug", type=int, choices=range(1, 13),
+                      help="a single bug number (default: all)")
+    bugs.add_argument("--budget", type=float, default=3.0)
+    bugs.add_argument("--seed", type=int, default=0x504D465A)
+    bugs.set_defaults(func=_cmd_real_bugs)
+
+    wl = sub.add_parser("workloads", help="list PM programs")
+    wl.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "config", None) is not None:
+        try:
+            config_by_name(args.config)  # fail fast on unknown names
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

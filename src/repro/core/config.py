@@ -1,0 +1,97 @@
+"""The comparison points of Table 2.
+
+Five configurations, each a combination of four features:
+
+=====================  =========  ===============  ===========  =======
+Configuration          Input Fuzz Img Fuzz         PM Path Opt  Sys Opt
+=====================  =========  ===============  ===========  =======
+PMFuzz (All Feat.)     yes        yes (indirect)   yes          yes
+PMFuzz w/o SysOpt      yes        yes (indirect)   yes          no
+AFL++                  yes        no               no           no
+AFL++ w/ SysOpt        yes        no               no           yes
+AFL++ w/ ImgFuzz       no         yes (direct)     no           no
+=====================  =========  ===============  ===========  =======
+
+All configurations use the derandomization techniques and the same seed
+(a list of basic commands plus an empty PM image), matching Section 5.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+class ImgFuzzMode(enum.Enum):
+    """How (and whether) PM images are fuzzed."""
+
+    NONE = "none"  #: the seed image is the only image ever used
+    INDIRECT = "indirect"  #: reuse program-generated images (PMFuzz)
+    DIRECT = "direct"  #: mutate raw image bytes (AFL++ w/ ImgFuzz)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One Table-2 comparison point."""
+
+    name: str
+    input_fuzz: bool
+    img_fuzz: ImgFuzzMode
+    pm_path_opt: bool
+    sys_opt: bool
+
+    @property
+    def is_pmfuzz(self) -> bool:
+        """True for the two PMFuzz variants."""
+        return self.pm_path_opt
+
+    def feature_row(self) -> str:
+        """Render the Table 2 row for this configuration."""
+        img = {"none": "No", "indirect": "Yes (Indirect)",
+               "direct": "Yes (Direct)"}[self.img_fuzz.value]
+        return (f"{self.name:20s} {'Yes' if self.input_fuzz else 'No':>10s} "
+                f"{img:>15s} {'Yes' if self.pm_path_opt else 'No':>12s} "
+                f"{'Yes' if self.sys_opt else 'No':>8s}")
+
+
+PMFUZZ = FuzzConfig("PMFuzz (All Feat.)", True, ImgFuzzMode.INDIRECT, True, True)
+PMFUZZ_NO_SYSOPT = FuzzConfig("PMFuzz w/o SysOpt", True, ImgFuzzMode.INDIRECT,
+                              True, False)
+AFLPP = FuzzConfig("AFL++", True, ImgFuzzMode.NONE, False, False)
+AFLPP_SYSOPT = FuzzConfig("AFL++ w/ SysOpt", True, ImgFuzzMode.NONE, False, True)
+AFLPP_IMGFUZZ = FuzzConfig("AFL++ w/ ImgFuzz", False, ImgFuzzMode.DIRECT,
+                           False, False)
+
+#: All five comparison points, in Table 2 order.
+CONFIGS: List[FuzzConfig] = [
+    PMFUZZ, PMFUZZ_NO_SYSOPT, AFLPP, AFLPP_SYSOPT, AFLPP_IMGFUZZ,
+]
+
+_BY_NAME: Dict[str, FuzzConfig] = {c.name: c for c in CONFIGS}
+_BY_NAME.update({
+    "pmfuzz": PMFUZZ,
+    "pmfuzz_no_sysopt": PMFUZZ_NO_SYSOPT,
+    "aflpp": AFLPP,
+    "aflpp_sysopt": AFLPP_SYSOPT,
+    "aflpp_imgfuzz": AFLPP_IMGFUZZ,
+})
+
+
+def config_by_name(name: str) -> FuzzConfig:
+    """Look up a configuration by display or short name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown config {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def render_table2() -> str:
+    """Render the full Table 2."""
+    header = (f"{'Configuration':20s} {'Input Fuzz':>10s} {'Img Fuzz':>15s} "
+              f"{'PM Path Opt':>12s} {'Sys Opt':>8s}")
+    rows = [header, "-" * len(header)]
+    rows.extend(config.feature_row() for config in CONFIGS)
+    return "\n".join(rows)

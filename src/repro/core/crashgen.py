@@ -1,0 +1,98 @@
+"""Crash-image generation (Section 3.2).
+
+A failure can happen at any point, so the space of crash images is
+unbounded.  PMFuzz cuts it down with the control-flow-dependency
+observation: the recovery path depends on a few key variables whose
+updates are bracketed by *ordering points* (persist barriers), so
+failures are placed:
+
+1. **at ordering points** — after each fence, the guaranteed-persistent
+   state is exactly what a failure there would leave behind; and
+2. **probabilistically at additional points**, at a configurable rate —
+   here, at arbitrary *stores between* ordering points, so that even a
+   program with misplaced ordering points still yields failure images.
+
+Each crash image is produced by re-executing the input commands on the
+parent image with a failure injected — interrupting the execution of
+the program itself, so every crash image is a valid persistent state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.fuzz.executor import Executor
+from repro.fuzz.rng import DeterministicRandom
+from repro.pmem.image import PMImage
+from repro.workloads.base import RunOutcome
+
+
+@dataclass
+class CrashImage:
+    """One generated crash image with its provenance."""
+
+    image: PMImage
+    fence_index: int  #: ordering point, or -1 for store-point failures
+    probabilistic: bool  #: True when from an extra (store-point) failure
+    cost: float  #: virtual-time cost of the generating re-execution
+
+
+class CrashImageGenerator:
+    """Generates crash images for one test case by re-execution.
+
+    Args:
+        executor: the campaign executor (carries the cost model).
+        max_ordering_points: cap on sampled ordering points per test
+            case (the paper bounds per-test-case work to ~150 ms).
+        extra_rate: probability of adding one probabilistic store-point
+            failure per sampled ordering point.
+    """
+
+    def __init__(self, executor: Executor, rng: DeterministicRandom,
+                 max_ordering_points: int = 4,
+                 extra_rate: float = 0.25) -> None:
+        self.executor = executor
+        self.rng = rng
+        self.max_ordering_points = max_ordering_points
+        self.extra_rate = extra_rate
+
+    def select_fences(self, fence_count: int) -> List[int]:
+        """Choose the ordering points for a run with ``fence_count`` fences."""
+        if fence_count <= 0:
+            return []
+        stride = max(1, fence_count // self.max_ordering_points)
+        sampled = list(range(stride - 1, fence_count, stride))
+        return sampled[: self.max_ordering_points]
+
+    def select_stores(self, store_count: int) -> List[int]:
+        """Probabilistic extra failure points at arbitrary stores."""
+        if store_count <= 0:
+            return []
+        extras: List[int] = []
+        for _ in range(self.max_ordering_points):
+            if self.rng.chance(self.extra_rate):
+                extras.append(self.rng.randrange(store_count))
+        return sorted(set(extras))
+
+    def generate(self, image: PMImage, data: bytes, fence_count: int,
+                 store_count: int = 0) -> List[CrashImage]:
+        """Re-execute the test case once per selected failure point."""
+        crash_images: List[CrashImage] = []
+        for fence in self.select_fences(fence_count):
+            result = self.executor.run(image, data, crash_at_fence=fence)
+            if (result.outcome is RunOutcome.CRASHED
+                    and result.crash_image is not None):
+                crash_images.append(CrashImage(
+                    image=result.crash_image, fence_index=fence,
+                    probabilistic=False, cost=result.cost,
+                ))
+        for store in self.select_stores(store_count):
+            result = self.executor.run(image, data, crash_at_store=store)
+            if (result.outcome is RunOutcome.CRASHED
+                    and result.crash_image is not None):
+                crash_images.append(CrashImage(
+                    image=result.crash_image, fence_index=-1,
+                    probabilistic=True, cost=result.cost,
+                ))
+        return crash_images

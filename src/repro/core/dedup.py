@@ -1,0 +1,83 @@
+"""PM-image store with SHA-256 deduplication (Section 4.5).
+
+PMFuzz's derandomization guarantees that the same input test case always
+produces the same image, so duplicate images can be eliminated by
+content hash: "PMFuzz performs image reduction by looking up the image's
+hash value (SHA-256) in a dictionary that keeps the hash values of all
+prior images."
+
+The store also keeps the raw/compressed byte accounting that the
+Section 4.7 storage optimization is about.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional, Tuple
+
+from repro.pmem.image import PMImage
+
+
+class ImageStore:
+    """Content-addressed store of PM images for one campaign.
+
+    Args:
+        compress: keep serialized images zlib/LZ77-compressed (the
+            Section 4.7 SysOpt storage behaviour).  When False, images
+            are kept raw, as the unoptimized configuration would.
+    """
+
+    def __init__(self, compress: bool = True) -> None:
+        self.compress = compress
+        self._by_hash: Dict[str, bytes] = {}
+        self._layouts: Dict[str, str] = {}
+        self.raw_bytes = 0
+        self.stored_bytes = 0
+        self.duplicates_rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def put(self, image: PMImage) -> Tuple[str, bool]:
+        """Store an image; returns ``(image_id, is_new)``.
+
+        ``image_id`` is the SHA-256 content hash.  A duplicate image is
+        rejected (``is_new=False``) and costs nothing.
+        """
+        image_id = image.content_hash()
+        if image_id in self._by_hash:
+            self.duplicates_rejected += 1
+            return image_id, False
+        serialized = image.to_bytes(compress=False)
+        self.raw_bytes += len(serialized)
+        if self.compress:
+            stored = zlib.compress(serialized, level=6)
+        else:
+            stored = serialized
+        self._by_hash[image_id] = stored
+        self._layouts[image_id] = image.layout
+        self.stored_bytes += len(stored)
+        return image_id, True
+
+    def get(self, image_id: str) -> PMImage:
+        """Materialize an image by ID (decompressing if needed)."""
+        stored = self._by_hash[image_id]
+        if self.compress:
+            stored = zlib.decompress(stored)
+        return PMImage.from_bytes(stored)
+
+    def contains(self, image_id: str) -> bool:
+        return image_id in self._by_hash
+
+    def maybe_get(self, image_id: str) -> Optional[PMImage]:
+        """Like :meth:`get` but None for unknown IDs."""
+        if image_id not in self._by_hash:
+            return None
+        return self.get(image_id)
+
+    @property
+    def compression_ratio(self) -> float:
+        """raw / stored byte ratio (1.0 when compression is off)."""
+        if self.stored_bytes == 0:
+            return 1.0
+        return self.raw_bytes / self.stored_bytes

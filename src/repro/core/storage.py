@@ -1,0 +1,96 @@
+"""Test-case storage management (Section 4.7, "Test Case Storage").
+
+A 4-hour PMFuzz campaign produced ~1.5 TB of test cases, dominated by PM
+images; the PM device alone cannot hold them.  PMFuzz exploits the
+periodic shape of fuzzing — generated images are not needed until the
+next iteration — to move test cases off the PM device to an SSD,
+compressed with LZ77, and to decompress an image back only when it is
+selected as an input.
+
+:class:`TestCaseStorage` models that tiering on top of the image store:
+it tracks where each image currently "lives" (PM staging vs compressed
+SSD), enforces a PM staging budget, and accounts the bytes each tier
+holds — the numbers the Section 4.7 ablation bench reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.dedup import ImageStore
+from repro.pmem.image import PMImage
+
+
+class TestCaseStorage:
+    """Two-tier (PM staging / compressed SSD) test-case storage.
+
+    Args:
+        store: the content-addressed image store (the SSD tier).
+        pm_budget_bytes: capacity of the PM staging area; images beyond
+            it are evicted (they remain on the SSD tier, compressed).
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, store: Optional[ImageStore] = None,
+                 pm_budget_bytes: int = 8 * 1024 * 1024) -> None:
+        self.store = store if store is not None else ImageStore(compress=True)
+        self.pm_budget_bytes = pm_budget_bytes
+        #: image_id -> materialized image, LRU order (PM staging tier).
+        self._staging: "OrderedDict[str, PMImage]" = OrderedDict()
+        self._staged_bytes = 0
+        self.decompressions = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def save(self, image: PMImage) -> tuple:
+        """Persist a generated image (SSD tier); returns (id, is_new)."""
+        return self.store.put(image)
+
+    def load(self, image_id: str) -> PMImage:
+        """Fetch an image for use as a fuzzing input.
+
+        A staging hit is free; a miss decompresses from the SSD tier and
+        stages the result (evicting LRU images past the PM budget).
+        """
+        staged = self._staging.get(image_id)
+        if staged is not None:
+            self._staging.move_to_end(image_id)
+            return staged
+        image = self.store.get(image_id)
+        self.decompressions += 1
+        self._stage(image_id, image)
+        return image
+
+    def _stage(self, image_id: str, image: PMImage) -> None:
+        self._staging[image_id] = image
+        self._staged_bytes += len(image)
+        while self._staged_bytes > self.pm_budget_bytes and len(self._staging) > 1:
+            victim_id, victim = self._staging.popitem(last=False)
+            self._staged_bytes -= len(victim)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def staged_bytes(self) -> int:
+        """Bytes currently occupying the PM staging tier."""
+        return self._staged_bytes
+
+    @property
+    def ssd_bytes(self) -> int:
+        """Bytes on the (compressed) SSD tier."""
+        return self.store.stored_bytes
+
+    @property
+    def raw_bytes(self) -> int:
+        """Bytes all images would occupy uncompressed."""
+        return self.store.raw_bytes
+
+    def summary(self) -> str:
+        """One-line storage report for the benches."""
+        return (f"{len(self.store)} images: raw {self.raw_bytes / 1e6:.1f} MB, "
+                f"ssd {self.ssd_bytes / 1e6:.1f} MB "
+                f"(x{self.store.compression_ratio:.1f} compression), "
+                f"pm staging {self.staged_bytes / 1e6:.1f} MB, "
+                f"{self.evictions} evictions")

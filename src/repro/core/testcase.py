@@ -1,0 +1,112 @@
+"""The test-case dependency tree (Section 4.6, Figure 12).
+
+Every PM image is a node; every edge records the input commands and the
+failure location (if any) that transformed the parent image into the
+child.  The tree serves the three purposes the paper lists:
+
+* **reproducibility** — any test case replays by executing its edge's
+  commands on the parent image;
+* **incremental generation** — fuzzing continues from any node's image
+  instead of replaying from the root;
+* **minimal back-end testing** — the testing tool only needs each edge
+  once, not the whole root-to-leaf prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class TestCaseNode:
+    """One PM image in the tree."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    image_id: str  #: content hash ("" for the empty root image)
+    parent_id: Optional[str] = None
+    #: Edge from the parent: the input commands executed there ...
+    input_data: bytes = b""
+    #: ... and the failure location (fence index), None for normal images.
+    failure_point: Optional[int] = None
+    children: List[str] = field(default_factory=list)
+
+    @property
+    def is_crash_image(self) -> bool:
+        return self.failure_point is not None
+
+
+class TestCaseTree:
+    """The Figure-12 tree over all images of one campaign."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, root_image_id: str) -> None:
+        self.root_id = root_image_id
+        self._nodes: Dict[str, TestCaseNode] = {
+            root_image_id: TestCaseNode(image_id=root_image_id)
+        }
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._nodes
+
+    def add(self, image_id: str, parent_id: str, input_data: bytes,
+            failure_point: Optional[int] = None) -> TestCaseNode:
+        """Record a new image produced from ``parent_id``.
+
+        Duplicate image IDs are ignored (the image was deduplicated); the
+        first derivation wins, keeping edges canonical.
+        """
+        if image_id in self._nodes:
+            return self._nodes[image_id]
+        if parent_id not in self._nodes:
+            raise KeyError(f"unknown parent image {parent_id[:12]}...")
+        node = TestCaseNode(
+            image_id=image_id,
+            parent_id=parent_id,
+            input_data=input_data,
+            failure_point=failure_point,
+        )
+        self._nodes[image_id] = node
+        self._nodes[parent_id].children.append(image_id)
+        return node
+
+    def get(self, image_id: str) -> TestCaseNode:
+        return self._nodes[image_id]
+
+    def lineage(self, image_id: str) -> List[TestCaseNode]:
+        """Root-to-node path: the full recipe to reproduce an image."""
+        path: List[TestCaseNode] = []
+        cursor: Optional[str] = image_id
+        while cursor is not None:
+            node = self._nodes[cursor]
+            path.append(node)
+            cursor = node.parent_id
+        path.reverse()
+        return path
+
+    def replay_steps(self, image_id: str) -> List[Tuple[bytes, Optional[int]]]:
+        """The (input, failure point) edges to replay from the root."""
+        return [(n.input_data, n.failure_point)
+                for n in self.lineage(image_id)[1:]]
+
+    def minimal_edge(self, image_id: str) -> Tuple[str, bytes, Optional[int]]:
+        """What a back-end tool needs to test this image: its parent and
+        one edge (the paper's "execute Input 4 on top of image B")."""
+        node = self._nodes[image_id]
+        if node.parent_id is None:
+            return image_id, b"", None
+        return node.parent_id, node.input_data, node.failure_point
+
+    def nodes(self) -> Iterator[TestCaseNode]:
+        return iter(self._nodes.values())
+
+    def depth_of(self, image_id: str) -> int:
+        return len(self.lineage(image_id)) - 1
+
+    def crash_image_count(self) -> int:
+        return sum(1 for n in self._nodes.values() if n.is_crash_image)

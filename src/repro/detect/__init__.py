@@ -1,0 +1,29 @@
+"""Detection back-ends: the testing tools PMFuzz feeds test cases to.
+
+Two checkers mirror the paper's back-ends (Figure 9, step ➎):
+
+* :mod:`repro.detect.pmemcheck` — a trace-based checker in the style of
+  Intel's Pmemcheck: consumes the PM operation trace of one execution
+  and reports unpersisted stores, ordering hazards, unlogged stores
+  inside transactions, and the redundant-flush / redundant-log
+  *performance* violations.
+* :mod:`repro.detect.xfdetector` — a cross-failure checker in the style
+  of XFDetector: takes the crash images of an execution, replays the
+  recovery + a probe on each, and reports segfaults, recovery failures
+  and structural-consistency violations.
+
+:mod:`repro.detect.report` aggregates both into one report per test case.
+"""
+
+from repro.detect.pmemcheck import Pmemcheck, Violation, ViolationKind
+from repro.detect.report import BugReport, TestingTool
+from repro.detect.xfdetector import XFDetector
+
+__all__ = [
+    "BugReport",
+    "Pmemcheck",
+    "TestingTool",
+    "Violation",
+    "ViolationKind",
+    "XFDetector",
+]

@@ -1,0 +1,216 @@
+"""Trace-based crash-consistency and performance checking (Pmemcheck-like).
+
+Consumes the PM operation trace of a single execution (the event stream
+the persistence domain emitted) and applies four rules:
+
+``NOT_PERSISTED``
+    A store was never covered by a flush + fence by the end of the
+    execution — the classic missing-writeback bug.
+
+``ORDER_HAZARD``
+    A store executed while flushed-but-unfenced lines were outstanding
+    from an unrelated site: the flush's intended ordering point is
+    missing, so the two writes may persist in either order (the paper's
+    "reorder PM writes" / missing-fence bugs).  Deliberately fence-free
+    idioms (``*_nodrain`` sites) are exempt.
+
+``NOT_LOGGED``
+    A store inside a transaction hit a heap range that was neither
+    snapshotted (``TX_ADD``) nor freshly allocated in that transaction —
+    unrecoverable if the transaction fails (the missing-backup bugs and
+    Example 2 of the paper).
+
+``REDUNDANT_LOG`` / ``REDUNDANT_FLUSH``
+    Performance violations: a ``TX_ADD`` whose range was already covered
+    (PMDK's range-tree lookup found it — paper Bugs 8-12) or a flush of
+    lines that held nothing dirty (paper Bug 7).
+
+Library-internal traffic (undo log maintenance, allocator metadata, the
+pool metadata block) is excluded, mirroring how the real Pmemcheck only
+reports application-attributable violations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.pmem.persistence import CACHE_LINE, TraceEvent, TraceEventKind
+from repro.pmdk.rangetree import RangeTree
+
+#: Sites with these prefixes are library-internal and never reported.
+_LIBRARY_PREFIXES = ("heap:", "tx:", "pool:")
+
+
+class ViolationKind(enum.Enum):
+    """Categories of reported violations."""
+
+    NOT_PERSISTED = "not_persisted"
+    ORDER_HAZARD = "order_hazard"
+    NOT_LOGGED = "not_logged"
+    REDUNDANT_LOG = "redundant_log"
+    REDUNDANT_FLUSH = "redundant_flush"
+
+
+#: Which kinds are performance (vs crash-consistency) violations.
+PERFORMANCE_KINDS = frozenset(
+    {ViolationKind.REDUNDANT_LOG, ViolationKind.REDUNDANT_FLUSH}
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One reported violation, attributed to a source site."""
+
+    kind: ViolationKind
+    site: str
+    addr: int
+    size: int
+    seq: int
+    message: str = ""
+
+    @property
+    def is_performance(self) -> bool:
+        """True for performance violations, False for crash-consistency."""
+        return self.kind in PERFORMANCE_KINDS
+
+
+def _is_library(site: str) -> bool:
+    return site.startswith(_LIBRARY_PREFIXES)
+
+
+class Pmemcheck:
+    """Analyzes one execution trace for violations.
+
+    Args:
+        heap_base: first heap offset of the pool; events below it target
+            pool metadata / the undo log and are library-internal.
+    """
+
+    def __init__(self, heap_base: int) -> None:
+        self.heap_base = heap_base
+
+    # ------------------------------------------------------------------
+    def analyze(self, trace: Iterable[TraceEvent],
+                clean_shutdown: bool = True) -> List[Violation]:
+        """Run all rules over ``trace`` and return deduplicated violations.
+
+        Violations are deduplicated by (kind, site): the same buggy
+        statement executing many times is one finding, as in the real
+        tools' per-location reporting.
+
+        Args:
+            trace: the PM operation event stream of one execution.
+            clean_shutdown: apply the end-of-execution NOT_PERSISTED rule.
+                Pass False for traces that end in a simulated crash —
+                in-flight dirty lines are expected there, and the crash
+                image is judged by the cross-failure checker instead.
+        """
+        violations: List[Violation] = []
+        # Per-line tracking: line -> (state, last store site/seq)
+        line_state: Dict[int, str] = {}  # "dirty" | "flushed"
+        line_site: Dict[int, Tuple[str, int]] = {}
+        flush_site: Dict[int, str] = {}
+        # Transaction tracking.
+        in_tx = False
+        covered = RangeTree()
+
+        def lines_of(addr: int, size: int):
+            if size <= 0:
+                return range(0)
+            return range(addr // CACHE_LINE, (addr + size - 1) // CACHE_LINE + 1)
+
+        for ev in trace:
+            if ev.kind is TraceEventKind.STORE:
+                # Rule: ORDER_HAZARD — outstanding flushed-unfenced lines
+                # from a foreign, fence-expecting site.
+                for line, state in list(line_state.items()):
+                    if state != "flushed":
+                        continue
+                    fsite = flush_site.get(line, "")
+                    if (_is_library(fsite) or "nodrain" in fsite
+                            or fsite == ev.site):
+                        continue
+                    violations.append(Violation(
+                        ViolationKind.ORDER_HAZARD, fsite,
+                        line * CACHE_LINE, CACHE_LINE, ev.seq,
+                        f"store at {ev.site} while flush from {fsite} "
+                        "awaits its fence",
+                    ))
+                    # Report once per line until the fence arrives.
+                    line_state[line] = "flushed-reported"
+                for line in lines_of(ev.addr, ev.size):
+                    line_state[line] = "dirty"
+                    line_site[line] = (ev.site, ev.seq)
+                # Rule: NOT_LOGGED.
+                if (in_tx and ev.addr >= self.heap_base
+                        and not _is_library(ev.site)
+                        and not covered.covers(ev.addr, ev.size)):
+                    violations.append(Violation(
+                        ViolationKind.NOT_LOGGED, ev.site, ev.addr, ev.size,
+                        ev.seq,
+                        "store inside transaction to an unlogged, "
+                        "non-fresh range",
+                    ))
+            elif ev.kind is TraceEventKind.FLUSH:
+                for line in lines_of(ev.addr, ev.size):
+                    if line_state.get(line) == "dirty":
+                        line_state[line] = "flushed"
+                        flush_site[line] = ev.site
+            elif ev.kind is TraceEventKind.FENCE:
+                for line, state in list(line_state.items()):
+                    if state in ("flushed", "flushed-reported"):
+                        del line_state[line]
+                        line_site.pop(line, None)
+                        flush_site.pop(line, None)
+            elif ev.kind is TraceEventKind.FLUSH_REDUNDANT:
+                if not _is_library(ev.site):
+                    violations.append(Violation(
+                        ViolationKind.REDUNDANT_FLUSH, ev.site, ev.addr,
+                        ev.size, ev.seq,
+                        "flush of lines holding no dirty data",
+                    ))
+            elif ev.kind is TraceEventKind.TX_BEGIN:
+                in_tx = True
+                covered.clear()
+            elif ev.kind in (TraceEventKind.TX_COMMIT, TraceEventKind.TX_ABORT):
+                in_tx = False
+                covered.clear()
+            elif ev.kind is TraceEventKind.TX_ADD:
+                covered.add(ev.addr, ev.size)
+            elif ev.kind is TraceEventKind.TX_ADD_REDUNDANT:
+                covered.add(ev.addr, ev.size)
+                if not _is_library(ev.site):
+                    violations.append(Violation(
+                        ViolationKind.REDUNDANT_LOG, ev.site, ev.addr,
+                        ev.size, ev.seq,
+                        "TX_ADD of a range already snapshotted or "
+                        "freshly allocated",
+                    ))
+            elif ev.kind is TraceEventKind.ALLOC:
+                if in_tx:
+                    covered.add(ev.addr, ev.size)
+
+        # Rule: NOT_PERSISTED at end of execution.
+        for line, state in (line_state.items() if clean_shutdown else ()):
+            if state == "dirty":
+                site, seq = line_site.get(line, ("", 0))
+                if site and not _is_library(site):
+                    violations.append(Violation(
+                        ViolationKind.NOT_PERSISTED, site,
+                        line * CACHE_LINE, CACHE_LINE, seq,
+                        "store never flushed + fenced before shutdown",
+                    ))
+        return self._dedup(violations)
+
+    @staticmethod
+    def _dedup(violations: List[Violation]) -> List[Violation]:
+        seen: Set[Tuple[ViolationKind, str]] = set()
+        unique: List[Violation] = []
+        for v in violations:
+            key = (v.kind, v.site)
+            if key not in seen:
+                seen.add(key)
+                unique.append(v)
+        return unique

@@ -1,0 +1,92 @@
+"""Exception hierarchy shared across the PMFuzz reproduction.
+
+The simulated PM stack signals program-visible failures (the analogue of a
+SIGSEGV or an ``abort()`` in the original C workloads) through exceptions so
+that the fuzzing executor can classify execution outcomes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class PMemError(ReproError):
+    """Error in the persistent-memory hardware simulation layer."""
+
+
+class InvalidImageError(PMemError):
+    """A PM image failed header validation (bad magic, checksum, or layout).
+
+    This is the analogue of ``pmemobj_open`` failing on a corrupt pool file:
+    the program aborts before exploring any useful path (Figure 5a of the
+    paper).
+    """
+
+
+class OutOfPMemError(PMemError):
+    """The persistent heap has no free block large enough for a request."""
+
+
+class SegmentationFault(ReproError):
+    """Dereference of a NULL or out-of-bounds persistent pointer.
+
+    The real-world bugs 1-5 in the paper manifest as segmentation faults
+    when a recovered program dereferences a NULL root object; this exception
+    is their simulated equivalent.
+    """
+
+
+class TransactionError(ReproError):
+    """Misuse of the transactional API (e.g. TX_ADD outside a transaction)."""
+
+
+class TransactionAborted(ReproError):
+    """A transaction body raised; the undo log has been rolled back."""
+
+
+class SimulatedCrash(ReproError):
+    """Raised internally when execution reaches an injected failure point.
+
+    The executor catches this to capture the crash image — the persistent
+    state as it existed at the failure point (Section 3.2).  Failures are
+    placed either *at* an ordering point (``kind="fence"``, the paper's
+    primary strategy) or probabilistically at an arbitrary store
+    (``kind="store"``, the paper's additional failure points — useful
+    because between fences the set of possible persistent states is
+    larger than the strict snapshot).
+    """
+
+    def __init__(self, point_index: int, kind: str = "fence",
+                 message: str = "") -> None:
+        super().__init__(
+            message or f"simulated crash at {kind} #{point_index}")
+        self.fence_index = point_index if kind == "fence" else -1
+        self.point_index = point_index
+        self.kind = kind
+
+
+class CommandError(ReproError):
+    """A workload command could not be parsed or applied."""
+
+
+class FuzzerError(ReproError):
+    """Configuration or invariant violation inside the fuzzing engine."""
+
+
+import struct as _struct  # noqa: E402  (kept local to the tuple below)
+
+#: Exceptions that model memory corruption in a C program: a corrupted
+#: persistent value (from a crash image or an injected bug) leads to wild
+#: indexing, unbounded recursion, or impossible encodings — the analogues
+#: of a segmentation fault.  Execution harnesses map these to the
+#: SEGFAULT outcome instead of crashing the fuzzer.
+CORRUPTION_ERRORS = (
+    SegmentationFault,
+    IndexError,
+    RecursionError,
+    OverflowError,
+    ZeroDivisionError,  # modulo/divide by a corrupted size field (SIGFPE)
+    _struct.error,
+)

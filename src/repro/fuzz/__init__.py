@@ -1,0 +1,41 @@
+"""Greybox fuzzing engine (the AFL++ substrate).
+
+PMFuzz is built on AFL++; this package is the reproduction's AFL++:
+
+* :mod:`repro.fuzz.rng` — the single deterministic RNG (the stand-in
+  for Preeny's derand + disabled ASLR, Section 4.4);
+* :mod:`repro.fuzz.mutators` — AFL-style mutation stack: bit/byte
+  flips, arithmetic, interesting values, havoc, splice, and a grammar
+  dictionary;
+* :mod:`repro.fuzz.coverage` — virgin-map bookkeeping with AFL count
+  bucketing, shared by the branch map and the PM counter-map;
+* :mod:`repro.fuzz.executor` — runs one test case (image + command
+  bytes) under full instrumentation and charges the virtual-time cost
+  model (the stand-in for the paper's 4-hour wall clock);
+* :mod:`repro.fuzz.queue` — the test-case queue with favored culling;
+* :mod:`repro.fuzz.engine` — the AFL++-style fuzzing loop that the five
+  comparison points of Table 2 configure;
+* :mod:`repro.fuzz.stats` — coverage-over-time sampling for Figure 13.
+"""
+
+from repro.fuzz.coverage import GlobalCoverage
+from repro.fuzz.engine import FuzzEngine
+from repro.fuzz.executor import CostModel, ExecResult, Executor
+from repro.fuzz.mutators import MutationEngine
+from repro.fuzz.queue import FuzzQueue, QueueEntry
+from repro.fuzz.rng import DeterministicRandom
+from repro.fuzz.stats import CoverageSample, FuzzStats
+
+__all__ = [
+    "CostModel",
+    "CoverageSample",
+    "DeterministicRandom",
+    "ExecResult",
+    "Executor",
+    "FuzzEngine",
+    "FuzzQueue",
+    "FuzzStats",
+    "GlobalCoverage",
+    "MutationEngine",
+    "QueueEntry",
+]

@@ -1,0 +1,237 @@
+"""The greybox fuzzing loop (AFL++ analogue) with PMFuzz hook points.
+
+:class:`FuzzEngine` is the complete AFL++-style campaign driver: queue
+selection, deterministic + havoc + splice mutation, execution, branch
+coverage feedback, favored culling, virtual-time accounting and coverage
+sampling.  It *measures* PM-path coverage (the Figure 13 metric) in
+every configuration but, like AFL++, does not act on it.
+
+Two hook points let :class:`repro.core.pmfuzz.PMFuzzEngine` layer the
+paper's contribution on top:
+
+* :meth:`priority_for` — the Algorithm-2 Favored value (base: always 0);
+* :meth:`on_new_pm_path` — PM image + crash image generation for test
+  cases that covered a new PM path (base: no-op).
+
+The Table-2 configuration object decides input fuzzing vs direct image
+fuzzing and the cost model (SysOpt).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.config import FuzzConfig, ImgFuzzMode
+from repro.core.dedup import ImageStore
+from repro.core.storage import TestCaseStorage
+from repro.core.testcase import TestCaseTree
+from repro.errors import FuzzerError
+from repro.fuzz.coverage import GlobalCoverage
+from repro.fuzz.executor import CostModel, ExecResult, Executor
+from repro.fuzz.mutators import MutationEngine
+from repro.fuzz.queue import FuzzQueue, QueueEntry
+from repro.fuzz.rng import DeterministicRandom
+from repro.fuzz.stats import CoverageSample, FuzzStats
+from repro.workloads.base import RunOutcome, Workload
+
+#: Basic seed inputs: "a list of basic commands" (Section 5.1).
+#: Insert-heavy, as mapcli seed scripts are — the net insert rate of the
+#: corpus determines how fast indirect image fuzzing grows the
+#: persistent state.
+DEFAULT_SEED_INPUTS: Sequence[bytes] = (
+    b"i 1 10\ni 2 20\ni 3 30\ni 4 40\ng 1\nr 2\n",
+    b"i 7 70\ni 13 31\ni 42 5\nr 13\nq\nn\n",
+)
+
+#: Hard cap so a mis-tuned budget can never spin forever.
+MAX_EXECUTIONS = 200_000
+
+
+class FuzzEngine:
+    """One fuzzing campaign: a workload under one Table-2 configuration."""
+
+    def __init__(
+        self,
+        workload_factory,
+        config: FuzzConfig,
+        rng: Optional[DeterministicRandom] = None,
+        seed_inputs: Sequence[bytes] = DEFAULT_SEED_INPUTS,
+        sample_interval: float = 0.25,
+        havoc_batch: int = 12,
+        injector=None,
+    ) -> None:
+        self.workload_factory = workload_factory
+        self.config = config
+        self.rng = rng or DeterministicRandom()
+        self.seed_inputs = [bytes(s) for s in seed_inputs]
+        if not self.seed_inputs:
+            raise FuzzerError("at least one seed input is required")
+        self.sample_interval = sample_interval
+        self.havoc_batch = havoc_batch
+
+        self.cost_model = CostModel(sys_opt=config.sys_opt)
+        self.executor = Executor(workload_factory, self.cost_model,
+                                 injector=injector)
+        self.mutator = MutationEngine(self.rng)
+        self.queue = FuzzQueue()
+        self.branch_cov = GlobalCoverage()
+        self.pm_cov = GlobalCoverage()  # measured in every configuration
+        self.storage = TestCaseStorage(ImageStore(compress=config.sys_opt))
+        self.stats = FuzzStats(config_name=config.name)
+        self.vclock = 0.0
+        self.tree: Optional[TestCaseTree] = None
+        self._seed_image_id = ""
+        self._seed_image_bytes = b""
+        self._next_sample = 0.0
+        self._set_up = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Create the seed image and execute every seed input once."""
+        if self._set_up:
+            return
+        workload: Workload = self.workload_factory()
+        self.stats.workload_name = workload.name
+        seed_image = workload.create_image()
+        self._seed_image_id, _ = self.storage.save(seed_image)
+        self._seed_image_bytes = seed_image.to_bytes()
+        self.tree = TestCaseTree(self._seed_image_id)
+        if self.config.img_fuzz is ImgFuzzMode.DIRECT:
+            # The image bytes themselves are the fuzzed input.
+            entry = self.queue.add(self._seed_image_bytes,
+                                   image_id=self._seed_image_id,
+                                   branch_favored=True)
+            self._run_one(entry, self._seed_image_bytes)
+        else:
+            for data in self.seed_inputs:
+                entry = self.queue.add(data, image_id=self._seed_image_id,
+                                       branch_favored=True)
+                self._run_one(entry, data)
+        self._set_up = True
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, budget_vseconds: float) -> FuzzStats:
+        """Fuzz until the virtual-time budget is exhausted."""
+        self.setup()
+        while (self.vclock < budget_vseconds
+               and self.stats.executions < MAX_EXECUTIONS):
+            entry = self.queue.select(self.rng)
+            entry.fuzz_rounds += 1
+            for data in self._children_of(entry):
+                if (self.vclock >= budget_vseconds
+                        or self.stats.executions >= MAX_EXECUTIONS):
+                    break
+                self._run_one(entry, data)
+            if self.stats.executions % 64 == 0:
+                self.queue.cull()
+        self._sample(force=True)
+        return self.stats
+
+    def _children_of(self, entry: QueueEntry) -> List[bytes]:
+        """Mutated inputs for one fuzzing round of ``entry``."""
+        children: List[bytes] = []
+        if entry.fuzz_rounds == 1 and self.config.input_fuzz:
+            children.extend(self.mutator.deterministic(entry.data, limit=8))
+        for _ in range(self.havoc_batch):
+            if len(self.queue) > 1 and self.rng.chance(0.2):
+                other = self.queue.select(self.rng)
+                children.append(self.mutator.splice(entry.data, other.data))
+            else:
+                children.append(self.mutator.havoc(entry.data))
+        return children
+
+    # ------------------------------------------------------------------
+    # One execution + feedback
+    # ------------------------------------------------------------------
+    def _run_one(self, parent: QueueEntry, data: bytes) -> None:
+        if self.config.img_fuzz is ImgFuzzMode.DIRECT:
+            result = self.executor.run_raw_image(data, self.seed_inputs[0])
+        else:
+            image = self.storage.load(parent.image_id or self._seed_image_id)
+            result = self.executor.run(image, data)
+        self.vclock += result.cost
+        self.stats.executions += 1
+        if result.outcome is RunOutcome.INVALID_IMAGE:
+            self.stats.invalid_image_runs += 1
+        elif result.outcome is RunOutcome.SEGFAULT:
+            self.stats.segfault_runs += 1
+        # Record witness test cases per PM-operation site: the evaluation
+        # replays exactly the test cases that cover a synthetic-bug site
+        # (Table 3's detection step).  Up to three witnesses with distinct
+        # input images are kept — the same site can be reached on paths
+        # where an injected bug is benign (e.g. a skipped snapshot of a
+        # freshly allocated object), so one witness is not always enough.
+        image_id = parent.image_id or self._seed_image_id
+        witness = (image_id, data, self.vclock)
+        for site in result.sites_hit:
+            recorded = self.stats.site_witness.get(site)
+            if recorded is None:
+                self.stats.site_witness[site] = [witness]
+            elif all(w[0] != image_id for w in recorded[:2]):
+                if len(recorded) < 3:
+                    recorded.append(witness)
+                else:
+                    recorded[2] = witness  # rotating latest-witness slot
+        self.stats.sites_hit.update(result.sites_hit)
+
+        # Branch coverage feedback (the AFL++ logic, always active).
+        new_edge, new_bucket = self.branch_cov.update(result.branch_sparse)
+        # PM-path prioritization hook (Algorithm 2 in PMFuzz).
+        priority = self.priority_for(result)
+        pm_new_path, pm_new_bucket = self.pm_cov.update(result.pm_sparse)
+
+        saved = None
+        if new_edge or new_bucket or priority > 0:
+            saved = self.queue.add(
+                data,
+                image_id=parent.image_id,
+                favored=priority,
+                branch_favored=new_edge,
+                parent=parent.entry_id,
+                created_at=self.vclock,
+            )
+        if saved is not None or pm_new_path or pm_new_bucket:
+            # Every *saved* test case contributes its output image back
+            # into the corpus (this is where the paper's 1.5 TB of test
+            # cases comes from); the expensive crash-image re-executions
+            # are reserved for the PM-novel ones.
+            self.on_new_pm_path(parent, data, result,
+                                pm_novel=pm_new_path or pm_new_bucket)
+        else:
+            self.on_result(parent, data, result)
+        self._sample()
+
+    # ------------------------------------------------------------------
+    # Hook points (overridden by PMFuzzEngine)
+    # ------------------------------------------------------------------
+    def priority_for(self, result: ExecResult) -> int:
+        """Algorithm-2 Favored value; the AFL++ baseline ignores PM paths."""
+        return 0
+
+    def on_new_pm_path(self, parent: QueueEntry, data: bytes,
+                       result: ExecResult, pm_novel: bool = True) -> None:
+        """Called for saved / PM-novel test cases (base: no-op)."""
+
+    def on_result(self, parent: QueueEntry, data: bytes,
+                  result: ExecResult) -> None:
+        """Called for every non-saved execution (base: no-op)."""
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _sample(self, force: bool = False) -> None:
+        if not force and self.vclock < self._next_sample:
+            return
+        self._next_sample = self.vclock + self.sample_interval
+        self.stats.record(CoverageSample(
+            vtime=self.vclock,
+            executions=self.stats.executions,
+            pm_paths=self.pm_cov.slots_covered,
+            branch_edges=self.branch_cov.slots_covered,
+            queue_size=len(self.queue),
+            images=len(self.storage.store),
+        ))

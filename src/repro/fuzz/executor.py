@@ -1,0 +1,171 @@
+"""Test-case execution under instrumentation, with the virtual cost model.
+
+The executor is the reproduction's fork server + target binary: it takes
+one test case (a PM image + raw command bytes), runs the workload under
+branch coverage, PM-path tracking and trace collection, and returns the
+sparse coverage maps plus the output images.
+
+Virtual time
+------------
+The paper's Figure 13 plots coverage against a 4-hour wall clock on a
+20-core Xeon with real DCPMMs.  Here every execution is *charged* a cost
+from :class:`CostModel` instead:
+
+* a base execution cost plus per-command and per-fence work;
+* image I/O — the term the paper's system-level optimizations attack.
+  Without SysOpt every execution pays syscalls plus SSD-bandwidth
+  transfers for loading and saving the image; with SysOpt the image
+  moves at memory bandwidth through the fork server's copy-on-write
+  heap (Section 4.7).
+
+The ratios between the five comparison points — not the absolute
+numbers — are what reproduce the relative curves of Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidImageError
+from repro.instrument.branchcov import BranchCoverage
+from repro.instrument.context import ExecutionContext, push_context
+from repro.pmem.image import PMImage
+from repro.workloads.base import Command, RunOutcome, RunResult, Workload
+from repro.workloads.mapcli import parse_commands
+
+
+@dataclass
+class CostModel:
+    """Virtual-time charges per execution (seconds of modeled time)."""
+
+    sys_opt: bool = True
+    exec_base: float = 2e-3  #: process spin-up + harness overhead
+    per_command: float = 2.5e-4  #: average command service time
+    per_fence: float = 5e-6  #: persist-barrier latency
+    syscall_overhead: float = 1e-3  #: mmap/open/close per image (no SysOpt)
+    ssd_bandwidth: float = 80e6  #: bytes/s to the test-case drive
+    pm_bandwidth: float = 2e9  #: bytes/s through the CoW heap (SysOpt)
+
+    def image_io(self, nbytes: int) -> float:
+        """Cost of moving one image in and out of the execution."""
+        if self.sys_opt:
+            return 2 * nbytes / self.pm_bandwidth
+        return self.syscall_overhead + 2 * nbytes / self.ssd_bandwidth
+
+    def execution(self, n_commands: int, n_fences: int, image_bytes: int) -> float:
+        """Total charge for one execution of a test case."""
+        return (self.exec_base
+                + n_commands * self.per_command
+                + n_fences * self.per_fence
+                + self.image_io(image_bytes))
+
+    def aborted_execution(self, image_bytes: int) -> float:
+        """Charge for an execution that died at image validation."""
+        return self.exec_base + self.image_io(image_bytes)
+
+
+@dataclass
+class ExecResult:
+    """Everything one execution reports back to the fuzzing loop."""
+
+    outcome: RunOutcome
+    cost: float
+    branch_sparse: List[Tuple[int, int]] = field(default_factory=list)
+    pm_sparse: List[Tuple[int, int]] = field(default_factory=list)
+    sites_hit: FrozenSet[str] = frozenset()
+    final_image: Optional[PMImage] = None
+    crash_image: Optional[PMImage] = None
+    weak_crash_images: List[PMImage] = field(default_factory=list)
+    fence_count: int = 0
+    store_count: int = 0
+    commands_run: int = 0
+    trace: list = field(default_factory=list)
+    error: str = ""
+
+
+class Executor:
+    """Runs test cases for one (workload, configuration) campaign."""
+
+    def __init__(
+        self,
+        workload_factory,
+        cost_model: Optional[CostModel] = None,
+        injector=None,
+        collect_trace: bool = False,
+        max_commands: int = 6,
+    ) -> None:
+        # max_commands reproduces the paper's bounded per-test-case
+        # execution (the 150 ms limit of Section 4.6): deep persistent
+        # states are reached by *accumulating* PM images across the
+        # test-case tree, not by ever-longer single inputs.
+        self.workload_factory = workload_factory
+        self.cost_model = cost_model or CostModel()
+        self.injector = injector
+        self.collect_trace = collect_trace
+        self.max_commands = max_commands
+        self._branch_cov = BranchCoverage()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        image: PMImage,
+        data: bytes,
+        crash_at_fence: Optional[int] = None,
+        crash_at_store: Optional[int] = None,
+        weak_states: bool = False,
+        commands: Optional[Sequence[Command]] = None,
+    ) -> ExecResult:
+        """Execute command bytes (or pre-parsed commands) on an image."""
+        cmds = (list(commands) if commands is not None
+                else parse_commands(data, max_commands=self.max_commands))
+        workload: Workload = self.workload_factory()
+        ctx = ExecutionContext(injector=self.injector,
+                               collect_trace=self.collect_trace)
+        cov = self._branch_cov
+        cov.reset()
+        cov.start()
+        try:
+            with push_context(ctx):
+                result: RunResult = workload.run(
+                    image, cmds, crash_at_fence=crash_at_fence,
+                    crash_at_store=crash_at_store, weak_states=weak_states,
+                )
+        finally:
+            cov.stop()
+        cost = self.cost_model.execution(
+            n_commands=len(cmds),
+            n_fences=result.fence_count,
+            image_bytes=len(image),
+        )
+        return ExecResult(
+            outcome=result.outcome,
+            cost=cost,
+            branch_sparse=cov.sparse(),
+            pm_sparse=ctx.counter_map.sparse(),
+            sites_hit=frozenset(ctx.sites_hit),
+            final_image=result.final_image,
+            crash_image=result.crash_image,
+            weak_crash_images=list(result.weak_crash_images),
+            fence_count=result.fence_count,
+            store_count=result.store_count,
+            commands_run=result.commands_run,
+            trace=ctx.trace,
+            error=result.error,
+        )
+
+    def run_raw_image(self, image_bytes: bytes, data: bytes) -> ExecResult:
+        """AFL++ w/ ImgFuzz path: the *image bytes* are the mutated input.
+
+        A directly mutated image almost always fails header validation and
+        the execution aborts before reaching any useful path (Figure 5a).
+        """
+        try:
+            image = PMImage.from_bytes(image_bytes)
+        except InvalidImageError as exc:
+            return ExecResult(
+                outcome=RunOutcome.INVALID_IMAGE,
+                cost=self.cost_model.aborted_execution(len(image_bytes)),
+                error=str(exc),
+            )
+        return self.run(image, data)

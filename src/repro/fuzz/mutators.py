@@ -1,0 +1,180 @@
+"""AFL-style mutation stack.
+
+Reproduces the mutation pipeline of AFL/AFL++ at the level that matters
+for the evaluation: deterministic bit/byte flips and arithmetic for new
+queue entries, then stacked *havoc* mutations (with splice) for the bulk
+of the campaign, plus a grammar dictionary so the fuzzer can synthesize
+mapcli command tokens — AFL++'s ``-x`` dictionary feature, which the
+paper's setup inherits via its seed inputs.
+
+All randomness comes from the injected :class:`DeterministicRandom`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.fuzz.rng import DeterministicRandom
+
+#: AFL's "interesting" byte/word values.
+INTERESTING_8 = (0, 1, 16, 32, 64, 100, 127, 128, 255)
+INTERESTING_16 = (0, 128, 255, 256, 512, 1000, 1024, 4096, 32767, 65535)
+
+#: mapcli grammar tokens (AFL++ dictionary analogue).
+DEFAULT_DICTIONARY: Sequence[bytes] = (
+    b"i ", b"g ", b"r ", b"x ", b"n", b"b", b"m", b"q", b"\n",
+    b"h", b"s", b"v", b"e ", b"u ", b"w ",
+    b"0", b"1", b"7", b"13", b"31", b"42", b"63", b"255", b"512",
+    b"i 1 1\n", b"g 1\n", b"r 1\n", b"q\n",
+)
+
+MAX_INPUT_SIZE = 4096
+
+
+class MutationEngine:
+    """Produces mutated children from parent inputs."""
+
+    def __init__(self, rng: DeterministicRandom,
+                 dictionary: Sequence[bytes] = DEFAULT_DICTIONARY) -> None:
+        self.rng = rng
+        self.dictionary = list(dictionary)
+        self._havoc_ops: List[Callable[[bytearray], None]] = [
+            self._op_bitflip,
+            self._op_byte_set,
+            self._op_byte_arith,
+            self._op_interesting8,
+            self._op_interesting16,
+            self._op_delete_range,
+            self._op_clone_range,
+            self._op_overwrite_range,
+            self._op_insert_token,
+            self._op_overwrite_token,
+            self._op_synthesize_command,
+        ]
+
+    # ------------------------------------------------------------------
+    # Deterministic stage (abbreviated, as AFL++ does for slow targets)
+    # ------------------------------------------------------------------
+    def deterministic(self, data: bytes, limit: int = 32) -> List[bytes]:
+        """A bounded sample of walking bit flips and arithmetic."""
+        children: List[bytes] = []
+        if not data:
+            return children
+        step = max(1, len(data) * 8 // limit)
+        for bit in range(0, len(data) * 8, step):
+            child = bytearray(data)
+            child[bit // 8] ^= 1 << (bit % 8)
+            children.append(bytes(child))
+        step = max(1, len(data) // max(1, limit // 4))
+        for pos in range(0, len(data), step):
+            child = bytearray(data)
+            child[pos] = (child[pos] + 1) & 0xFF
+            children.append(bytes(child))
+        return children
+
+    # ------------------------------------------------------------------
+    # Havoc stage
+    # ------------------------------------------------------------------
+    def havoc(self, data: bytes, stack_max: int = 6) -> bytes:
+        """Apply a random stack of 1..2^k mutations (AFL havoc)."""
+        buf = bytearray(data if data else b"\n")
+        rounds = 1 << self.rng.randint(0, max(1, stack_max.bit_length() - 1))
+        for _ in range(rounds):
+            op = self.rng.choice(self._havoc_ops)
+            op(buf)
+            if len(buf) > MAX_INPUT_SIZE:
+                del buf[MAX_INPUT_SIZE:]
+            if not buf:
+                buf.extend(self.rng.choice(self.dictionary))
+        return bytes(buf)
+
+    def splice(self, data: bytes, other: bytes) -> bytes:
+        """Cross two inputs at random points, then havoc the result."""
+        if not data or not other:
+            return self.havoc(data or other)
+        cut_a = self.rng.randint(0, len(data))
+        cut_b = self.rng.randint(0, len(other))
+        return self.havoc(data[:cut_a] + other[cut_b:])
+
+    # ------------------------------------------------------------------
+    # Havoc operators
+    # ------------------------------------------------------------------
+    def _pos(self, buf: bytearray) -> int:
+        return self.rng.randrange(max(1, len(buf)))
+
+    def _op_bitflip(self, buf: bytearray) -> None:
+        if buf:
+            pos = self._pos(buf)
+            buf[pos] ^= 1 << self.rng.randint(0, 7)
+
+    def _op_byte_set(self, buf: bytearray) -> None:
+        if buf:
+            buf[self._pos(buf)] = self.rng.randint(0, 255)
+
+    def _op_byte_arith(self, buf: bytearray) -> None:
+        if buf:
+            pos = self._pos(buf)
+            buf[pos] = (buf[pos] + self.rng.randint(-35, 35)) & 0xFF
+
+    def _op_interesting8(self, buf: bytearray) -> None:
+        if buf:
+            buf[self._pos(buf)] = self.rng.choice(INTERESTING_8)
+
+    def _op_interesting16(self, buf: bytearray) -> None:
+        if len(buf) >= 2:
+            pos = self.rng.randrange(len(buf) - 1)
+            value = self.rng.choice(INTERESTING_16)
+            buf[pos] = value & 0xFF
+            buf[pos + 1] = (value >> 8) & 0xFF
+
+    def _op_delete_range(self, buf: bytearray) -> None:
+        if len(buf) > 1:
+            start = self._pos(buf)
+            length = self.rng.randint(1, max(1, len(buf) // 4))
+            del buf[start:start + length]
+
+    def _op_clone_range(self, buf: bytearray) -> None:
+        if buf:
+            start = self._pos(buf)
+            length = self.rng.randint(1, max(1, len(buf) // 4))
+            chunk = buf[start:start + length]
+            insert_at = self._pos(buf)
+            buf[insert_at:insert_at] = chunk
+
+    def _op_overwrite_range(self, buf: bytearray) -> None:
+        if len(buf) >= 2:
+            src = self._pos(buf)
+            dst = self._pos(buf)
+            length = self.rng.randint(1, max(1, len(buf) // 4))
+            chunk = buf[src:src + length]
+            buf[dst:dst + len(chunk)] = chunk
+
+    def _op_insert_token(self, buf: bytearray) -> None:
+        token = self.rng.choice(self.dictionary)
+        insert_at = self._pos(buf)
+        buf[insert_at:insert_at] = token
+
+    def _op_overwrite_token(self, buf: bytearray) -> None:
+        token = self.rng.choice(self.dictionary)
+        if buf:
+            pos = self._pos(buf)
+            buf[pos:pos + len(token)] = token
+
+    def _op_synthesize_command(self, buf: bytearray) -> None:
+        """Grammar-aware mutation: inject a whole well-formed command.
+
+        The AFL++ custom-mutator analogue: instead of waiting for byte
+        soup to stumble into ``i <key> <value>\\n``, synthesize one with
+        fresh random operands.  This is the mutation that keeps feeding
+        *new keys* into the corpus, which the indirect image fuzzing
+        needs to keep growing the persistent state.
+        """
+        op = self.rng.choice("iiiigrxqbmn")
+        if op == "i":
+            line = f"i {self.rng.randrange(1024)} {self.rng.randrange(1000)}\n"
+        elif op in "grx":
+            line = f"{op} {self.rng.randrange(1024)}\n"
+        else:
+            line = f"{op}\n"
+        insert_at = self._pos(buf)
+        buf[insert_at:insert_at] = line.encode()

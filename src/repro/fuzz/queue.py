@@ -1,0 +1,133 @@
+"""The fuzzing queue with favored-entry culling.
+
+Queue entries pair input command bytes with the PM image they execute on
+(the image is referenced by its dedup hash in the campaign's image
+store).  Selection is weighted by the Algorithm-2 ``Favored`` value:
+
+* 2 — covered an unseen PM counter-map slot (high priority),
+* 1 — produced a significantly different counter (medium),
+* 0 — only interesting to the branch-coverage logic (low).
+
+After each culling pass, low-priority entries beyond a budget are
+discarded "unless AFL++'s branch coverage logic favors them"
+(Section 4.3) — here: unless they were the first to reach a branch edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.fuzz.rng import DeterministicRandom
+
+#: Selection weights per Favored level.
+_WEIGHTS = {0: 1, 1: 4, 2: 10}
+
+
+@dataclass
+class QueueEntry:
+    """One saved test case."""
+
+    entry_id: int
+    data: bytes  #: raw command bytes (or raw image bytes for ImgFuzz)
+    image_id: str  #: dedup hash of the input PM image ("" = none)
+    favored: int = 0  #: Algorithm-2 priority
+    branch_favored: bool = False  #: first to reach some branch edge
+    parent: Optional[int] = None
+    depth: int = 0
+    from_crash_image: bool = False
+    fuzz_rounds: int = 0  #: times this entry has been mutated
+    created_at: float = 0.0  #: virtual time when this entry was saved
+
+
+class FuzzQueue:
+    """Weighted test-case queue with periodic culling."""
+
+    def __init__(self, max_low_priority: int = 256) -> None:
+        self.entries: List[QueueEntry] = []
+        self.max_low_priority = max_low_priority
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(
+        self,
+        data: bytes,
+        image_id: str = "",
+        favored: int = 0,
+        branch_favored: bool = False,
+        parent: Optional[int] = None,
+        from_crash_image: bool = False,
+        created_at: float = 0.0,
+    ) -> QueueEntry:
+        """Append a new test case and return it."""
+        depth = 0
+        if parent is not None:
+            parent_entry = self.get(parent)
+            if parent_entry is not None:
+                depth = parent_entry.depth + 1
+        entry = QueueEntry(
+            entry_id=self._next_id,
+            data=data,
+            image_id=image_id,
+            favored=favored,
+            branch_favored=branch_favored,
+            parent=parent,
+            depth=depth,
+            from_crash_image=from_crash_image,
+            created_at=created_at,
+        )
+        self._next_id += 1
+        self.entries.append(entry)
+        return entry
+
+    def get(self, entry_id: int) -> Optional[QueueEntry]:
+        """Look up an entry by ID (None if culled)."""
+        for entry in self.entries:
+            if entry.entry_id == entry_id:
+                return entry
+        return None
+
+    def select(self, rng: DeterministicRandom) -> QueueEntry:
+        """Pick the next entry to mutate, weighted by priority.
+
+        Entries that have been fuzzed less are preferred within a weight
+        class (AFL's "pending favored" behaviour).
+        """
+        if not self.entries:
+            raise IndexError("queue is empty")
+        pending = [e for e in self.entries if e.fuzz_rounds == 0 and
+                   (e.favored == 2 or e.branch_favored)]
+        pool = pending if pending else self.entries
+        # Depth bonus: deeper test-case-tree entries carry more
+        # accumulated persistent state, and PMFuzz "continues to
+        # recursively operate on existing PM images" (Section 3.1) — so
+        # lineage depth compounds instead of restarting from the seed.
+        weights = [_WEIGHTS[e.favored] + (2 if e.branch_favored else 0)
+                   + min(e.depth, 12)
+                   for e in pool]
+        total = sum(weights)
+        pick = rng.randrange(total)
+        acc = 0
+        for entry, weight in zip(pool, weights):
+            acc += weight
+            if pick < acc:
+                return entry
+        return pool[-1]
+
+    def cull(self) -> int:
+        """Discard surplus low-priority entries; returns how many.
+
+        Keeps every favored entry (PM priority > 0 or branch-favored) and
+        at most ``max_low_priority`` of the rest (most recent first, so
+        the campaign keeps momentum).
+        """
+        low = [e for e in self.entries
+               if e.favored == 0 and not e.branch_favored]
+        excess = len(low) - self.max_low_priority
+        if excess <= 0:
+            return 0
+        victims = set(id(e) for e in low[:excess])
+        self.entries = [e for e in self.entries if id(e) not in victims]
+        return excess

@@ -1,0 +1,59 @@
+"""Deterministic randomness for the whole fuzzing stack.
+
+Section 4.4 of the paper removes three sources of nondeterminism (image
+UUIDs, address randomization, external RNGs via Preeny) so that the same
+test case always produces the same path and the same PM image.  In this
+reproduction the first two are structural (constant UUIDs, pool-relative
+addresses); this module handles the third: every random decision in the
+fuzzer flows through one seeded :class:`DeterministicRandom`, so a whole
+fuzzing campaign replays bit-for-bit from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRandom:
+    """A seeded RNG with the handful of draws the fuzzer needs."""
+
+    def __init__(self, seed: int = 0x504D465A) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi]."""
+        return self._rng.randint(lo, hi)
+
+    def randrange(self, n: int) -> int:
+        """Uniform integer in [0, n)."""
+        return self._rng.randrange(n)
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli draw."""
+        return self._rng.random() < probability
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniform element of a non-empty sequence."""
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        """k distinct elements (k clamped to len(seq))."""
+        return self._rng.sample(seq, min(k, len(seq)))
+
+    def random_bytes(self, n: int) -> bytes:
+        """n uniform bytes."""
+        return bytes(self._rng.randrange(256) for _ in range(n))
+
+    def fork(self, label: str) -> "DeterministicRandom":
+        """Derive an independent, reproducible child RNG.
+
+        Used to give each fuzzing campaign (workload × config) its own
+        stream so runs do not perturb each other's draws.
+        """
+        from repro._util import stable_hash32
+
+        return DeterministicRandom(self.seed ^ stable_hash32(label))

@@ -1,0 +1,84 @@
+"""Coverage-over-time statistics (the data behind Figure 13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro._util import format_duration
+
+
+@dataclass(frozen=True)
+class CoverageSample:
+    """One point on a coverage curve."""
+
+    vtime: float  #: virtual seconds since campaign start
+    executions: int
+    pm_paths: int  #: distinct PM counter-map slots covered
+    branch_edges: int  #: distinct branch-map slots covered
+    queue_size: int
+    images: int  #: distinct PM images generated (after dedup)
+
+
+@dataclass
+class FuzzStats:
+    """Full campaign statistics."""
+
+    config_name: str = ""
+    workload_name: str = ""
+    samples: List[CoverageSample] = field(default_factory=list)
+    executions: int = 0
+    invalid_image_runs: int = 0
+    segfault_runs: int = 0
+    crash_images_generated: int = 0
+    normal_images_generated: int = 0
+    images_deduplicated: int = 0
+    raw_image_bytes: int = 0
+    compressed_image_bytes: int = 0
+    sites_hit: set = field(default_factory=set)
+    #: site label -> (image_id, input data, vtime) of the first test case
+    #: to reach it; used by the synthetic-bug confirmation step.
+    site_witness: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def record(self, sample: CoverageSample) -> None:
+        self.samples.append(sample)
+
+    @property
+    def final_pm_paths(self) -> int:
+        """PM paths covered at the end of the campaign."""
+        return self.samples[-1].pm_paths if self.samples else 0
+
+    @property
+    def final_branch_edges(self) -> int:
+        return self.samples[-1].branch_edges if self.samples else 0
+
+    def pm_paths_at(self, vtime: float) -> int:
+        """PM paths covered by the given virtual time (step function)."""
+        best = 0
+        for sample in self.samples:
+            if sample.vtime <= vtime:
+                best = sample.pm_paths
+            else:
+                break
+        return best
+
+    def series(self, checkpoints: Sequence[float]) -> List[Tuple[float, int]]:
+        """The Figure 13 curve: (vtime, pm_paths) at each checkpoint."""
+        return [(t, self.pm_paths_at(t)) for t in checkpoints]
+
+    def render_curve(self, checkpoints: Sequence[float],
+                     total_budget: Optional[float] = None) -> str:
+        """Human-readable curve with the paper's H:MM axis labels.
+
+        ``total_budget`` maps virtual time onto the paper's 4-hour axis:
+        a checkpoint at fraction f of the budget is labeled f * 4 h.
+        """
+        parts = []
+        for t, paths in self.series(checkpoints):
+            if total_budget:
+                label = format_duration(t / total_budget * 4 * 3600)
+            else:
+                label = f"{t:.1f}s"
+            parts.append(f"{label}:{paths}")
+        return " ".join(parts)

@@ -1,0 +1,43 @@
+"""Instrumentation: PM-operation tracking and branch coverage.
+
+The original PMFuzz instruments PM programs twice:
+
+* an LLVM pass inserts a tracking call (with a compile-time-unique ID)
+  before every PM-library call site, feeding the PM counter-map of
+  Algorithm 1; and
+* AFL++'s compile-time instrumentation records branch (edge) coverage.
+
+In this reproduction the workloads are Python, so both trackers are
+runtime components:
+
+* :mod:`repro.instrument.pmops` assigns stable 16-bit IDs to PM-library
+  call sites (``file:line`` of the calling workload code);
+* :mod:`repro.instrument.counter_map` is the PM counter-map update of
+  Algorithm 1 (XOR transition encoding, 8-bit saturating counters);
+* :mod:`repro.instrument.branchcov` records AFL-style line-edge coverage
+  over workload modules via ``sys.settrace``;
+* :mod:`repro.instrument.context` ties them together into the
+  per-execution :class:`~repro.instrument.context.ExecutionContext` that
+  the pmdk layer reports into.
+"""
+
+from repro.instrument.branchcov import BranchCoverage
+from repro.instrument.context import (
+    ExecutionContext,
+    current_context,
+    pm_call_site,
+    push_context,
+)
+from repro.instrument.counter_map import PM_MAP_SIZE, PMCounterMap
+from repro.instrument.pmops import PMOpRegistry
+
+__all__ = [
+    "BranchCoverage",
+    "ExecutionContext",
+    "PMCounterMap",
+    "PMOpRegistry",
+    "PM_MAP_SIZE",
+    "current_context",
+    "pm_call_site",
+    "push_context",
+]

@@ -1,0 +1,113 @@
+"""AFL-style branch (edge) coverage for Python workloads.
+
+AFL++ instruments every basic block at compile time; at runtime the pair
+(previous block, current block) is hashed into a 64 Ki slot bitmap.  The
+reproduction gets the same signal from ``sys.settrace`` line events
+restricted to workload source files: each executed line is a location,
+consecutive locations form an edge, and edges index an AFL-style counter
+map with the classic ``cur ^ (prev >> 1)`` encoding.
+
+Location IDs are stable CRC hashes of ``file:line``, satisfying the
+derandomization requirement: the same input always produces the same
+coverage map.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro._util import stable_hash16
+
+#: Coverage map size (matches AFL's 64 KiB).
+COV_MAP_SIZE = 1 << 16
+
+
+class BranchCoverage:
+    """Edge-coverage recorder over a set of instrumented source files.
+
+    Args:
+        path_fragments: only files whose path contains one of these
+            fragments are instrumented (default: the workloads package),
+            mirroring how only the target binary is AFL-instrumented.
+    """
+
+    def __init__(self, path_fragments: Optional[Iterable[str]] = None) -> None:
+        self.counters = bytearray(COV_MAP_SIZE)
+        #: Slots hit this execution (lets consumers avoid full-map scans).
+        self.touched = set()
+        self._prev_loc = 0
+        self._fragments: List[str] = list(path_fragments or ["repro/workloads"])
+        self._file_ok: Dict[str, bool] = {}
+        self._loc_cache: Dict[int, int] = {}
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def _instrumented(self, filename: str) -> bool:
+        ok = self._file_ok.get(filename)
+        if ok is None:
+            norm = filename.replace("\\", "/")
+            ok = any(frag in norm for frag in self._fragments)
+            self._file_ok[filename] = ok
+        return ok
+
+    def _local_trace(self, frame, event: str, arg) -> Optional[Callable]:
+        if event == "line":
+            key = (id(frame.f_code) << 20) ^ frame.f_lineno
+            loc = self._loc_cache.get(key)
+            if loc is None:
+                loc = stable_hash16(f"{frame.f_code.co_filename}:{frame.f_lineno}")
+                self._loc_cache[key] = loc
+            slot = (loc ^ self._prev_loc) & (COV_MAP_SIZE - 1)
+            if self.counters[slot] != 0xFF:
+                self.counters[slot] += 1
+            self.touched.add(slot)
+            self._prev_loc = loc >> 1
+        return self._local_trace
+
+    def _global_trace(self, frame, event: str, arg) -> Optional[Callable]:
+        if event == "call" and self._instrumented(frame.f_code.co_filename):
+            return self._local_trace
+        return None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin recording (installs the trace hook)."""
+        if self._active:
+            return
+        self._active = True
+        sys.settrace(self._global_trace)
+
+    def stop(self) -> None:
+        """Stop recording (removes the trace hook)."""
+        if not self._active:
+            return
+        sys.settrace(None)
+        self._active = False
+
+    def __enter__(self) -> "BranchCoverage":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear counters for a fresh execution."""
+        self.counters = bytearray(COV_MAP_SIZE)
+        self.touched = set()
+        self._prev_loc = 0
+
+    def sparse(self):
+        """Yield (slot, count) for the slots hit this execution."""
+        counters = self.counters
+        return [(slot, counters[slot]) for slot in self.touched]
+
+    def edge_count(self) -> int:
+        """Number of distinct edges hit."""
+        return sum(1 for c in self.counters if c)
+
+    def nonzero_slots(self) -> List[int]:
+        """Indices of all populated slots."""
+        return [i for i, c in enumerate(self.counters) if c]

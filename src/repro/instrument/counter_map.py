@@ -1,0 +1,81 @@
+"""The PM counter-map of Algorithm 1.
+
+PMFuzz encodes each *transition* between two consecutive PM operations by
+XORing their call-site IDs, and increments an 8-bit saturating counter at
+that index in a 64 Ki-slot map.  After recording, the previous ID is
+right-shifted by one bit so that A→B and B→A map to different slots
+(preserving direction), exactly as in AFL's edge encoding.
+
+A "PM path" in the evaluation is a distinct populated slot: a test case
+covers a *new* PM path when it hits a slot no prior test case hit
+(Algorithm 2's ``unseen`` predicate).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+#: Number of slots in the PM counter-map (matches AFL's 64 KiB map).
+PM_MAP_SIZE = 1 << 16
+
+#: AFL-style count bucketing: collapse raw counts into coarse classes so
+#: "significantly different counter values" (Algorithm 2) is well defined.
+_BUCKETS = (0, 1, 2, 3, 4, 8, 16, 32, 128)
+
+
+def bucket_of(count: int) -> int:
+    """Return the bucket index for a raw 8-bit counter value."""
+    for i in range(len(_BUCKETS) - 1, -1, -1):
+        if count >= _BUCKETS[i]:
+            return i
+    return 0
+
+
+class PMCounterMap:
+    """Per-execution PM transition counter map (Algorithm 1)."""
+
+    __slots__ = ("counters", "touched", "_prev_id")
+
+    def __init__(self) -> None:
+        self.counters = bytearray(PM_MAP_SIZE)
+        #: Slots hit this execution (lets consumers avoid full-map scans).
+        self.touched = set()
+        self._prev_id = 0
+
+    def update(self, op_id: int) -> int:
+        """Record one PM operation; returns the map slot that was hit.
+
+        Implements Algorithm 1: ``loc = curID ^ prevID``; increment
+        (saturating at 255); ``prevID = curID >> 1``.
+        """
+        loc = (op_id ^ self._prev_id) & (PM_MAP_SIZE - 1)
+        if self.counters[loc] != 0xFF:
+            self.counters[loc] += 1
+        self.touched.add(loc)
+        self._prev_id = op_id >> 1
+        return loc
+
+    def reset(self) -> None:
+        """Clear counters and transition state for a fresh execution."""
+        self.counters = bytearray(PM_MAP_SIZE)
+        self.touched = set()
+        self._prev_id = 0
+
+    def sparse(self):
+        """Yield (slot, count) for the slots hit this execution."""
+        counters = self.counters
+        return [(slot, counters[slot]) for slot in self.touched]
+
+    def nonzero_slots(self) -> List[int]:
+        """Return the indices of all populated slots (PM paths hit)."""
+        return [i for i, c in enumerate(self.counters) if c]
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Yield (slot, raw count) for populated slots."""
+        for i, c in enumerate(self.counters):
+            if c:
+                yield i, c
+
+    def path_count(self) -> int:
+        """Number of distinct PM transitions (populated slots)."""
+        return sum(1 for c in self.counters if c)

@@ -1,0 +1,48 @@
+"""PM-operation call-site registry.
+
+PMFuzz's compiler pass assigns a unique ID to every PM-library call site
+at compile time (Section 4.2).  Here, a call site is identified by the
+``file:line`` of the workload code that invoked the PM library function;
+the ID is a stable 16-bit hash of that label, so it is identical across
+runs and processes (a derandomization requirement).
+
+The registry also remembers the label for each ID so detection reports
+can name the offending source location.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro._util import stable_hash16
+
+
+class PMOpRegistry:
+    """Maps call-site labels to stable 16-bit PM operation IDs."""
+
+    def __init__(self) -> None:
+        self._by_label: Dict[str, int] = {}
+        self._by_id: Dict[int, str] = {}
+
+    def site_id(self, label: str) -> int:
+        """Return (registering if needed) the 16-bit ID for ``label``."""
+        op_id = self._by_label.get(label)
+        if op_id is None:
+            op_id = stable_hash16(label)
+            self._by_label[label] = op_id
+            # Collisions are possible (16-bit space) and harmless — AFL's
+            # coverage map has the same property; keep the first label.
+            self._by_id.setdefault(op_id, label)
+        return op_id
+
+    def label_of(self, op_id: int) -> Optional[str]:
+        """Return the first label registered for ``op_id``, if any."""
+        return self._by_id.get(op_id)
+
+    def __len__(self) -> int:
+        return len(self._by_label)
+
+
+#: Process-wide registry: IDs are stable, so sharing it is safe and mirrors
+#: compile-time ID assignment (one binary, one ID set).
+GLOBAL_REGISTRY = PMOpRegistry()

@@ -1,0 +1,195 @@
+"""Persistent heap allocator.
+
+PMDK pools carry their own allocator whose metadata lives *inside* the
+pool, so tree nodes and log entries "are all allocated in the image at
+runtime" (paper Figure 6b) — which is exactly why file-system-style image
+fuzzers cannot mutate PM images structurally.
+
+The reproduction uses a bump allocator with a singly-linked free list:
+
+* every block has a 64-byte header (size, free-list link, state tag) and
+  cache-line-aligned user data, so separate objects never share a line;
+* allocation first-fits the free list, then bumps the heap cursor;
+* metadata updates are persisted in an order such that a crash mid-
+  allocation can only leak a block, never corrupt the heap (the same
+  guarantee class PMDK provides).
+
+All metadata traffic goes through the persistence domain and therefore
+appears in the PM trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro._util import align_up
+from repro.errors import OutOfPMemError, PMemError, SegmentationFault
+from repro.pmem.persistence import CACHE_LINE, PersistenceDomain
+
+#: Bytes of header preceding every heap block's user data.
+ALLOC_HEADER_SIZE = 64
+
+_HDR_SIZE_OFF = 0  # u64 user size
+_HDR_NEXT_OFF = 8  # u64 next free block header (0 = end)
+_HDR_STATE_OFF = 16  # u8: 1 allocated, 2 free
+
+STATE_ALLOCATED = 1
+STATE_FREE = 2
+
+
+def _read_u64(domain: PersistenceDomain, addr: int) -> int:
+    return int.from_bytes(domain.load(addr, 8), "little")
+
+
+def _write_u64(domain: PersistenceDomain, addr: int, value: int, site: str) -> None:
+    domain.store(addr, value.to_bytes(8, "little"), site=site)
+
+
+class PersistentHeap:
+    """Allocator over the heap region ``[heap_base, domain.size)``.
+
+    The mutable cursor and free-list head live in the pool metadata block
+    at ``meta_cursor_addr`` / ``meta_free_addr`` (owned by the pool).
+    """
+
+    def __init__(
+        self,
+        domain: PersistenceDomain,
+        heap_base: int,
+        meta_cursor_addr: int,
+        meta_free_addr: int,
+    ) -> None:
+        self.domain = domain
+        self.heap_base = align_up(heap_base, CACHE_LINE)
+        self._cursor_addr = meta_cursor_addr
+        self._free_addr = meta_free_addr
+
+    # ------------------------------------------------------------------
+    # Metadata accessors
+    # ------------------------------------------------------------------
+    @property
+    def cursor(self) -> int:
+        cur = _read_u64(self.domain, self._cursor_addr)
+        return cur if cur else self.heap_base
+
+    @property
+    def free_head(self) -> int:
+        return _read_u64(self.domain, self._free_addr)
+
+    def initialize(self, site: str = "heap:init") -> None:
+        """Set up an empty heap (pool-create path)."""
+        _write_u64(self.domain, self._cursor_addr, self.heap_base, site)
+        _write_u64(self.domain, self._free_addr, 0, site)
+        self.domain.persist(self._cursor_addr, 16, site=site)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def _block_span(self, user_size: int) -> int:
+        return ALLOC_HEADER_SIZE + align_up(max(user_size, 1), CACHE_LINE)
+
+    def alloc(self, user_size: int, site: str = "heap:alloc") -> int:
+        """Allocate ``user_size`` bytes; returns the user-data offset (OID).
+
+        Raises:
+            OutOfPMemError: when neither the free list nor the remaining
+                heap space can satisfy the request.
+        """
+        if user_size <= 0:
+            raise PMemError(f"allocation size must be positive, got {user_size}")
+        # Allocator metadata traffic is library-internal: prefix the site so
+        # the detectors (which exclude "heap:" sites) do not attribute the
+        # header stores to the application call site.
+        site = site if site.startswith("heap:") else f"heap:{site}"
+        hdr = self._take_free_block(user_size, site)
+        if hdr is None:
+            hdr = self._bump(user_size, site)
+        # Mark allocated and record the user size, then persist the header.
+        _write_u64(self.domain, hdr + _HDR_SIZE_OFF, user_size, site)
+        _write_u64(self.domain, hdr + _HDR_NEXT_OFF, 0, site)
+        self.domain.store(hdr + _HDR_STATE_OFF, bytes([STATE_ALLOCATED]), site=site)
+        self.domain.persist(hdr, ALLOC_HEADER_SIZE, site=site)
+        return hdr + ALLOC_HEADER_SIZE
+
+    def zalloc(self, user_size: int, site: str = "heap:zalloc") -> int:
+        """Allocate and zero (``TX_ZNEW``'s backing primitive)."""
+        site = site if site.startswith("heap:") else f"heap:{site}"
+        oid = self.alloc(user_size, site=site)
+        self.domain.store(oid, b"\0" * user_size, site=site)
+        self.domain.persist(oid, user_size, site=site)
+        return oid
+
+    def free(self, oid: int, site: str = "heap:free") -> None:
+        """Return the block containing ``oid`` to the free list."""
+        site = site if site.startswith("heap:") else f"heap:{site}"
+        hdr = self._header_of(oid)
+        state = self.domain.load(hdr + _HDR_STATE_OFF, 1)[0]
+        if state != STATE_ALLOCATED:
+            raise PMemError(f"double free or bad free of OID 0x{oid:x}")
+        old_head = self.free_head
+        self.domain.store(hdr + _HDR_STATE_OFF, bytes([STATE_FREE]), site=site)
+        _write_u64(self.domain, hdr + _HDR_NEXT_OFF, old_head, site)
+        self.domain.persist(hdr, ALLOC_HEADER_SIZE, site=site)
+        _write_u64(self.domain, self._free_addr, hdr, site)
+        self.domain.persist(self._free_addr, 8, site=site)
+
+    def usable_size(self, oid: int) -> int:
+        """Return the user size recorded for an allocated OID."""
+        hdr = self._header_of(oid)
+        return _read_u64(self.domain, hdr + _HDR_SIZE_OFF)
+
+    def is_allocated(self, oid: int) -> bool:
+        """True if the block at ``oid`` is currently allocated.
+
+        Used by transaction rollback to stay *idempotent*: a failure in
+        the middle of a rollback leaves already-processed ALLOC entries
+        valid, and the next recovery must not free their blocks twice.
+        """
+        hdr = self._header_of(oid)
+        return self.domain.load(hdr + _HDR_STATE_OFF, 1)[0] == STATE_ALLOCATED
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _header_of(self, oid: int) -> int:
+        hdr = oid - ALLOC_HEADER_SIZE
+        if hdr < self.heap_base or oid >= self.domain.size:
+            raise SegmentationFault(f"OID 0x{oid:x} outside heap")
+        return hdr
+
+    def _bump(self, user_size: int, site: str) -> int:
+        span = self._block_span(user_size)
+        cur = self.cursor
+        if cur + span > self.domain.size:
+            raise OutOfPMemError(
+                f"heap exhausted: need {span} bytes at 0x{cur:x}, "
+                f"pool ends at 0x{self.domain.size:x}"
+            )
+        _write_u64(self.domain, self._cursor_addr, cur + span, site)
+        self.domain.persist(self._cursor_addr, 8, site=site)
+        return cur
+
+    def _take_free_block(self, user_size: int, site: str) -> int:
+        """First-fit search of the free list; unlink and return header."""
+        span_needed = self._block_span(user_size)
+        prev_link = self._free_addr
+        hdr = self.free_head
+        while hdr:
+            block_user = _read_u64(self.domain, hdr + _HDR_SIZE_OFF)
+            if self._block_span(block_user) >= span_needed:
+                next_free = _read_u64(self.domain, hdr + _HDR_NEXT_OFF)
+                _write_u64(self.domain, prev_link, next_free, site)
+                self.domain.persist(prev_link, 8, site=site)
+                return hdr
+            prev_link = hdr + _HDR_NEXT_OFF
+            hdr = _read_u64(self.domain, hdr + _HDR_NEXT_OFF)
+        return None
+
+    def free_blocks(self) -> List[Tuple[int, int]]:
+        """Return (header offset, user size) for every free-list block."""
+        blocks = []
+        hdr = self.free_head
+        while hdr:
+            blocks.append((hdr, _read_u64(self.domain, hdr + _HDR_SIZE_OFF)))
+            hdr = _read_u64(self.domain, hdr + _HDR_NEXT_OFF)
+        return blocks

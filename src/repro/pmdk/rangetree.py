@@ -1,0 +1,77 @@
+"""Logged-range tracking: PMDK's range tree, reimplemented.
+
+The paper (Section 6) explains that PMDK keeps every logged location in a
+range tree; before creating a new undo-log entry, ``TX_ADD`` looks the
+location up and skips logging if it is already covered.  Redundant
+``TX_ADD`` calls are therefore *safe* but waste a lookup — exactly the
+class of performance bug (Bugs 8-12) the paper reports.
+
+The reproduction uses a sorted, merged interval list; operations are
+O(log n) lookup + O(n) insert, which is more than adequate for the log
+sizes the workloads reach.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Tuple
+
+
+class RangeTree:
+    """A set of disjoint, merged [start, end) byte intervals."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        """Yield (start, end) intervals in ascending order."""
+        return iter(zip(self._starts, self._ends))
+
+    def clear(self) -> None:
+        """Remove all intervals (transaction end)."""
+        self._starts.clear()
+        self._ends.clear()
+
+    def covers(self, offset: int, size: int) -> bool:
+        """Return True if [offset, offset+size) is fully inside one interval."""
+        if size <= 0:
+            return True
+        i = bisect.bisect_right(self._starts, offset) - 1
+        if i < 0:
+            return False
+        return self._ends[i] >= offset + size
+
+    def overlaps(self, offset: int, size: int) -> bool:
+        """Return True if [offset, offset+size) intersects any interval."""
+        if size <= 0:
+            return False
+        end = offset + size
+        i = bisect.bisect_right(self._starts, offset) - 1
+        if i >= 0 and self._ends[i] > offset:
+            return True
+        j = i + 1
+        return j < len(self._starts) and self._starts[j] < end
+
+    def add(self, offset: int, size: int) -> None:
+        """Insert [offset, offset+size), merging with adjacent intervals."""
+        if size <= 0:
+            return
+        start, end = offset, offset + size
+        # Find all intervals that touch [start, end] and merge them.
+        lo = bisect.bisect_left(self._ends, start)
+        hi = bisect.bisect_right(self._starts, end)
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            end = max(end, self._ends[hi - 1])
+        del self._starts[lo:hi]
+        del self._ends[lo:hi]
+        self._starts.insert(lo, start)
+        self._ends.insert(lo, end)
+
+    def covered_bytes(self) -> int:
+        """Total number of bytes covered."""
+        return sum(e - s for s, e in self)

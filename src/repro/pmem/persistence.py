@@ -1,0 +1,290 @@
+"""Persistence-domain simulation: the volatile cache in front of PM media.
+
+The central difficulty of PM programming — and the source of every crash
+consistency bug the paper targets — is that a CPU store does not reach the
+persistent media immediately.  It sits in a volatile cache line until the
+line is written back (CLWB) and the writeback is ordered (SFENCE), or until
+the cache evicts it at some arbitrary time.
+
+:class:`PersistenceDomain` models exactly that, at cache-line (64 B)
+granularity:
+
+* ``store`` updates the volatile view and marks the touched lines DIRTY;
+* ``flush`` (CLWB analogue) marks lines FLUSHED — queued for persistence
+  but not yet ordered;
+* ``drain`` (SFENCE analogue) writes every FLUSHED line to the media array.
+
+A *strict crash snapshot* at any point is the media array: the bytes that
+are guaranteed persistent.  Because real caches may evict dirty lines at
+any time, a crash may additionally persist any subset of pending lines;
+:mod:`repro.pmem.crash` enumerates those weaker states for the detectors.
+
+Every operation emits a :class:`TraceEvent` to registered observers.  The
+detection tools (:mod:`repro.detect`) and the PM-path instrumentation
+(:mod:`repro.instrument`) are both implemented as observers, mirroring how
+Pmemcheck and the PMFuzz runtime both consume the PM operation stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PMemError
+
+#: Cache-line size in bytes, matching x86.
+CACHE_LINE = 64
+
+
+class LineState(enum.Enum):
+    """Persistence state of a single cache line."""
+
+    CLEAN = "clean"  #: volatile view matches media
+    DIRTY = "dirty"  #: stored to, not yet flushed
+    FLUSHED = "flushed"  #: flushed (CLWB), awaiting a fence
+
+
+class TraceEventKind(enum.Enum):
+    """Kinds of events in the PM operation trace."""
+
+    STORE = "store"
+    LOAD = "load"
+    FLUSH = "flush"
+    FENCE = "fence"
+    # Annotation events emitted by the pmdk layer, not the hardware model.
+    TX_BEGIN = "tx_begin"
+    TX_COMMIT = "tx_commit"
+    TX_ABORT = "tx_abort"
+    TX_ADD = "tx_add"
+    TX_ADD_REDUNDANT = "tx_add_redundant"
+    ALLOC = "alloc"
+    FREE = "free"
+    POOL_OPEN = "pool_open"
+    POOL_CLOSE = "pool_close"
+    RECOVERY = "recovery"
+    FLUSH_REDUNDANT = "flush_redundant"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry in the PM operation trace.
+
+    Attributes:
+        kind: what happened.
+        addr: pool-relative byte offset (0 for pure ordering events).
+        size: number of bytes affected.
+        seq: global sequence number, unique and monotonically increasing.
+        site: source call-site label (``file:line`` of the workload code
+            that invoked the PM library), used for bug attribution.
+    """
+
+    kind: TraceEventKind
+    addr: int
+    size: int
+    seq: int
+    site: str = ""
+
+
+Observer = Callable[[TraceEvent], None]
+
+
+class PersistenceDomain:
+    """Byte-addressable PM with a simulated volatile cache in front.
+
+    Args:
+        size: capacity in bytes.
+        initial: optional initial *persistent* contents (e.g. from a PM
+            image file); defaults to zeroes.
+
+    The domain deliberately has no notion of virtual addresses: all
+    addresses are pool-relative offsets, which is the reproduction of the
+    paper's derandomization of persistent addresses via
+    ``PMEM_MMAP_HINT`` (Section 4.4) — every run sees the same addresses.
+    """
+
+    def __init__(self, size: int, initial: Optional[bytes] = None) -> None:
+        if size <= 0:
+            raise PMemError(f"domain size must be positive, got {size}")
+        if initial is not None and len(initial) != size:
+            raise PMemError(
+                f"initial contents are {len(initial)} bytes, expected {size}"
+            )
+        self.size = size
+        self._media = bytearray(initial) if initial is not None else bytearray(size)
+        self._volatile = bytearray(self._media)
+        #: line index -> state (absent means CLEAN)
+        self._lines: Dict[int, LineState] = {}
+        self._seq = 0
+        self._fence_count = 0
+        self._store_count = 0
+        self._observers: List[Observer] = []
+        #: Optional fence index at which to raise SimulatedCrash; managed
+        #: by the executor, checked in :meth:`drain`.
+        self.crash_at_fence: Optional[int] = None
+        #: Optional store index at which to raise SimulatedCrash — a
+        #: failure *between* ordering points, where pending (dirty or
+        #: flushed-unfenced) lines make the space of possible persistent
+        #: states larger than the strict snapshot.
+        self.crash_at_store: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Observer plumbing
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: Observer) -> None:
+        """Register a callback invoked for every trace event."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Observer) -> None:
+        """Unregister a previously added observer."""
+        self._observers.remove(observer)
+
+    def emit(
+        self,
+        kind: TraceEventKind,
+        addr: int = 0,
+        size: int = 0,
+        site: str = "",
+    ) -> TraceEvent:
+        """Emit an annotation event (used by the pmdk layer)."""
+        event = TraceEvent(kind=kind, addr=addr, size=size, seq=self._seq, site=site)
+        self._seq += 1
+        for observer in self._observers:
+            observer(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Data-path operations
+    # ------------------------------------------------------------------
+    def _check_range(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise PMemError(
+                f"access [{addr}, {addr + size}) outside domain of size {self.size}"
+            )
+
+    def load(self, addr: int, size: int, site: str = "") -> bytes:
+        """Read ``size`` bytes from the volatile view (a PM read)."""
+        self._check_range(addr, size)
+        self.emit(TraceEventKind.LOAD, addr, size, site)
+        return bytes(self._volatile[addr : addr + size])
+
+    def store(self, addr: int, data: bytes, site: str = "") -> None:
+        """Write ``data`` at ``addr`` (a PM store; volatile until persisted)."""
+        self._check_range(addr, len(data))
+        self._volatile[addr : addr + len(data)] = data
+        for line in self._lines_of(addr, len(data)):
+            self._lines[line] = LineState.DIRTY
+        store_index = self._store_count
+        self._store_count += 1
+        self.emit(TraceEventKind.STORE, addr, len(data), site)
+        if self.crash_at_store is not None and store_index == self.crash_at_store:
+            from repro.errors import SimulatedCrash
+
+            raise SimulatedCrash(store_index, kind="store")
+
+    def flush(self, addr: int, size: int, site: str = "") -> None:
+        """Write back the cache lines covering ``[addr, addr+size)`` (CLWB).
+
+        Flushing a CLEAN line is legal but useless; the domain emits a
+        ``FLUSH_REDUNDANT`` annotation so the Pmemcheck-like detector can
+        report it as a performance bug (paper Bug 7).
+        """
+        self._check_range(addr, size)
+        redundant = True
+        for line in self._lines_of(addr, size):
+            state = self._lines.get(line, LineState.CLEAN)
+            if state is LineState.DIRTY:
+                self._lines[line] = LineState.FLUSHED
+                redundant = False
+        self.emit(TraceEventKind.FLUSH, addr, size, site)
+        if redundant:
+            self.emit(TraceEventKind.FLUSH_REDUNDANT, addr, size, site)
+
+    def drain(self, site: str = "") -> None:
+        """Order all flushed lines into the media (SFENCE).
+
+        If :attr:`crash_at_fence` equals the index of this fence, a
+        :class:`~repro.errors.SimulatedCrash` is raised *after* the fence
+        takes effect — i.e. the crash image contains everything this fence
+        persisted, matching the paper's placement of failures *at*
+        ordering points (Section 3.2).
+        """
+        for line, state in list(self._lines.items()):
+            if state is LineState.FLUSHED:
+                start = line * CACHE_LINE
+                end = min(start + CACHE_LINE, self.size)
+                self._media[start:end] = self._volatile[start:end]
+                del self._lines[line]
+        fence_index = self._fence_count
+        self._fence_count += 1
+        self.emit(TraceEventKind.FENCE, 0, 0, site)
+        if self.crash_at_fence is not None and fence_index == self.crash_at_fence:
+            from repro.errors import SimulatedCrash
+
+            raise SimulatedCrash(fence_index)
+
+    def persist(self, addr: int, size: int, site: str = "") -> None:
+        """Flush + fence convenience (``pmem_persist`` analogue)."""
+        self.flush(addr, size, site)
+        self.drain(site)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def fence_count(self) -> int:
+        """Number of fences executed so far (ordering points)."""
+        return self._fence_count
+
+    @property
+    def store_count(self) -> int:
+        """Number of stores executed so far (probabilistic crash points)."""
+        return self._store_count
+
+    @property
+    def seq(self) -> int:
+        """Current trace sequence number."""
+        return self._seq
+
+    def line_state(self, addr: int) -> LineState:
+        """Return the persistence state of the line containing ``addr``."""
+        self._check_range(addr, 1)
+        return self._lines.get(addr // CACHE_LINE, LineState.CLEAN)
+
+    def pending_lines(self) -> Dict[int, LineState]:
+        """Return a copy of all not-yet-persisted line states."""
+        return dict(self._lines)
+
+    def volatile_view(self) -> bytes:
+        """Return the program-visible contents (what loads observe)."""
+        return bytes(self._volatile)
+
+    def persisted_view(self) -> bytes:
+        """Return the strict crash snapshot: only fenced data."""
+        return bytes(self._media)
+
+    def inconsistent_ranges(self) -> List[Tuple[int, int]]:
+        """Return ``(addr, size)`` ranges where volatile and media differ.
+
+        These are exactly the bytes at risk if a failure happened *now*:
+        the persistent state would not reflect the program's view of them.
+        """
+        ranges: List[Tuple[int, int]] = []
+        start = None
+        for i in range(self.size):
+            if self._volatile[i] != self._media[i]:
+                if start is None:
+                    start = i
+            elif start is not None:
+                ranges.append((start, i - start))
+                start = None
+        if start is not None:
+            ranges.append((start, self.size - start))
+        return ranges
+
+    def _lines_of(self, addr: int, size: int) -> Iterator[int]:
+        if size == 0:
+            return iter(())
+        first = addr // CACHE_LINE
+        last = (addr + size - 1) // CACHE_LINE
+        return iter(range(first, last + 1))

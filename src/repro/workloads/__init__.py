@@ -1,0 +1,44 @@
+"""PM workloads: the eight programs of the paper's evaluation (Table 3).
+
+Six PMDK-example key-value structures and two database applications,
+rewritten against the simulated PMDK layer:
+
+* :mod:`repro.workloads.btree` — order-4 B-Tree (``btree_map``)
+* :mod:`repro.workloads.rbtree` — red-black tree (``rbtree_map``)
+* :mod:`repro.workloads.rtree` — radix tree (``rtree_map``)
+* :mod:`repro.workloads.skiplist` — skip list (``skiplist_map``)
+* :mod:`repro.workloads.hashmap_tx` — transactional hashmap
+* :mod:`repro.workloads.hashmap_atomic` — hashmap on low-level primitives
+* :mod:`repro.workloads.memcached` — simplified PM-Memcached (pslab pool)
+* :mod:`repro.workloads.redis` — simplified PM-Redis (volatile table +
+  persistent table)
+
+Each workload is driven by mapcli-style text commands
+(:mod:`repro.workloads.mapcli`), carries the paper's 12 real-world bugs
+as toggleable variants (:mod:`repro.workloads.realbugs`), and exposes the
+Table-3 synthetic-bug injection sites (:mod:`repro.workloads.synthetic`).
+"""
+
+from repro.workloads.base import Command, RunOutcome, RunResult, Workload
+from repro.workloads.mapcli import parse_commands, render_commands
+from repro.workloads.realbugs import ALL_REAL_BUGS, RealBug, real_bugs_for
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+from repro.workloads.synthetic import BugInjector, BugKind, SyntheticBug
+
+__all__ = [
+    "ALL_REAL_BUGS",
+    "BugInjector",
+    "BugKind",
+    "Command",
+    "RealBug",
+    "RunOutcome",
+    "RunResult",
+    "SyntheticBug",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+    "parse_commands",
+    "real_bugs_for",
+    "render_commands",
+    "workload_names",
+]

@@ -1,0 +1,519 @@
+"""B-Tree key-value store (PMDK ``btree_map`` analogue).
+
+An order-4 B-Tree (minimum degree 2: 1-3 keys per node, 2-4 children)
+implemented with the transactional API.  The code is organized like the
+paper's Example 1 / Figure 15d:
+
+* ``_find_dest_node`` descends to the destination leaf, splitting full
+  nodes on the way (and snapshotting every node it modifies);
+* ``_insert_item`` performs the in-leaf insert — the home of paper
+  **Bug 12**: the buggy variant ``TX_ADD``s the destination node even
+  when ``_find_dest_node`` already snapshotted it during a split;
+* ``_rebalance`` / ``_rotate_left`` mirror Figure 1's rebalancing shape
+  and host the deep synthetic-bug sites;
+* creation happens in one transaction, giving the ``init_not_retried``
+  variant paper **Bug 2**.
+
+17 synthetic-bug sites (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import CommandError
+from repro.pmdk.layout import Array, OID, PStruct, U64, store_field
+from repro.pmdk.pool import OID_NULL, PmemObjPool
+from repro.workloads.base import Command, Workload
+from repro.workloads.synthetic import BugKind, SyntheticBug
+
+#: Minimum degree t=2 → order 4: max 3 keys / 4 children per node.
+MAX_KEYS = 3
+MIN_KEYS = 1
+MAX_SLOTS = MAX_KEYS + 1
+
+
+class BTreeRoot(PStruct):
+    """Pool root: pointer to the B-Tree's root node."""
+
+    _fields_ = [("tree_oid", OID)]
+
+
+class BNode(PStruct):
+    """One B-Tree node (leaf when ``slots[0]`` is NULL)."""
+
+    _fields_ = [
+        ("n", U64),
+        ("keys", Array(U64, MAX_KEYS)),
+        ("values", Array(U64, MAX_KEYS)),
+        ("slots", Array(OID, MAX_SLOTS)),
+    ]
+
+
+class BTreeWorkload(Workload):
+    """Driver for the B-Tree key-value store."""
+
+    name = "btree"
+    layout = "btree"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_structure(self, pool: PmemObjPool) -> None:
+        """Create an empty root node inside a transaction (Bug 2 home)."""
+        root = pool.root(BTreeRoot, site="btree:create:root")
+        with pool.transaction() as tx:
+            tx.add_field(root, "tree_oid", site="btree:create:add_root")
+            node = tx.znew(BNode, site="btree:create:alloc_node")
+            store_field(node, "n", 0, site="btree:create:store_n")
+            root.tree_oid = node.offset
+
+    def is_created(self, pool: PmemObjPool) -> bool:
+        if pool.root_oid == OID_NULL:
+            return False
+        return pool.typed(pool.root_oid, BTreeRoot).tree_oid != OID_NULL
+
+    def recover(self, pool: PmemObjPool) -> None:
+        """Open-time structure check (mapcli's ``map_check`` analogue).
+
+        Walks the leftmost spine and peeks at the first leaf — a PM code
+        region that only executes when the image already holds a tree,
+        i.e. reachable only with PM images as input (Requirement 1).
+        """
+        if not self.is_created(pool):
+            return
+        node = self._tree(pool)
+        depth = 0
+        while not self._is_leaf(node) and depth < 64:
+            depth += 1
+            node = pool.typed(node.slots[0], BNode)
+        if node.n > 0:
+            _ = node.keys[0]  # touch the smallest key (PM read)
+
+    def _tree(self, pool: PmemObjPool) -> BNode:
+        root = pool.typed(pool.root_oid, BTreeRoot)
+        return pool.typed(root.tree_oid, BNode)
+
+    @staticmethod
+    def _is_leaf(node: BNode) -> bool:
+        return node.slots[0] == OID_NULL
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def exec_command(self, pool: PmemObjPool, cmd: Command) -> Optional[str]:
+        if cmd.op == "i":
+            return self._insert(pool, cmd.key, cmd.value or 0)
+        if cmd.op == "g":
+            found = self._lookup(pool, cmd.key)
+            return "none" if found is None else str(found)
+        if cmd.op == "r":
+            return self._remove(pool, cmd.key)
+        if cmd.op == "x":
+            return "1" if self._lookup(pool, cmd.key) is not None else "0"
+        if cmd.op == "n":
+            return str(self._count(pool, self._tree(pool)))
+        if cmd.op == "m":
+            tree = self._tree(pool)
+            if tree.n == 0 and self._is_leaf(tree):
+                return "none"
+            key, value = self._min_of(pool, tree)
+            return f"{key}={value}"
+        if cmd.op == "q":
+            out: List[str] = []
+            self._scan(pool, self._tree(pool), out, depth=0)
+            return ",".join(out)
+        if cmd.op == "b":
+            return "noop"
+        raise CommandError(f"unknown op {cmd.op!r}")
+
+    def _scan(self, pool: PmemObjPool, node: BNode, out: List[str],
+              depth: int, limit: int = 24) -> None:
+        """Bounded in-order walk (mapcli foreach analogue)."""
+        if depth > 64 or len(out) >= limit:
+            return
+        n = node.n
+        leaf = self._is_leaf(node)
+        for i in range(n):
+            if not leaf:
+                self._scan(pool, pool.typed(node.slots[i], BNode), out,
+                           depth + 1, limit)
+            if len(out) >= limit:
+                return
+            out.append(str(node.keys[i]))
+        if not leaf and len(out) < limit:
+            self._scan(pool, pool.typed(node.slots[n], BNode), out,
+                       depth + 1, limit)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _lookup(self, pool: PmemObjPool, key: int) -> Optional[int]:
+        node = self._tree(pool)
+        depth = 0
+        while depth < 64:
+            depth += 1
+            i = 0
+            n = node.n
+            while i < n and key > node.keys[i]:
+                i += 1
+            if i < n and node.keys[i] == key:
+                return node.values[i]
+            if self._is_leaf(node):
+                return None
+            node = pool.typed(node.slots[i], BNode)
+        return None
+
+    def _count(self, pool: PmemObjPool, node: BNode, depth: int = 0) -> int:
+        if depth > 64:
+            return 0
+        total = node.n
+        if not self._is_leaf(node):
+            for i in range(node.n + 1):
+                child = node.slots[i]
+                if child != OID_NULL:
+                    total += self._count(pool, pool.typed(child, BNode), depth + 1)
+        return total
+
+    # ------------------------------------------------------------------
+    # Insert (preemptive split on the way down)
+    # ------------------------------------------------------------------
+    def _insert(self, pool: PmemObjPool, key: int, value: int) -> str:
+        with pool.transaction() as tx:
+            root_view = pool.typed(pool.root_oid, BTreeRoot)
+            tree = pool.typed(root_view.tree_oid, BNode)
+            if tree.n == MAX_KEYS:
+                # Grow: new root, split old root into it.
+                new_root = tx.znew(BNode, site="btree:split:alloc_root")
+                new_root.slots[0] = tree.offset
+                self._split_child(pool, tx, new_root, 0)
+                tx.add_field(root_view, "tree_oid", site="btree:split:add_rootptr")
+                store_field(root_view, "tree_oid", new_root.offset,
+                            site="btree:split:store_rootptr")
+                tree = new_root
+            dest, pos, already_added = self._find_dest_node(pool, tx, tree, key)
+            if pos is not None:
+                # Key exists: in-place value update.
+                tx.add_struct(dest, site="btree:insert:add_update")
+                dest.values[pos] = value
+                return "updated"
+            self._insert_item(pool, tx, dest, key, value, already_added)
+        return "inserted"
+
+    def _find_dest_node(
+        self, pool: PmemObjPool, tx, node: BNode, key: int
+    ) -> Tuple[BNode, Optional[int], bool]:
+        """Descend to the leaf for ``key``, splitting full children.
+
+        Returns (leaf node, match position or None, whether the leaf was
+        already snapshotted by a split on the way down) — the last flag
+        is what makes Bug 12's ``TX_ADD`` redundant.
+        """
+        already_added = False
+        depth = 0
+        while depth < 64:
+            depth += 1
+            i = 0
+            n = node.n
+            while i < n and key > node.keys[i]:
+                i += 1
+            if i < n and node.keys[i] == key:
+                return node, i, already_added
+            if self._is_leaf(node):
+                return node, None, already_added
+            child = pool.typed(node.slots[i], BNode)
+            if child.n == MAX_KEYS:
+                self._split_child(pool, tx, node, i)
+                # The split snapshotted and modified both halves.
+                already_added = True
+                if key > node.keys[i]:
+                    i += 1
+                elif key == node.keys[i]:
+                    return node, i, already_added
+                child = pool.typed(node.slots[i], BNode)
+            else:
+                already_added = False
+            node = child
+        raise CommandError("btree too deep")
+
+    def _split_child(self, pool: PmemObjPool, tx, parent: BNode, index: int) -> None:
+        """Split the full child ``parent.slots[index]`` (Figure 10 shape)."""
+        full = pool.typed(parent.slots[index], BNode)
+        tx.add_struct(parent, site="btree:split:add_parent")
+        tx.add_struct(full, site="btree:split:add_full")
+        right = tx.znew(BNode, site="btree:split:alloc_right")
+        mid = MAX_KEYS // 2
+        # Move the upper keys into the new right sibling.
+        for j in range(mid + 1, MAX_KEYS):
+            right.keys[j - mid - 1] = full.keys[j]
+            right.values[j - mid - 1] = full.values[j]
+        if not self._is_leaf(full):
+            for j in range(mid + 1, MAX_KEYS + 1):
+                right.slots[j - mid - 1] = full.slots[j]
+                full.slots[j] = OID_NULL
+        store_field(right, "n", MAX_KEYS - mid - 1, site="btree:split:store_rightn")
+        # Shift parent entries right to make room for the median.
+        for j in range(parent.n, index, -1):
+            parent.keys[j] = parent.keys[j - 1]
+            parent.values[j] = parent.values[j - 1]
+            parent.slots[j + 1] = parent.slots[j]
+        parent.keys[index] = full.keys[mid]
+        parent.values[index] = full.values[mid]
+        parent.slots[index + 1] = right.offset
+        store_field(parent, "n", parent.n + 1, site="btree:split:store_parentn")
+        store_field(full, "n", mid, site="btree:split:store_fulln")
+
+    def _insert_item(
+        self, pool: PmemObjPool, tx, node: BNode, key: int, value: int,
+        already_added: bool,
+    ) -> None:
+        """Insert into a non-full leaf (paper Figure 15d / Bug 12)."""
+        if "bug12_txadd_found_dest" in self.bugs:
+            # Buggy: unconditional TX_ADD — redundant whenever
+            # _find_dest_node already snapshotted this node in a split.
+            tx.add_struct(node, site="btree:insert_item:txadd")
+        elif not already_added:
+            tx.add_struct(node, site="btree:insert_item:txadd_needed")
+        i = node.n
+        while i > 0 and node.keys[i - 1] > key:
+            node.keys[i] = node.keys[i - 1]
+            node.values[i] = node.values[i - 1]
+            i -= 1
+        node.keys[i] = key
+        node.values[i] = value
+        store_field(node, "n", node.n + 1, site="btree:insert_item:store_n")
+
+    # ------------------------------------------------------------------
+    # Remove (CLRS delete with borrow/merge on the way down)
+    # ------------------------------------------------------------------
+    def _remove(self, pool: PmemObjPool, key: int) -> str:
+        with pool.transaction() as tx:
+            root_view = pool.typed(pool.root_oid, BTreeRoot)
+            tree = pool.typed(root_view.tree_oid, BNode)
+            removed = self._remove_from(pool, tx, tree, key, depth=0)
+            # Shrink: an empty internal root is replaced by its only child.
+            if tree.n == 0 and not self._is_leaf(tree):
+                tx.add_field(root_view, "tree_oid", site="btree:remove:add_rootptr")
+                store_field(root_view, "tree_oid", tree.slots[0],
+                            site="btree:remove:store_rootptr")
+                tx.free(tree.offset, site="btree:remove:free_root")
+            return "removed" if removed else "none"
+
+    def _remove_from(self, pool: PmemObjPool, tx, node: BNode, key: int,
+                     depth: int) -> bool:
+        if depth > 64:
+            return False
+        i = 0
+        n = node.n
+        while i < n and key > node.keys[i]:
+            i += 1
+        if self._is_leaf(node):
+            if i < n and node.keys[i] == key:
+                tx.add_struct(node, site="btree:remove:add_leaf")
+                for j in range(i, n - 1):
+                    node.keys[j] = node.keys[j + 1]
+                    node.values[j] = node.values[j + 1]
+                store_field(node, "n", n - 1, site="btree:remove:store_leafn")
+                return True
+            return False
+        if i < n and node.keys[i] == key:
+            # CLRS internal-node delete: replace with the predecessor or
+            # successor when a neighbouring subtree can spare a key,
+            # otherwise merge around the key and recurse into the merge.
+            left = pool.typed(node.slots[i], BNode)
+            if left.n > MIN_KEYS:
+                pred_key, pred_val = self._max_of(pool, left)
+                tx.add_struct(node, site="btree:remove:add_internal")
+                node.keys[i] = pred_key
+                node.values[i] = pred_val
+                return self._remove_from(pool, tx, left, pred_key, depth + 1)
+            right = pool.typed(node.slots[i + 1], BNode)
+            if right.n > MIN_KEYS:
+                succ_key, succ_val = self._min_of(pool, right)
+                tx.add_struct(node, site="btree:remove:add_internal")
+                node.keys[i] = succ_key
+                node.values[i] = succ_val
+                return self._remove_from(pool, tx, right, succ_key, depth + 1)
+            self._merge(pool, tx, node, i)
+            merged = pool.typed(node.slots[i], BNode)
+            return self._remove_from(pool, tx, merged, key, depth + 1)
+        child = self._ensure_min(pool, tx, node, i)
+        return self._remove_from(pool, tx, child, key, depth + 1)
+
+    def _max_of(self, pool: PmemObjPool, node: BNode) -> Tuple[int, int]:
+        depth = 0
+        while not self._is_leaf(node) and depth < 64:
+            node = pool.typed(node.slots[node.n], BNode)
+            depth += 1
+        return node.keys[node.n - 1], node.values[node.n - 1]
+
+    def _min_of(self, pool: PmemObjPool, node: BNode) -> Tuple[int, int]:
+        depth = 0
+        while not self._is_leaf(node) and depth < 64:
+            node = pool.typed(node.slots[0], BNode)
+            depth += 1
+        return node.keys[0], node.values[0]
+
+    def _ensure_min(self, pool: PmemObjPool, tx, parent: BNode, i: int) -> BNode:
+        """Guarantee child ``i`` has > MIN_KEYS keys before descending.
+
+        This is the ``btree_rebalance`` / ``rotate_left`` region of
+        Figure 1: borrow from a sibling when possible, merge otherwise.
+        """
+        # Re-clamp: the caller's index may equal n (rightmost child).
+        i = min(i, parent.n)
+        child = pool.typed(parent.slots[i], BNode)
+        if child.n > MIN_KEYS:
+            return child
+        if i > 0:
+            lsb = pool.typed(parent.slots[i - 1], BNode)
+            if lsb.n > MIN_KEYS:
+                self._rotate_right(pool, tx, lsb, child, parent, i)
+                return child
+        if i < parent.n:
+            rsb = pool.typed(parent.slots[i + 1], BNode)
+            if rsb.n > MIN_KEYS:
+                self._rotate_left(pool, tx, rsb, child, parent, i)
+                return child
+        # Merge with a sibling.
+        if i < parent.n:
+            self._merge(pool, tx, parent, i)
+            return pool.typed(parent.slots[i], BNode)
+        self._merge(pool, tx, parent, i - 1)
+        return pool.typed(parent.slots[i - 1], BNode)
+
+    def _rotate_left(self, pool: PmemObjPool, tx, rsb: BNode, node: BNode,
+                     parent: BNode, p: int) -> None:
+        """Move one entry right-sibling → parent → node (Figure 1 shape)."""
+        tx.add_struct(node, site="btree:rotate:add_node")
+        tx.add_struct(rsb, site="btree:rotate:add_rsb")
+        tx.add(parent.field_addr("keys") + 8 * p, 8, site="btree:rotate:add_parentkey")
+        tx.add(parent.field_addr("values") + 8 * p, 8,
+               site="btree:rotate:add_parentval")
+        n = node.n
+        node.keys[n] = parent.keys[p]
+        node.values[n] = parent.values[p]
+        if not self._is_leaf(node):
+            node.slots[n + 1] = rsb.slots[0]
+        store_field(node, "n", n + 1, site="btree:rotate:store_noden")
+        parent.keys[p] = rsb.keys[0]
+        parent.values[p] = rsb.values[0]
+        for j in range(rsb.n - 1):
+            rsb.keys[j] = rsb.keys[j + 1]
+            rsb.values[j] = rsb.values[j + 1]
+        if not self._is_leaf(rsb):
+            for j in range(rsb.n):
+                rsb.slots[j] = rsb.slots[j + 1]
+            rsb.slots[rsb.n] = OID_NULL
+        store_field(rsb, "n", rsb.n - 1, site="btree:rotate:store_rsbn")
+
+    def _rotate_right(self, pool: PmemObjPool, tx, lsb: BNode, node: BNode,
+                      parent: BNode, i: int) -> None:
+        """Move one entry left-sibling → parent → node."""
+        tx.add_struct(node, site="btree:rotate:add_node2")
+        tx.add_struct(lsb, site="btree:rotate:add_lsb")
+        tx.add(parent.field_addr("keys") + 8 * (i - 1), 8,
+               site="btree:rotate:add_parentkey2")
+        tx.add(parent.field_addr("values") + 8 * (i - 1), 8,
+               site="btree:rotate:add_parentval2")
+        for j in range(node.n, 0, -1):
+            node.keys[j] = node.keys[j - 1]
+            node.values[j] = node.values[j - 1]
+        if not self._is_leaf(node):
+            for j in range(node.n + 1, 0, -1):
+                node.slots[j] = node.slots[j - 1]
+            node.slots[0] = lsb.slots[lsb.n]
+        node.keys[0] = parent.keys[i - 1]
+        node.values[0] = parent.values[i - 1]
+        store_field(node, "n", node.n + 1, site="btree:rotate:store_noden2")
+        parent.keys[i - 1] = lsb.keys[lsb.n - 1]
+        parent.values[i - 1] = lsb.values[lsb.n - 1]
+        store_field(lsb, "n", lsb.n - 1, site="btree:rotate:store_lsbn")
+
+    def _merge(self, pool: PmemObjPool, tx, parent: BNode, i: int) -> None:
+        """Merge child ``i``, parent key ``i`` and child ``i+1``."""
+        left = pool.typed(parent.slots[i], BNode)
+        right = pool.typed(parent.slots[i + 1], BNode)
+        tx.add_struct(left, site="btree:merge:add_left")
+        tx.add_struct(parent, site="btree:merge:add_parent")
+        ln = left.n
+        left.keys[ln] = parent.keys[i]
+        left.values[ln] = parent.values[i]
+        for j in range(right.n):
+            left.keys[ln + 1 + j] = right.keys[j]
+            left.values[ln + 1 + j] = right.values[j]
+        if not self._is_leaf(left):
+            for j in range(right.n + 1):
+                left.slots[ln + 1 + j] = right.slots[j]
+        store_field(left, "n", ln + 1 + right.n, site="btree:merge:store_leftn")
+        for j in range(i, parent.n - 1):
+            parent.keys[j] = parent.keys[j + 1]
+            parent.values[j] = parent.values[j + 1]
+            parent.slots[j + 1] = parent.slots[j + 2]
+        parent.slots[parent.n] = OID_NULL
+        store_field(parent, "n", parent.n - 1, site="btree:merge:store_parentn")
+        tx.free(right.offset, site="btree:merge:free_right")
+
+    # ------------------------------------------------------------------
+    # Oracle
+    # ------------------------------------------------------------------
+    def check_consistency(self, pool: PmemObjPool) -> List[str]:
+        violations: List[str] = []
+        if not self.is_created(pool):
+            return violations
+        tree = self._tree(pool)
+        keys: List[int] = []
+        self._walk(pool, tree, keys, violations, is_root=True, depth=0)
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            violations.append("in-order traversal not strictly sorted")
+        return violations
+
+    def _walk(self, pool: PmemObjPool, node: BNode, keys: List[int],
+              violations: List[str], is_root: bool, depth: int) -> None:
+        if depth > 64:
+            violations.append("tree too deep (cycle?)")
+            return
+        n = node.n
+        if n > MAX_KEYS or (not is_root and n < MIN_KEYS):
+            violations.append(f"node @0x{node.offset:x} has invalid n={n}")
+            return
+        if self._is_leaf(node):
+            for i in range(n):
+                keys.append(node.keys[i])
+            return
+        for i in range(n + 1):
+            child = node.slots[i]
+            if child == OID_NULL:
+                violations.append(f"internal node @0x{node.offset:x} NULL slot {i}")
+                return
+            self._walk(pool, pool.typed(child, BNode), keys, violations,
+                       is_root=False, depth=depth + 1)
+            if i < n:
+                keys.append(node.keys[i])
+
+    # ------------------------------------------------------------------
+    # Synthetic bugs (17 sites, Table 3)
+    # ------------------------------------------------------------------
+    def synthetic_bugs(self) -> Sequence[SyntheticBug]:
+        def bug(i: int, site: str, kind: BugKind, depth: int) -> SyntheticBug:
+            return SyntheticBug(f"btree:s{i:02d}", site, kind, depth)
+
+        return (
+            bug(1, "btree:create:add_root", BugKind.MISSING_TXADD, 0),
+            bug(2, "btree:create:store_n", BugKind.WRONG_VALUE, 0),
+            bug(3, "btree:insert_item:txadd_needed", BugKind.MISSING_TXADD, 1),
+            bug(4, "btree:insert_item:store_n", BugKind.WRONG_VALUE, 1),
+            bug(5, "btree:insert:add_update", BugKind.MISSING_TXADD, 1),
+            bug(6, "btree:split:add_parent", BugKind.MISSING_TXADD, 2),
+            bug(7, "btree:split:add_full", BugKind.MISSING_TXADD, 2),
+            bug(8, "btree:split:store_rightn", BugKind.WRONG_VALUE, 2),
+            bug(9, "btree:split:store_parentn", BugKind.WRONG_VALUE, 2),
+            bug(10, "btree:split:store_fulln", BugKind.WRONG_VALUE, 2),
+            bug(11, "btree:remove:add_leaf", BugKind.MISSING_TXADD, 1),
+            bug(12, "btree:remove:store_leafn", BugKind.WRONG_VALUE, 1),
+            bug(13, "btree:remove:add_internal", BugKind.MISSING_TXADD, 2),
+            bug(14, "btree:rotate:add_node", BugKind.MISSING_TXADD, 2),
+            bug(15, "btree:rotate:add_parentkey", BugKind.MISSING_TXADD, 2),
+            bug(16, "btree:merge:add_left", BugKind.MISSING_TXADD, 2),
+            bug(17, "btree:merge:store_parentn", BugKind.WRONG_VALUE, 2),
+        )

@@ -1,0 +1,352 @@
+"""Hashmap-Atomic: chained hashmap on low-level PM primitives.
+
+Unlike the transactional workloads, this program manages crash
+consistency by hand, exactly like PMDK's ``hashmap_atomic``: every
+update is bracketed by a persistent *commit variable*, the
+``count_dirty`` flag:
+
+1. ``count_dirty = 1``; persist                 (open the window)
+2. mutate + persist the entry/bucket/count
+3. ``count_dirty = 0``; persist                 (close the window)
+
+If a failure lands inside the window, the count may disagree with the
+chains; the application-level recovery procedure
+(:meth:`HashmapAtomicWorkload.recover` — ``hashmap_atomic_init``)
+recounts and repairs.  **Paper Bug 6**: the mapcli driver assumes every
+structure recovers automatically through transactions and never calls
+this function — the reproduction's ``bug6_no_recovery_call`` flag.
+Detecting it requires a crash image with ``count_dirty = 1``, the
+paper's example of a state "not easy to reach without a PM-specific
+test case generator" (it took PMFuzz 37 s).
+
+14 synthetic-bug sites (Table 3), including missing-flush/fence bugs on
+the hand-rolled persist protocol and a wrong-value bug on the commit
+variable itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import CommandError
+from repro.pmdk.layout import Bytes, OID, PStruct, U64, store_field
+from repro.pmdk.pool import OID_NULL, PmemObjPool
+from repro.workloads.base import Command, Workload
+from repro.workloads.synthetic import BugKind, SyntheticBug
+
+NBUCKETS = 16
+HASH_SEED = 0x9E3779B9
+
+
+class HashmapAtomicRoot(PStruct):
+    """Pool root: pointer to the hashmap header."""
+
+    _fields_ = [("map_oid", OID)]
+
+
+class HashmapAtomic(PStruct):
+    """The hashmap header (PMDK ``struct hashmap_atomic``).
+
+    The count and the ``count_dirty`` commit variable live on their own
+    cache lines (the padding below), as the real structure does: if they
+    shared a line with neighbouring fields, any persist of a neighbour
+    would incidentally write back the commit variable and mask ordering
+    bugs — cache-line isolation is what makes the dirty-window protocol
+    analyzable.
+    """
+
+    _fields_ = [
+        ("seed", U64),
+        ("nbuckets", U64),
+        ("buckets", OID),
+        ("_pad0", Bytes(40)),
+        ("count", U64),
+        ("_pad1", Bytes(56)),
+        ("count_dirty", U64),
+        ("_pad2", Bytes(56)),
+    ]
+
+
+class AEntry(PStruct):
+    """A chained key-value entry."""
+
+    _fields_ = [("key", U64), ("value", U64), ("next", OID)]
+
+
+def _hash(key: int, nbuckets: int) -> int:
+    return (key * HASH_SEED) % nbuckets
+
+
+class HashmapAtomicWorkload(Workload):
+    """Driver for the low-level-primitive hashmap."""
+
+    name = "hashmap_atomic"
+    layout = "hashmap_atomic"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_structure(self, pool: PmemObjPool) -> None:
+        """Atomic-style creation: build fully, persist, then publish."""
+        root = pool.root(HashmapAtomicRoot, site="hashmap_atomic:create:root")
+        map_oid = pool.zalloc(HashmapAtomic._size_,
+                              site="hashmap_atomic:create:alloc_map")
+        hm = pool.typed(map_oid, HashmapAtomic)
+        store_field(hm, "seed", HASH_SEED, site="hashmap_atomic:create:store_seed")
+        store_field(hm, "nbuckets", NBUCKETS,
+                    site="hashmap_atomic:create:store_nbuckets")
+        buckets = pool.zalloc(8 * NBUCKETS,
+                              site="hashmap_atomic:create:alloc_buckets")
+        store_field(hm, "buckets", buckets,
+                    site="hashmap_atomic:create:store_buckets")
+        pool.persist(map_oid, HashmapAtomic._size_,
+                     site="hashmap_atomic:create:persist_map")
+        # Publish: the root-slot store is the creation's commit point.
+        root.map_oid = map_oid
+        pool.persist(root.offset, 8, site="hashmap_atomic:create:publish")
+
+    def is_created(self, pool: PmemObjPool) -> bool:
+        if pool.root_oid == OID_NULL:
+            return False
+        return pool.typed(pool.root_oid, HashmapAtomicRoot).map_oid != OID_NULL
+
+    def recover(self, pool: PmemObjPool) -> None:
+        """``hashmap_atomic_init``: repair the count if a failure hit the
+        dirty window (the function paper Bug 6's driver forgets to call)."""
+        if not self.is_created(pool):
+            return
+        hm = self._map(pool)
+        if hm.count_dirty:
+            actual = self._actual_count(pool, hm)
+            store_field(hm, "count", actual, site="hashmap_atomic:recover:store_count")
+            pool.persist(hm.field_addr("count"), 8,
+                         site="hashmap_atomic:recover:persist_count")
+            store_field(hm, "count_dirty", 0,
+                        site="hashmap_atomic:recover:clear_dirty")
+            pool.persist(hm.field_addr("count_dirty"), 8,
+                         site="hashmap_atomic:recover:persist_dirty")
+
+    def _map(self, pool: PmemObjPool) -> HashmapAtomic:
+        root = pool.typed(pool.root_oid, HashmapAtomicRoot)
+        return pool.typed(root.map_oid, HashmapAtomic)
+
+    # ------------------------------------------------------------------
+    # Bucket helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bucket_get(pool: PmemObjPool, buckets: int, index: int) -> int:
+        raw = pool.read(buckets + 8 * index, 8, site="hashmap_atomic:bucket:load")
+        return int.from_bytes(raw, "little")
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def exec_command(self, pool: PmemObjPool, cmd: Command) -> Optional[str]:
+        if cmd.op == "i":
+            return self._insert(pool, cmd.key, cmd.value or 0)
+        if cmd.op == "g":
+            return self._get(pool, cmd.key)
+        if cmd.op == "r":
+            return self._remove(pool, cmd.key)
+        if cmd.op == "x":
+            return "1" if self._get(pool, cmd.key) != "none" else "0"
+        if cmd.op == "n":
+            return str(self._map(pool).count)
+        if cmd.op == "m":
+            hm = self._map(pool)
+            for i in range(hm.nbuckets):
+                head = self._bucket_get(pool, hm.buckets, i)
+                if head != OID_NULL:
+                    entry = pool.typed(head, AEntry)
+                    return f"{entry.key}={entry.value}"
+            return "none"
+        if cmd.op == "q":
+            out = []
+            hm = self._map(pool)
+            for i in range(hm.nbuckets):
+                cur = self._bucket_get(pool, hm.buckets, i)
+                steps = 0
+                while cur != OID_NULL and steps < 64 and len(out) < 24:
+                    steps += 1
+                    entry = pool.typed(cur, AEntry)
+                    out.append(str(entry.key))
+                    cur = entry.next
+                if len(out) >= 24:
+                    break
+            return ",".join(out)
+        if cmd.op == "b":
+            self.recover(pool)  # explicit re-init command
+            return "reinit"
+        raise CommandError(f"unknown op {cmd.op!r}")
+
+    def _set_dirty(self, pool: PmemObjPool, hm: HashmapAtomic, value: int,
+                   store_site: str, persist_site: str) -> None:
+        """Update the commit variable with its ordering point."""
+        store_field(hm, "count_dirty", value, site=store_site)
+        pool.persist(hm.field_addr("count_dirty"), 8, site=persist_site)
+
+    def _insert(self, pool: PmemObjPool, key: int, value: int) -> str:
+        hm = self._map(pool)
+        buckets = hm.buckets
+        bucket = _hash(key, hm.nbuckets)
+        # In-place update path (no count change → no dirty window).
+        cur = self._bucket_get(pool, buckets, bucket)
+        steps = 0
+        while cur != OID_NULL and steps < 4096:
+            steps += 1
+            entry = pool.typed(cur, AEntry)
+            if entry.key == key:
+                store_field(entry, "value", value,
+                            site="hashmap_atomic:insert:store_update")
+                pool.persist(entry.field_addr("value"), 8,
+                             site="hashmap_atomic:insert:persist_update")
+                return "updated"
+            cur = entry.next
+        # Open the dirty window (commit variable protocol, Figure 7 shape).
+        self._set_dirty(pool, hm, 1,
+                        "hashmap_atomic:insert:set_dirty",
+                        "hashmap_atomic:insert:persist_dirty")
+        entry_oid = pool.zalloc(AEntry._size_,
+                                site="hashmap_atomic:insert:alloc_entry")
+        entry = pool.typed(entry_oid, AEntry)
+        store_field(entry, "key", key, site="hashmap_atomic:insert:store_key")
+        store_field(entry, "value", value, site="hashmap_atomic:insert:store_value")
+        head = self._bucket_get(pool, buckets, bucket)
+        store_field(entry, "next", head, site="hashmap_atomic:insert:store_next")
+        pool.persist(entry_oid, AEntry._size_,
+                     site="hashmap_atomic:insert:persist_entry")
+        # Link: a single 8-byte store is atomic on PM.
+        pool.write(buckets + 8 * bucket, entry_oid.to_bytes(8, "little"),
+                   site="hashmap_atomic:insert:store_bucket")
+        pool.persist(buckets + 8 * bucket, 8,
+                     site="hashmap_atomic:insert:persist_bucket")
+        store_field(hm, "count", hm.count + 1,
+                    site="hashmap_atomic:insert:store_count")
+        pool.persist(hm.field_addr("count"), 8,
+                     site="hashmap_atomic:insert:persist_count")
+        self._set_dirty(pool, hm, 0,
+                        "hashmap_atomic:insert:clear_dirty",
+                        "hashmap_atomic:insert:persist_clear")
+        return "inserted"
+
+    def _get(self, pool: PmemObjPool, key: int) -> str:
+        hm = self._map(pool)
+        bucket = _hash(key, hm.nbuckets)
+        cur = self._bucket_get(pool, hm.buckets, bucket)
+        steps = 0
+        while cur != OID_NULL and steps < 4096:
+            steps += 1
+            entry = pool.typed(cur, AEntry)
+            if entry.key == key:
+                return str(entry.value)
+            cur = entry.next
+        return "none"
+
+    def _remove(self, pool: PmemObjPool, key: int) -> str:
+        hm = self._map(pool)
+        buckets = hm.buckets
+        bucket = _hash(key, hm.nbuckets)
+        prev = OID_NULL
+        cur = self._bucket_get(pool, buckets, bucket)
+        steps = 0
+        while cur != OID_NULL and steps < 4096:
+            steps += 1
+            entry = pool.typed(cur, AEntry)
+            if entry.key == key:
+                self._set_dirty(pool, hm, 1,
+                                "hashmap_atomic:remove:set_dirty",
+                                "hashmap_atomic:remove:persist_dirty")
+                nxt = entry.next
+                if prev == OID_NULL:
+                    pool.write(buckets + 8 * bucket, nxt.to_bytes(8, "little"),
+                               site="hashmap_atomic:remove:store_bucket")
+                    pool.persist(buckets + 8 * bucket, 8,
+                                 site="hashmap_atomic:remove:persist_bucket")
+                else:
+                    prev_entry = pool.typed(prev, AEntry)
+                    store_field(prev_entry, "next", nxt,
+                                site="hashmap_atomic:remove:store_prev")
+                    pool.persist(prev_entry.field_addr("next"), 8,
+                                 site="hashmap_atomic:remove:persist_prev")
+                store_field(hm, "count", hm.count - 1,
+                            site="hashmap_atomic:remove:store_count")
+                pool.persist(hm.field_addr("count"), 8,
+                             site="hashmap_atomic:remove:persist_count")
+                self._set_dirty(pool, hm, 0,
+                                "hashmap_atomic:remove:clear_dirty",
+                                "hashmap_atomic:remove:persist_clear")
+                # The unlinked entry is freed outside the dirty window; a
+                # crash before this point only leaks it.
+                pool.free(cur, site="hashmap_atomic:remove:free_entry")
+                return "removed"
+            prev = cur
+            cur = entry.next
+        return "none"
+
+    # ------------------------------------------------------------------
+    # Oracle
+    # ------------------------------------------------------------------
+    def _actual_count(self, pool: PmemObjPool, hm: HashmapAtomic) -> int:
+        total = 0
+        for i in range(hm.nbuckets):
+            cur = self._bucket_get(pool, hm.buckets, i)
+            steps = 0
+            while cur != OID_NULL and steps < 4096:
+                steps += 1
+                total += 1
+                cur = pool.typed(cur, AEntry).next
+        return total
+
+    def check_consistency(self, pool: PmemObjPool) -> List[str]:
+        """After the driver's open path, the window must be closed and the
+        count exact — precisely what Bug 6 violates on a crash image."""
+        violations: List[str] = []
+        if not self.is_created(pool):
+            return violations
+        hm = self._map(pool)
+        if hm.nbuckets != NBUCKETS:
+            return [f"nbuckets corrupted: {hm.nbuckets}"]
+        if hm.count_dirty:
+            violations.append("count_dirty still set after recovery window")
+        actual = self._actual_count(pool, hm)
+        if actual != hm.count:
+            violations.append(f"count {hm.count} != actual {actual}")
+        seen = set()
+        for i in range(hm.nbuckets):
+            cur = self._bucket_get(pool, hm.buckets, i)
+            steps = 0
+            while cur != OID_NULL and steps < 4096:
+                steps += 1
+                if cur in seen:
+                    violations.append(f"cycle in bucket {i}")
+                    return violations
+                seen.add(cur)
+                entry = pool.typed(cur, AEntry)
+                if _hash(entry.key, hm.nbuckets) != i:
+                    violations.append(f"key {entry.key} in wrong bucket {i}")
+                cur = entry.next
+        return violations
+
+    # ------------------------------------------------------------------
+    # Synthetic bugs (14 sites, Table 3)
+    # ------------------------------------------------------------------
+    def synthetic_bugs(self) -> Sequence[SyntheticBug]:
+        def bug(i: int, site: str, kind: BugKind, depth: int) -> SyntheticBug:
+            return SyntheticBug(f"hashmap_atomic:s{i:02d}", site, kind, depth)
+
+        return (
+            bug(1, "hashmap_atomic:create:persist_map", BugKind.MISSING_FLUSH, 0),
+            bug(2, "hashmap_atomic:create:publish", BugKind.MISSING_FENCE, 0),
+            bug(3, "hashmap_atomic:create:store_buckets", BugKind.WRONG_VALUE, 0),
+            bug(4, "hashmap_atomic:insert:persist_update", BugKind.MISSING_FLUSH, 1),
+            bug(5, "hashmap_atomic:insert:set_dirty", BugKind.WRONG_COMMIT, 1),
+            bug(6, "hashmap_atomic:insert:persist_dirty", BugKind.MISSING_FENCE, 1),
+            bug(7, "hashmap_atomic:insert:persist_entry", BugKind.MISSING_FLUSH, 1),
+            bug(8, "hashmap_atomic:insert:persist_bucket", BugKind.MISSING_FENCE, 1),
+            bug(9, "hashmap_atomic:insert:persist_count", BugKind.MISSING_FLUSH, 1),
+            bug(10, "hashmap_atomic:insert:clear_dirty", BugKind.WRONG_VALUE, 1),
+            bug(11, "hashmap_atomic:remove:persist_bucket", BugKind.MISSING_FLUSH, 1),
+            bug(12, "hashmap_atomic:remove:persist_prev", BugKind.MISSING_FLUSH, 2),
+            bug(13, "hashmap_atomic:recover:persist_count", BugKind.MISSING_FLUSH, 2),
+            bug(14, "hashmap_atomic:recover:clear_dirty", BugKind.WRONG_VALUE, 2),
+        )

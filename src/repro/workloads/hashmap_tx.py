@@ -1,0 +1,363 @@
+"""Hashmap-TX: the transactional hashmap (PMDK ``hashmap_tx`` analogue).
+
+Chained hashing with a persistent bucket array, fully transactional.
+Carries paper Bug 1 (creation not retried after a crash during the
+creation transaction) and Bug 8 (redundant ``TX_ADD`` of an object just
+allocated with ``TX_ZNEW``), plus 21 synthetic-bug sites (Table 3).
+
+The deep PM path is ``_rebuild``: when the load factor exceeds 2 the
+table is rehashed into a doubled bucket array inside the same
+transaction — reachable only from a well-populated image.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import CommandError
+from repro.pmdk.layout import OID, PStruct, U64, store_field
+from repro.pmdk.pool import OID_NULL, PmemObjPool
+from repro.workloads.base import Command, Workload
+from repro.workloads.synthetic import BugKind, SyntheticBug
+
+INITIAL_BUCKETS = 8
+MAX_BUCKETS = 64
+HASH_SEED = 0x9E3779B9
+
+
+class HashmapRoot(PStruct):
+    """Pool root: a single pointer to the hashmap object."""
+
+    _fields_ = [("map_oid", OID)]
+
+
+class Hashmap(PStruct):
+    """The hashmap header (PMDK ``struct hashmap_tx``)."""
+
+    _fields_ = [
+        ("seed", U64),
+        ("count", U64),
+        ("nbuckets", U64),
+        ("buckets", OID),  # block of nbuckets OIDs
+    ]
+
+
+class Entry(PStruct):
+    """A chained key-value entry."""
+
+    _fields_ = [("key", U64), ("value", U64), ("next", OID)]
+
+
+def _hash(key: int, seed: int, nbuckets: int) -> int:
+    return ((key * HASH_SEED) ^ seed) % nbuckets
+
+
+class HashmapTxWorkload(Workload):
+    """Driver for the transactional hashmap."""
+
+    name = "hashmap_tx"
+    layout = "hashmap_tx"
+
+    # ------------------------------------------------------------------
+    # Structure lifecycle
+    # ------------------------------------------------------------------
+    def create_structure(self, pool: PmemObjPool) -> None:
+        """``hm_tx_create``: allocate and initialize inside a transaction.
+
+        A failure anywhere in here rolls the whole creation back, leaving
+        ``map_oid`` NULL — which the ``init_not_retried`` bug variant
+        never repairs (paper Bug 1).
+        """
+        root = pool.root(HashmapRoot, site="hashmap_tx:create:root")
+        with pool.transaction() as tx:
+            tx.add_field(root, "map_oid", site="hashmap_tx:create:add_root")
+            map_oid = tx.zalloc(Hashmap._size_, site="hashmap_tx:create:alloc_map")
+            hm = pool.typed(map_oid, Hashmap)
+            if "bug8_redundant_txadd" in self.bugs:
+                # Paper Bug 8: TX_ADD of the object TX_ZNEW just returned.
+                tx.add(map_oid, Hashmap._size_, site="hashmap_tx:create:txadd_again")
+            store_field(hm, "seed", HASH_SEED, site="hashmap_tx:create:store_seed")
+            store_field(hm, "nbuckets", INITIAL_BUCKETS,
+                        site="hashmap_tx:create:store_nbuckets")
+            buckets = tx.zalloc(8 * INITIAL_BUCKETS,
+                                site="hashmap_tx:create:alloc_buckets")
+            store_field(hm, "buckets", buckets, site="hashmap_tx:create:store_buckets")
+            store_field(hm, "count", 0, site="hashmap_tx:create:store_count")
+            root.map_oid = map_oid
+
+    def is_created(self, pool: PmemObjPool) -> bool:
+        if pool.root_oid == OID_NULL:
+            return False
+        return pool.typed(pool.root_oid, HashmapRoot).map_oid != OID_NULL
+
+    def recover(self, pool: PmemObjPool) -> None:
+        """Open-time check: probe the first occupied bucket chain.
+
+        Executes PM reads only when the image carries entries; a second
+        read fires only for chains of length ≥ 2 — both image-gated.
+        """
+        if not self.is_created(pool):
+            return
+        hm = self._map(pool)
+        if hm.count == 0:
+            return
+        for i in range(hm.nbuckets):
+            head = self._bucket_get(pool, hm.buckets, i)
+            if head != OID_NULL:
+                entry = pool.typed(head, Entry)
+                if entry.next != OID_NULL:
+                    _ = pool.typed(entry.next, Entry).key  # chained read
+                break
+
+    def _map(self, pool: PmemObjPool) -> Hashmap:
+        root = pool.typed(pool.root_oid, HashmapRoot)
+        return pool.typed(root.map_oid, Hashmap)
+
+    # ------------------------------------------------------------------
+    # Bucket helpers (raw OID array access)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bucket_get(pool: PmemObjPool, buckets: int, index: int) -> int:
+        raw = pool.read(buckets + 8 * index, 8, site="hashmap_tx:bucket:load")
+        return int.from_bytes(raw, "little")
+
+    @staticmethod
+    def _bucket_set(pool: PmemObjPool, buckets: int, index: int, oid: int,
+                    site: str) -> None:
+        pool.write(buckets + 8 * index, oid.to_bytes(8, "little"), site=site)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def exec_command(self, pool: PmemObjPool, cmd: Command) -> Optional[str]:
+        if cmd.op == "i":
+            return self._insert(pool, cmd.key, cmd.value or 0)
+        if cmd.op == "g":
+            return self._get(pool, cmd.key)
+        if cmd.op == "r":
+            return self._remove(pool, cmd.key)
+        if cmd.op == "x":
+            return "1" if self._get(pool, cmd.key) != "none" else "0"
+        if cmd.op == "n":
+            return str(self._map(pool).count)
+        if cmd.op == "m":
+            return self._first(pool)
+        if cmd.op == "q":
+            return ",".join(self._scan(pool))
+        if cmd.op == "b":
+            return self._rebuild_cmd(pool)
+        raise CommandError(f"unknown op {cmd.op!r}")
+
+    def _first(self, pool: PmemObjPool) -> str:
+        hm = self._map(pool)
+        for i in range(hm.nbuckets):
+            head = self._bucket_get(pool, hm.buckets, i)
+            if head != OID_NULL:
+                entry = pool.typed(head, Entry)
+                return f"{entry.key}={entry.value}"
+        return "none"
+
+    def _scan(self, pool: PmemObjPool, limit: int = 24) -> List[str]:
+        """Bounded walk over all chains (mapcli foreach analogue)."""
+        out: List[str] = []
+        hm = self._map(pool)
+        for i in range(hm.nbuckets):
+            cur = self._bucket_get(pool, hm.buckets, i)
+            steps = 0
+            while cur != OID_NULL and steps < 64 and len(out) < limit:
+                steps += 1
+                entry = pool.typed(cur, Entry)
+                out.append(str(entry.key))
+                cur = entry.next
+            if len(out) >= limit:
+                break
+        return out
+
+    def _insert(self, pool: PmemObjPool, key: int, value: int) -> str:
+        hm = self._map(pool)
+        with pool.transaction() as tx:
+            bucket = _hash(key, hm.seed, hm.nbuckets)
+            buckets = hm.buckets
+            # Update in place when the key exists (bounded walk: a corrupt
+            # image may contain a chain cycle).
+            cur = self._bucket_get(pool, buckets, bucket)
+            steps = 0
+            while cur != OID_NULL and steps < 4096:
+                steps += 1
+                entry = pool.typed(cur, Entry)
+                if entry.key == key:
+                    tx.add_field(entry, "value", site="hashmap_tx:insert:add_value")
+                    store_field(entry, "value", value,
+                                site="hashmap_tx:insert:store_value")
+                    return "updated"
+                cur = entry.next
+            # New entry at the head of the chain.
+            new = tx.znew(Entry, site="hashmap_tx:insert:alloc_entry")
+            store_field(new, "key", key, site="hashmap_tx:insert:store_key")
+            store_field(new, "value", value, site="hashmap_tx:insert:store_newvalue")
+            head = self._bucket_get(pool, buckets, bucket)
+            store_field(new, "next", head, site="hashmap_tx:insert:store_next")
+            tx.add(buckets + 8 * bucket, 8, site="hashmap_tx:insert:add_bucket")
+            self._bucket_set(pool, buckets, bucket, new.offset,
+                             site="hashmap_tx:insert:store_bucket")
+            tx.add_field(hm, "count", site="hashmap_tx:insert:add_count")
+            store_field(hm, "count", hm.count + 1,
+                        site="hashmap_tx:insert:store_count")
+            if hm.count > hm.nbuckets and hm.nbuckets < MAX_BUCKETS:
+                self._rebuild(pool, tx, hm)
+        return "inserted"
+
+    def _get(self, pool: PmemObjPool, key: int) -> str:
+        hm = self._map(pool)
+        bucket = _hash(key, hm.seed, hm.nbuckets)
+        cur = self._bucket_get(pool, hm.buckets, bucket)
+        steps = 0
+        while cur != OID_NULL and steps < 4096:
+            entry = pool.typed(cur, Entry)
+            if entry.key == key:
+                return str(entry.value)
+            cur = entry.next
+            steps += 1
+        return "none"
+
+    def _remove(self, pool: PmemObjPool, key: int) -> str:
+        hm = self._map(pool)
+        with pool.transaction() as tx:
+            bucket = _hash(key, hm.seed, hm.nbuckets)
+            buckets = hm.buckets
+            prev = OID_NULL
+            cur = self._bucket_get(pool, buckets, bucket)
+            steps = 0
+            while cur != OID_NULL and steps < 4096:
+                steps += 1
+                entry = pool.typed(cur, Entry)
+                if entry.key == key:
+                    nxt = entry.next
+                    if prev == OID_NULL:
+                        tx.add(buckets + 8 * bucket, 8,
+                               site="hashmap_tx:remove:add_bucket")
+                        self._bucket_set(pool, buckets, bucket, nxt,
+                                         site="hashmap_tx:remove:store_bucket")
+                    else:
+                        prev_entry = pool.typed(prev, Entry)
+                        tx.add_field(prev_entry, "next",
+                                     site="hashmap_tx:remove:add_prev")
+                        store_field(prev_entry, "next", nxt,
+                                    site="hashmap_tx:remove:store_prev")
+                    tx.free(cur, site="hashmap_tx:remove:free_entry")
+                    tx.add_field(hm, "count", site="hashmap_tx:remove:add_count")
+                    store_field(hm, "count", hm.count - 1,
+                                site="hashmap_tx:remove:store_count")
+                    return "removed"
+                prev = cur
+                cur = entry.next
+        return "none"
+
+    def _rebuild_cmd(self, pool: PmemObjPool) -> str:
+        hm = self._map(pool)
+        if hm.nbuckets >= MAX_BUCKETS or hm.count <= hm.nbuckets // 2:
+            # Rebuilding a sparse table would only waste PM writes: the
+            # command needs a half-loaded table, which a single bounded
+            # input can barely construct from the empty image but any
+            # accumulated image provides readily.
+            return "skipped"
+        with pool.transaction() as tx:
+            self._rebuild(pool, tx, hm)
+        return "rebuilt"
+
+    def _rebuild(self, pool: PmemObjPool, tx, hm: Hashmap) -> None:
+        """``hm_tx_rebuild``: rehash into a doubled bucket array.
+
+        This is the deepest PM path of the workload: it touches every
+        entry and is only reached from a populated image, which is why
+        covering its synthetic bugs needs PM-image-aware test cases.
+        """
+        old_n = hm.nbuckets
+        new_n = old_n * 2
+        new_buckets = tx.zalloc(8 * new_n, site="hashmap_tx:rebuild:alloc_buckets")
+        for i in range(old_n):
+            cur = self._bucket_get(pool, hm.buckets, i)
+            steps = 0
+            while cur != OID_NULL and steps < 4096:
+                steps += 1
+                entry = pool.typed(cur, Entry)
+                nxt = entry.next
+                dest = _hash(entry.key, hm.seed, new_n)
+                head = self._bucket_get(pool, new_buckets, dest)
+                tx.add_field(entry, "next", site="hashmap_tx:rebuild:add_next")
+                store_field(entry, "next", head, site="hashmap_tx:rebuild:store_next")
+                self._bucket_set(pool, new_buckets, dest, cur,
+                                 site="hashmap_tx:rebuild:store_bucket")
+                cur = nxt
+        old_buckets = hm.buckets
+        tx.add_field(hm, "buckets", site="hashmap_tx:rebuild:add_buckets")
+        store_field(hm, "buckets", new_buckets,
+                    site="hashmap_tx:rebuild:store_buckets")
+        tx.add_field(hm, "nbuckets", site="hashmap_tx:rebuild:add_nbuckets")
+        store_field(hm, "nbuckets", new_n, site="hashmap_tx:rebuild:store_nbuckets")
+        tx.free(old_buckets, site="hashmap_tx:rebuild:free_old")
+
+    # ------------------------------------------------------------------
+    # Oracle
+    # ------------------------------------------------------------------
+    def check_consistency(self, pool: PmemObjPool) -> List[str]:
+        violations: List[str] = []
+        if not self.is_created(pool):
+            return violations  # an absent structure is consistent (empty)
+        hm = self._map(pool)
+        if hm.nbuckets == 0 or hm.nbuckets > MAX_BUCKETS:
+            return [f"nbuckets out of range: {hm.nbuckets}"]
+        if hm.seed != HASH_SEED:
+            # The seed is a compile-time constant of the program; any
+            # other persisted value is corruption.
+            violations.append(f"hash seed corrupted: {hm.seed:#x}")
+        seen = set()
+        total = 0
+        for i in range(hm.nbuckets):
+            cur = self._bucket_get(pool, hm.buckets, i)
+            while cur != OID_NULL:
+                if cur in seen:
+                    violations.append(f"cycle in bucket {i}")
+                    return violations
+                seen.add(cur)
+                entry = pool.typed(cur, Entry)
+                if _hash(entry.key, hm.seed, hm.nbuckets) != i:
+                    violations.append(
+                        f"key {entry.key} in wrong bucket {i}"
+                    )
+                total += 1
+                cur = entry.next
+        if total != hm.count:
+            violations.append(f"count {hm.count} != actual {total}")
+        return violations
+
+    # ------------------------------------------------------------------
+    # Synthetic bugs (21 sites, Table 3)
+    # ------------------------------------------------------------------
+    def synthetic_bugs(self) -> Sequence[SyntheticBug]:
+        def bug(i: int, site: str, kind: BugKind, depth: int) -> SyntheticBug:
+            return SyntheticBug(f"hashmap_tx:s{i:02d}", site, kind, depth)
+
+        return (
+            bug(1, "hashmap_tx:create:add_root", BugKind.MISSING_TXADD, 0),
+            bug(2, "hashmap_tx:create:store_seed", BugKind.WRONG_VALUE, 0),
+            bug(3, "hashmap_tx:create:store_nbuckets", BugKind.WRONG_VALUE, 0),
+            bug(4, "hashmap_tx:create:store_buckets", BugKind.WRONG_VALUE, 0),
+            bug(5, "hashmap_tx:create:store_count", BugKind.WRONG_VALUE, 0),
+            bug(6, "hashmap_tx:insert:add_value", BugKind.MISSING_TXADD, 1),
+            bug(7, "hashmap_tx:insert:store_value", BugKind.WRONG_VALUE, 1),
+            bug(8, "hashmap_tx:insert:store_key", BugKind.WRONG_VALUE, 1),
+            bug(9, "hashmap_tx:insert:store_next", BugKind.WRONG_VALUE, 1),
+            bug(10, "hashmap_tx:insert:add_bucket", BugKind.MISSING_TXADD, 1),
+            bug(11, "hashmap_tx:insert:store_bucket", BugKind.WRONG_VALUE, 1),
+            bug(12, "hashmap_tx:insert:add_count", BugKind.MISSING_TXADD, 1),
+            bug(13, "hashmap_tx:insert:store_count", BugKind.WRONG_VALUE, 1),
+            bug(14, "hashmap_tx:remove:add_bucket", BugKind.MISSING_TXADD, 1),
+            bug(15, "hashmap_tx:remove:add_prev", BugKind.MISSING_TXADD, 2),
+            bug(16, "hashmap_tx:remove:store_prev", BugKind.WRONG_VALUE, 2),
+            bug(17, "hashmap_tx:remove:add_count", BugKind.MISSING_TXADD, 1),
+            bug(18, "hashmap_tx:rebuild:add_next", BugKind.MISSING_TXADD, 2),
+            bug(19, "hashmap_tx:rebuild:store_next", BugKind.WRONG_VALUE, 2),
+            bug(20, "hashmap_tx:rebuild:add_buckets", BugKind.MISSING_TXADD, 2),
+            bug(21, "hashmap_tx:rebuild:store_nbuckets", BugKind.WRONG_VALUE, 2),
+        )

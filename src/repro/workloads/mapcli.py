@@ -1,0 +1,110 @@
+"""mapcli-style command parsing.
+
+The paper drives the PMDK key-value structures with ``mapcli`` and
+converts the databases' socket protocols to a command-line form with
+Preeny; the fuzzer then mutates the raw command bytes.  This module is
+the shared parser: it turns an arbitrary byte string (possibly mutated
+garbage) into a list of :class:`~repro.workloads.base.Command`.
+
+Parsing is deliberately *tolerant*: an unparsable line is skipped rather
+than aborting, so a mutated input still exercises the program — exactly
+the behaviour mapcli has (it prints "unknown command" and reads on).
+
+Grammar (one command per line)::
+
+    i <key> <value>    insert / put / set
+    g <key>            get / lookup
+    r <key>            remove / delete
+    x <key>            check (membership query)
+    n                  count entries
+    b                  workload-specific bulk op (e.g. hashmap rebuild)
+    m                  minimum / first entry lookup
+    q                  bounded scan (mapcli foreach analogue)
+    h / s / v          help, statistics, version (volatile only)
+    e/u/w <key>        echo, checksum, classify (volatile only)
+
+Keys and values are parsed as decimal integers when possible; any other
+token is hashed deterministically into the key space, so random mutated
+bytes still map onto meaningful keys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro._util import stable_hash32
+from repro.workloads.base import Command
+
+#: Keys are folded into this space so mutated inputs collide and produce
+#: interesting structure (splits, rebalances, bucket chains).  The space
+#: is much larger than one bounded input can populate: deep structural
+#: states (rebuilds, multi-level splits, slab exhaustion) are reachable
+#: only by accumulating state across PM images, which is the property
+#: that separates PMFuzz from the image-less baselines.
+KEY_SPACE = 1024
+
+#: Values get a larger space; only equality matters to the checkers.
+VALUE_SPACE = 1 << 16
+
+_OPS_WITH_KEY_VALUE = {"i"}
+_OPS_WITH_KEY = {"g", "r", "x", "e", "u", "w"}
+_OPS_BARE = {"n", "b", "m", "q", "h", "s", "v"}
+VALID_OPS = _OPS_WITH_KEY_VALUE | _OPS_WITH_KEY | _OPS_BARE
+
+
+def _parse_int(token: bytes, space: int) -> int:
+    """Interpret a token as an integer in ``[0, space)``.
+
+    Decimal tokens parse directly; anything else hashes stably, so the
+    mapping from mutated bytes to keys is deterministic across runs.
+    """
+    try:
+        return int(token) % space
+    except ValueError:
+        return stable_hash32(token.decode("latin-1")) % space
+
+
+def parse_commands(data: bytes, max_commands: int = 64) -> List[Command]:
+    """Parse raw input bytes into at most ``max_commands`` commands.
+
+    The cap reproduces PMFuzz's bounded per-test-case execution (the
+    150 ms limit of Section 4.6): a single test case performs a bounded
+    amount of work and image mutation happens *incrementally* across the
+    test-case tree, not in one giant input.
+    """
+    commands: List[Command] = []
+    for line in data.split(b"\n"):
+        if len(commands) >= max_commands:
+            break
+        tokens = line.split()
+        if not tokens:
+            continue
+        op = tokens[0][:1].decode("latin-1").lower()
+        if op not in VALID_OPS:
+            continue
+        key: Optional[int] = None
+        value: Optional[int] = None
+        if op in _OPS_WITH_KEY_VALUE:
+            if len(tokens) < 2:
+                continue
+            key = _parse_int(tokens[1], KEY_SPACE)
+            value = _parse_int(tokens[2], VALUE_SPACE) if len(tokens) > 2 else 0
+        elif op in _OPS_WITH_KEY:
+            if len(tokens) < 2:
+                continue
+            key = _parse_int(tokens[1], KEY_SPACE)
+        commands.append(Command(op=op, key=key, value=value))
+    return commands
+
+
+def render_commands(commands: List[Command]) -> bytes:
+    """Serialize commands back to canonical input bytes (inverse parse)."""
+    lines = []
+    for cmd in commands:
+        if cmd.op in _OPS_WITH_KEY_VALUE:
+            lines.append(f"{cmd.op} {cmd.key} {cmd.value}".encode())
+        elif cmd.op in _OPS_WITH_KEY:
+            lines.append(f"{cmd.op} {cmd.key}".encode())
+        else:
+            lines.append(cmd.op.encode())
+    return b"\n".join(lines) + (b"\n" if lines else b"")

@@ -1,0 +1,325 @@
+"""Simplified PM-Memcached (the Lenovo ``memcached-pmem`` analogue).
+
+The real port keeps its item metadata, LRU chains, and protocol handling
+in DRAM and persists item payloads in a *persistent slab pool* (pslab).
+The reproduction keeps that architecture:
+
+* **Persistent**: a fixed array of item slots inside the pool, created
+  by :meth:`_pslab_create` with the same shape as the paper's Figure 15a
+  (zero the pool, flush, commit a valid flag) — including **paper
+  Bug 7**: per-slot ``pmem_memset_nodrain`` flushes that the whole-pool
+  flush immediately repeats.
+* **Volatile**: a key → slot index, an LRU order list, hit/miss
+  statistics and memcached-ish command aliasing.  This volatile bulk is
+  deliberate: the paper notes the databases have far fewer PM paths
+  because "only a relatively small fraction of code manages PM".
+
+17 synthetic-bug sites (Table 3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CommandError
+from repro.pmdk import libpmem
+from repro.pmdk.layout import Bytes, OID, PStruct, U64, store_field
+from repro.pmdk.pool import OID_NULL, PmemObjPool
+from repro.workloads.base import Command, Workload
+from repro.workloads.synthetic import BugKind, SyntheticBug
+
+NSLOTS = 48
+
+
+class PslabRoot(PStruct):
+    """Pool root: the slab pool descriptor."""
+
+    _fields_ = [("valid", U64), ("nslots", U64), ("slots_oid", OID)]
+
+
+class Slot(PStruct):
+    """One item slot (persisted payload + commit flag).
+
+    The ``used`` commit flag sits on its own cache line: persisting the
+    payload must not incidentally persist the flag (and vice versa), or
+    the payload-before-flag ordering would be unanalyzable.
+    """
+
+    _fields_ = [
+        ("key", U64), ("value", U64), ("version", U64), ("_pad0", Bytes(40)),
+        ("used", U64), ("_pad1", Bytes(56)),
+    ]
+
+
+class MemcachedWorkload(Workload):
+    """Driver for the simplified PM-Memcached."""
+
+    name = "memcached"
+    layout = "memcached"
+
+    def __init__(self, bugs=frozenset()) -> None:
+        super().__init__(bugs)
+        # DRAM state, rebuilt from the slab pool at open (never persisted).
+        self._index: Dict[int, int] = {}
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        self._stats = {"get_hits": 0, "get_misses": 0, "sets": 0, "deletes": 0}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_structure(self, pool: PmemObjPool) -> None:
+        self._pslab_create(pool)
+
+    def _pslab_create(self, pool: PmemObjPool) -> None:
+        """``pslab_create`` (paper Figure 15a).
+
+        Buggy variant: each slot is zeroed with ``pmem_memset_nodrain``
+        (a flush per slot), *then* the whole region is persisted — the
+        per-slot flushes are pure overhead (Bug 7).  Fixed variant: plain
+        stores, one covering persist.
+        """
+        root = pool.root(PslabRoot, site="memcached:pslab:root")
+        slots_oid = pool.alloc(Slot._size_ * NSLOTS,
+                               site="memcached:pslab:alloc_slots")
+        total = Slot._size_ * NSLOTS
+        # Zero the region (stores only; persistence handled below).
+        pool.write(slots_oid, b"\0" * total, site="memcached:pslab:zero")
+        if "bug7_redundant_flush" in self.bugs:
+            for i in range(NSLOTS):
+                libpmem.pmem_memset_nodrain(
+                    pool.domain, slots_oid + i * Slot._size_, 0, Slot._size_,
+                    site="memcached:pslab:memset_slot")
+        # Flush the whole pool region (subsumes any per-slot flush).
+        pool.persist(slots_oid, total, site="memcached:pslab:persist_all")
+        store_field(root, "slots_oid", slots_oid,
+                    site="memcached:pslab:store_slots")
+        store_field(root, "nslots", NSLOTS, site="memcached:pslab:store_nslots")
+        pool.persist(root.offset, PslabRoot._size_,
+                     site="memcached:pslab:persist_meta")
+        # Commit the creation with the valid flag (ordered last).
+        store_field(root, "valid", 1, site="memcached:pslab:store_valid")
+        pool.persist(root.field_addr("valid"), 8,
+                     site="memcached:pslab:persist_valid")
+
+    def is_created(self, pool: PmemObjPool) -> bool:
+        if pool.root_oid == OID_NULL:
+            return False
+        root = pool.typed(pool.root_oid, PslabRoot)
+        return root.valid == 1 and root.slots_oid != OID_NULL
+
+    def recover(self, pool: PmemObjPool) -> None:
+        """Rebuild the DRAM index/LRU by scanning the slab pool."""
+        self._index.clear()
+        self._lru.clear()
+        if not self.is_created(pool):
+            return
+        root = pool.typed(pool.root_oid, PslabRoot)
+        for i in range(min(root.nslots, NSLOTS)):
+            slot = self._slot(pool, root, i)
+            if slot.used:
+                self._index[slot.key] = i
+                self._lru[slot.key] = None
+
+    @staticmethod
+    def _slot(pool: PmemObjPool, root: PslabRoot, index: int) -> Slot:
+        return pool.typed(root.slots_oid + index * Slot._size_, Slot)
+
+    # ------------------------------------------------------------------
+    # Volatile protocol layer
+    # ------------------------------------------------------------------
+    _ALIASES = {
+        "i": "set", "g": "get", "r": "delete", "x": "touch", "n": "stats",
+        "b": "flush_all", "m": "lru_head", "q": "cachedump",
+    }
+
+    def exec_command(self, pool: PmemObjPool, cmd: Command) -> Optional[str]:
+        verb = self._ALIASES.get(cmd.op)
+        if verb is None:
+            raise CommandError(f"unknown op {cmd.op!r}")
+        # Volatile protocol bookkeeping (deliberately branchy DRAM code).
+        if verb == "get":
+            if cmd.key in self._index:
+                self._stats["get_hits"] += 1
+                self._lru.move_to_end(cmd.key)
+            else:
+                self._stats["get_misses"] += 1
+        elif verb == "set":
+            self._stats["sets"] += 1
+        elif verb == "delete":
+            self._stats["deletes"] += 1
+        handler = getattr(self, f"_cmd_{verb}")
+        return handler(pool, cmd)
+
+    def _cmd_stats(self, pool: PmemObjPool, cmd: Command) -> str:
+        parts = [f"{k}={v}" for k, v in sorted(self._stats.items())]
+        parts.append(f"curr_items={len(self._index)}")
+        return " ".join(parts)
+
+    def _cmd_flush_all(self, pool: PmemObjPool, cmd: Command) -> str:
+        """Delete every item (memcached ``flush_all``)."""
+        removed = 0
+        for key in list(self._index):
+            self._cmd_delete(pool, Command("r", key))
+            removed += 1
+        return f"flushed {removed}"
+
+    def _cmd_lru_head(self, pool: PmemObjPool, cmd: Command) -> str:
+        """Read the LRU-oldest item's slot (PM read, gated on occupancy)."""
+        if not self._lru:
+            return "none"
+        oldest = next(iter(self._lru))
+        slot_index = self._index.get(oldest)
+        if slot_index is None:
+            return "none"
+        root = pool.typed(pool.root_oid, PslabRoot)
+        slot = self._slot(pool, root, slot_index)
+        return f"{slot.key}={slot.value}"
+
+    def _cmd_cachedump(self, pool: PmemObjPool, cmd: Command) -> str:
+        """memcached ``stats cachedump``: scan used slots (bounded)."""
+        root = pool.typed(pool.root_oid, PslabRoot)
+        out = []
+        for i in range(NSLOTS):
+            if len(out) >= 24:
+                break
+            slot = self._slot(pool, root, i)
+            if slot.used:
+                out.append(f"{slot.key}={slot.value}v{slot.version}")
+        return ",".join(out)
+
+    def _cmd_get(self, pool: PmemObjPool, cmd: Command) -> str:
+        slot_index = self._index.get(cmd.key)
+        if slot_index is None:
+            return "none"
+        root = pool.typed(pool.root_oid, PslabRoot)
+        slot = self._slot(pool, root, slot_index)
+        if not slot.used or slot.key != cmd.key:
+            return "none"  # stale DRAM index entry
+        return str(slot.value)
+
+    def _cmd_set(self, pool: PmemObjPool, cmd: Command) -> str:
+        root = pool.typed(pool.root_oid, PslabRoot)
+        existing = self._index.get(cmd.key)
+        if existing is not None:
+            slot = self._slot(pool, root, existing)
+            store_field(slot, "value", cmd.value or 0,
+                        site="memcached:set:update_value")
+            store_field(slot, "version", slot.version + 1,
+                        site="memcached:set:update_version")
+            pool.persist(slot.offset, Slot._size_,
+                         site="memcached:set:persist_update")
+            self._lru.move_to_end(cmd.key)
+            return "stored"
+        slot_index = self._find_free_slot(pool, root)
+        if slot_index is None:
+            # Evict the LRU item (volatile policy, persistent delete).
+            victim, _ = self._lru.popitem(last=False)
+            self._cmd_delete(pool, Command("r", victim))
+            slot_index = self._find_free_slot(pool, root)
+            if slot_index is None:
+                return "error"
+        slot = self._slot(pool, root, slot_index)
+        # Payload first, persist, then the used flag (the commit point).
+        store_field(slot, "key", cmd.key, site="memcached:set:store_key")
+        store_field(slot, "value", cmd.value or 0,
+                    site="memcached:set:store_value")
+        store_field(slot, "version", 1, site="memcached:set:store_version")
+        pool.persist(slot.offset, Slot._size_,
+                     site="memcached:set:persist_payload")
+        store_field(slot, "used", 1, site="memcached:set:set_used")
+        pool.persist(slot.field_addr("used"), 8,
+                     site="memcached:set:persist_used")
+        self._index[cmd.key] = slot_index
+        self._lru[cmd.key] = None
+        return "stored"
+
+    def _cmd_delete(self, pool: PmemObjPool, cmd: Command) -> str:
+        slot_index = self._index.get(cmd.key)
+        if slot_index is None:
+            return "none"
+        root = pool.typed(pool.root_oid, PslabRoot)
+        slot = self._slot(pool, root, slot_index)
+        store_field(slot, "used", 0, site="memcached:delete:clear_used")
+        pool.persist(slot.field_addr("used"), 8,
+                     site="memcached:delete:persist_clear")
+        self._index.pop(cmd.key, None)
+        self._lru.pop(cmd.key, None)
+        return "deleted"
+
+    def _cmd_touch(self, pool: PmemObjPool, cmd: Command) -> str:
+        slot_index = self._index.get(cmd.key)
+        if slot_index is None:
+            return "0"
+        root = pool.typed(pool.root_oid, PslabRoot)
+        slot = self._slot(pool, root, slot_index)
+        store_field(slot, "version", slot.version + 1,
+                    site="memcached:touch:store_version")
+        pool.persist(slot.field_addr("version"), 8,
+                     site="memcached:touch:persist_version")
+        self._lru.move_to_end(cmd.key)
+        return "1"
+
+    def _find_free_slot(self, pool: PmemObjPool, root: PslabRoot) -> Optional[int]:
+        used_indices = set(self._index.values())
+        for i in range(NSLOTS):
+            if i not in used_indices:
+                slot = self._slot(pool, root, i)
+                if not slot.used:
+                    return i
+        return None
+
+    # ------------------------------------------------------------------
+    # Oracle
+    # ------------------------------------------------------------------
+    def check_consistency(self, pool: PmemObjPool) -> List[str]:
+        violations: List[str] = []
+        if pool.root_oid == OID_NULL:
+            return violations
+        root = pool.typed(pool.root_oid, PslabRoot)
+        if root.valid == 0:
+            return violations  # uncommitted creation: treated as absent
+        if root.valid != 1 or root.nslots != NSLOTS:
+            return [f"slab metadata corrupt: valid={root.valid} "
+                    f"nslots={root.nslots}"]
+        seen_keys = set()
+        for i in range(NSLOTS):
+            slot = self._slot(pool, root, i)
+            if slot.used:
+                if slot.used != 1:
+                    violations.append(f"slot {i} used flag corrupt: {slot.used}")
+                if slot.key in seen_keys:
+                    violations.append(f"duplicate key {slot.key} in slot {i}")
+                seen_keys.add(slot.key)
+                if slot.version == 0:
+                    violations.append(f"slot {i} committed with version 0")
+                if slot.version > 1 << 32:
+                    violations.append(f"slot {i} version counter corrupt")
+        return violations
+
+    # ------------------------------------------------------------------
+    # Synthetic bugs (17 sites, Table 3)
+    # ------------------------------------------------------------------
+    def synthetic_bugs(self) -> Sequence[SyntheticBug]:
+        def bug(i: int, site: str, kind: BugKind, depth: int) -> SyntheticBug:
+            return SyntheticBug(f"memcached:s{i:02d}", site, kind, depth)
+
+        return (
+            bug(1, "memcached:pslab:persist_all", BugKind.MISSING_FLUSH, 0),
+            bug(2, "memcached:pslab:store_slots", BugKind.WRONG_VALUE, 0),
+            bug(3, "memcached:pslab:store_nslots", BugKind.WRONG_VALUE, 0),
+            bug(4, "memcached:pslab:persist_meta", BugKind.MISSING_FENCE, 0),
+            bug(5, "memcached:pslab:store_valid", BugKind.WRONG_VALUE, 0),
+            bug(6, "memcached:pslab:persist_valid", BugKind.MISSING_FLUSH, 0),
+            bug(7, "memcached:set:store_key", BugKind.WRONG_VALUE, 1),
+            bug(8, "memcached:set:store_value", BugKind.WRONG_VALUE, 1),
+            bug(9, "memcached:set:persist_payload", BugKind.MISSING_FLUSH, 1),
+            bug(10, "memcached:set:set_used", BugKind.WRONG_VALUE, 1),
+            bug(11, "memcached:set:persist_used", BugKind.MISSING_FENCE, 1),
+            bug(12, "memcached:set:update_value", BugKind.WRONG_VALUE, 1),
+            bug(13, "memcached:set:persist_update", BugKind.MISSING_FLUSH, 1),
+            bug(14, "memcached:delete:clear_used", BugKind.WRONG_VALUE, 1),
+            bug(15, "memcached:delete:persist_clear", BugKind.MISSING_FLUSH, 1),
+            bug(16, "memcached:touch:persist_version", BugKind.MISSING_FLUSH, 2),
+            bug(17, "memcached:touch:store_version", BugKind.WRONG_VALUE, 2),
+        )

@@ -1,0 +1,467 @@
+"""Red-black tree key-value store (PMDK ``rbtree_map`` analogue).
+
+A classic CLRS red-black tree with a NIL sentinel, parent pointers, and
+transactional updates.  Hosts four of the paper's real-world bugs:
+
+* **Bug 3** — ``init_not_retried`` (creation transaction never retried);
+* **Bug 9** — ``TX_SET`` on a node just allocated with ``TX_NEW``
+  (redundant log of a fresh allocation);
+* **Bug 10** — logging the tree's first-entry slot right after the tree
+  itself was transaction-allocated;
+* **Bug 11** — ``TX_SET`` on a parent node that a preceding rotation
+  already snapshotted (redundant only on the rotate-first fixup path,
+  which is why the paper needed 77 s of fuzzing to expose it).
+
+Deletion uses BST transplant with a conservative recolor (the
+replacement of a black node is blackened), so the maintained invariants
+are: strict BST order, black root/NIL, and no red node with a red child
+— exactly what :meth:`check_consistency` verifies.
+
+14 synthetic-bug sites (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import CommandError
+from repro.pmdk.layout import OID, PStruct, U64, store_field
+from repro.pmdk.pool import OID_NULL, PmemObjPool
+from repro.workloads.base import Command, Workload
+from repro.workloads.synthetic import BugKind, SyntheticBug
+
+BLACK = 0
+RED = 1
+
+
+class RBRoot(PStruct):
+    """Pool root: pointer to the tree header."""
+
+    _fields_ = [("tree_oid", OID)]
+
+
+class RBTree(PStruct):
+    """Tree header: root pointer, NIL sentinel, entry count."""
+
+    _fields_ = [("root", OID), ("nil", OID), ("count", U64)]
+
+
+class RBNode(PStruct):
+    """One tree node."""
+
+    _fields_ = [
+        ("key", U64),
+        ("value", U64),
+        ("color", U64),
+        ("parent", OID),
+        ("left", OID),
+        ("right", OID),
+    ]
+
+
+class RBTreeWorkload(Workload):
+    """Driver for the red-black tree."""
+
+    name = "rbtree"
+    layout = "rbtree"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_structure(self, pool: PmemObjPool) -> None:
+        root = pool.root(RBRoot, site="rbtree:create:root")
+        with pool.transaction() as tx:
+            tx.add_field(root, "tree_oid", site="rbtree:create:add_root")
+            tree = tx.znew(RBTree, site="rbtree:create:alloc_tree")
+            nil = tx.znew(RBNode, site="rbtree:create:alloc_nil")
+            store_field(nil, "color", BLACK, site="rbtree:create:store_nilcolor")
+            nil.left = nil.offset
+            nil.right = nil.offset
+            if "bug10_log_fresh_root" in self.bugs:
+                # Paper Bug 10: log the first-entry slot of a tree that
+                # TX_ZNEW just allocated — the range is already covered.
+                tx.add_field(tree, "root", site="rbtree:create:log_first")
+            store_field(tree, "root", nil.offset, site="rbtree:create:store_root")
+            store_field(tree, "nil", nil.offset, site="rbtree:create:store_nil")
+            store_field(tree, "count", 0, site="rbtree:create:store_count")
+            root.tree_oid = tree.offset
+
+    def is_created(self, pool: PmemObjPool) -> bool:
+        if pool.root_oid == OID_NULL:
+            return False
+        return pool.typed(pool.root_oid, RBRoot).tree_oid != OID_NULL
+
+    def recover(self, pool: PmemObjPool) -> None:
+        """Open-time check: walk to the minimum key (map_check analogue).
+
+        Only executes PM reads when the image carries a populated tree —
+        an image-gated PM code region.
+        """
+        if not self.is_created(pool):
+            return
+        tree = self._tree(pool)
+        nil = tree.nil
+        if nil == OID_NULL or tree.root == nil:
+            return
+        cur = tree.root
+        depth = 0
+        while depth < 128:
+            depth += 1
+            node = self._node(pool, cur)
+            if node.left == nil:
+                _ = node.key  # smallest key (PM read)
+                break
+            cur = node.left
+
+    def _tree(self, pool: PmemObjPool) -> RBTree:
+        root = pool.typed(pool.root_oid, RBRoot)
+        return pool.typed(root.tree_oid, RBTree)
+
+    def _node(self, pool: PmemObjPool, oid: int) -> RBNode:
+        return pool.typed(oid, RBNode)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def exec_command(self, pool: PmemObjPool, cmd: Command) -> Optional[str]:
+        if cmd.op == "i":
+            return self._insert(pool, cmd.key, cmd.value or 0)
+        if cmd.op == "g":
+            found = self._lookup(pool, cmd.key)
+            return "none" if found is None else str(found)
+        if cmd.op == "r":
+            return self._remove(pool, cmd.key)
+        if cmd.op == "x":
+            return "1" if self._lookup(pool, cmd.key) is not None else "0"
+        if cmd.op == "n":
+            return str(self._tree(pool).count)
+        if cmd.op == "m":
+            tree = self._tree(pool)
+            if tree.root == tree.nil:
+                return "none"
+            cur = tree.root
+            depth = 0
+            while depth < 128:
+                depth += 1
+                node = self._node(pool, cur)
+                if node.left == tree.nil:
+                    return f"{node.key}={node.value}"
+                cur = node.left
+            return "none"
+        if cmd.op == "q":
+            out: List[str] = []
+            tree = self._tree(pool)
+            self._scan(pool, tree, tree.root, out, depth=0)
+            return ",".join(out)
+        if cmd.op == "b":
+            return "noop"
+        raise CommandError(f"unknown op {cmd.op!r}")
+
+    def _scan(self, pool: PmemObjPool, tree: RBTree, oid: int,
+              out: List[str], depth: int, limit: int = 24) -> None:
+        """Bounded in-order walk (mapcli foreach analogue)."""
+        if oid == tree.nil or depth > 128 or len(out) >= limit:
+            return
+        node = self._node(pool, oid)
+        self._scan(pool, tree, node.left, out, depth + 1, limit)
+        if len(out) < limit:
+            out.append(str(node.key))
+            self._scan(pool, tree, node.right, out, depth + 1, limit)
+
+    def _lookup(self, pool: PmemObjPool, key: int) -> Optional[int]:
+        tree = self._tree(pool)
+        nil = tree.nil
+        cur = tree.root
+        depth = 0
+        while cur != nil and depth < 128:
+            depth += 1
+            node = self._node(pool, cur)
+            if key == node.key:
+                return node.value
+            cur = node.left if key < node.key else node.right
+        return None
+
+    # ------------------------------------------------------------------
+    # Insert with CLRS fixup
+    # ------------------------------------------------------------------
+    def _insert(self, pool: PmemObjPool, key: int, value: int) -> str:
+        tree = self._tree(pool)
+        nil = tree.nil
+        with pool.transaction() as tx:
+            # BST descent.
+            parent_oid = nil
+            cur = tree.root
+            depth = 0
+            while cur != nil and depth < 128:
+                depth += 1
+                node = self._node(pool, cur)
+                if key == node.key:
+                    tx.add_field(node, "value", site="rbtree:insert:add_value")
+                    store_field(node, "value", value,
+                                site="rbtree:insert:store_value")
+                    return "updated"
+                parent_oid = cur
+                cur = node.left if key < node.key else node.right
+            # Allocate the new node (fresh: covered, no snapshot needed).
+            n = tx.znew(RBNode, site="rbtree:insert:alloc_node")
+            store_field(n, "key", key, site="rbtree:insert:store_key")
+            store_field(n, "value", value, site="rbtree:insert:store_newvalue")
+            n.left = nil
+            n.right = nil
+            n.parent = parent_oid
+            if "bug9_txset_fresh_node" in self.bugs:
+                # Paper Bug 9: TX_SET on a node TX_NEW just returned.
+                tx.set_field(n, "color", RED, site="rbtree:insert:txset_fresh")
+            else:
+                store_field(n, "color", RED, site="rbtree:insert:store_color")
+            # Link into the parent (or the root slot).
+            if parent_oid == nil:
+                tx.add_field(tree, "root", site="rbtree:insert:add_rootslot")
+                store_field(tree, "root", n.offset,
+                            site="rbtree:insert:store_rootslot")
+            else:
+                parent = self._node(pool, parent_oid)
+                side = "left" if key < parent.key else "right"
+                tx.add(parent.field_addr(side), 8, site="rbtree:insert:add_link")
+                pool.write(parent.field_addr(side),
+                           n.offset.to_bytes(8, "little"),
+                           site="rbtree:insert:store_link")
+            tx.add_field(tree, "count", site="rbtree:insert:add_count")
+            store_field(tree, "count", tree.count + 1,
+                        site="rbtree:insert:store_count")
+            self._insert_fixup(pool, tx, tree, n.offset)
+        return "inserted"
+
+    def _insert_fixup(self, pool: PmemObjPool, tx, tree: RBTree, z_oid: int) -> None:
+        """``rbtree_map_recolor``: restore red-black invariants."""
+        nil = tree.nil
+        depth = 0
+        while depth < 128:
+            depth += 1
+            z = self._node(pool, z_oid)
+            parent_oid = z.parent
+            if parent_oid == nil:
+                break
+            parent = self._node(pool, parent_oid)
+            if parent.color != RED:
+                break
+            grand_oid = parent.parent
+            grand = self._node(pool, grand_oid)
+            left_side = grand.left == parent_oid
+            uncle_oid = grand.right if left_side else grand.left
+            uncle = self._node(pool, uncle_oid)
+            if uncle.color == RED:
+                tx.add_struct(parent, site="rbtree:fixup:add_parent")
+                tx.add_struct(uncle, site="rbtree:fixup:add_uncle")
+                tx.add_struct(grand, site="rbtree:fixup:add_grand")
+                parent.color = BLACK
+                uncle.color = BLACK
+                grand.color = RED
+                z_oid = grand_oid
+                continue
+            rotated = False
+            inner = (z_oid == parent.right) if left_side else (z_oid == parent.left)
+            if inner:
+                z_oid = parent_oid
+                self._rotate(pool, tx, tree, z_oid, left=left_side)
+                rotated = True
+                z = self._node(pool, z_oid)
+                parent_oid = z.parent
+                parent = self._node(pool, parent_oid)
+            if "bug11_txset_rotated_parent" in self.bugs:
+                # Paper Bug 11: TX_SET on the parent — redundant exactly
+                # when the inner rotation above already snapshotted it.
+                tx.set_field(parent, "color", BLACK,
+                             site="rbtree:fixup:txset_parent")
+            else:
+                if not rotated:
+                    tx.add_field(parent, "color", site="rbtree:fixup:add_pcolor")
+                store_field(parent, "color", BLACK,
+                            site="rbtree:fixup:store_pcolor")
+            grand_oid = parent.parent
+            grand = self._node(pool, grand_oid)
+            if grand_oid != nil:
+                tx.add_struct(grand, site="rbtree:fixup:add_grand2")
+                grand.color = RED
+                self._rotate(pool, tx, tree, grand_oid, left=not left_side)
+            break
+        root_node = self._node(pool, tree.root)
+        if root_node.color != BLACK:
+            tx.add_field(root_node, "color", site="rbtree:fixup:add_rootcolor")
+            store_field(root_node, "color", BLACK,
+                        site="rbtree:fixup:store_rootcolor")
+
+    def _rotate(self, pool: PmemObjPool, tx, tree: RBTree, x_oid: int,
+                left: bool) -> None:
+        """``rbtree_map_rotate``: snapshot both nodes, then swap links.
+
+        Mirrors paper Figure 16: both the node and its child are logged
+        up front — occasionally redundant, but the alternative (deciding
+        per-call) is the trap Bug 11 fell into.
+        """
+        nil = tree.nil
+        x = self._node(pool, x_oid)
+        y_oid = x.right if left else x.left
+        y = self._node(pool, y_oid)
+        tx.add_struct(x, site="rbtree:rotate:add_node")
+        tx.add_struct(y, site="rbtree:rotate:add_child")
+        if left:
+            mid = y.left
+            x.right = mid
+            y.left = x_oid
+        else:
+            mid = y.right
+            x.left = mid
+            y.right = x_oid
+        if mid != nil:
+            mid_node = self._node(pool, mid)
+            tx.add_field(mid_node, "parent", site="rbtree:rotate:add_mid")
+            store_field(mid_node, "parent", x_oid, site="rbtree:rotate:store_mid")
+        parent_oid = x.parent
+        y.parent = parent_oid
+        x.parent = y_oid
+        if parent_oid == nil:
+            tx.add_field(tree, "root", site="rbtree:rotate:add_root")
+            store_field(tree, "root", y_oid, site="rbtree:rotate:store_root")
+        else:
+            parent = self._node(pool, parent_oid)
+            side = "left" if parent.left == x_oid else "right"
+            tx.add(parent.field_addr(side), 8, site="rbtree:rotate:add_parent")
+            pool.write(parent.field_addr(side), y_oid.to_bytes(8, "little"),
+                       site="rbtree:rotate:store_parent")
+
+    # ------------------------------------------------------------------
+    # Remove (transplant + conservative recolor)
+    # ------------------------------------------------------------------
+    def _remove(self, pool: PmemObjPool, key: int) -> str:
+        tree = self._tree(pool)
+        nil = tree.nil
+        with pool.transaction() as tx:
+            cur = tree.root
+            depth = 0
+            while cur != nil and depth < 128:
+                depth += 1
+                node = self._node(pool, cur)
+                if key == node.key:
+                    break
+                cur = node.left if key < node.key else node.right
+            else:
+                return "none"
+            if cur == nil:
+                return "none"
+            z = self._node(pool, cur)
+            if z.left != nil and z.right != nil:
+                # Two children: swap in the successor's payload, delete it.
+                succ_oid = z.right
+                sdepth = 0
+                while sdepth < 128:
+                    sdepth += 1
+                    succ = self._node(pool, succ_oid)
+                    if succ.left == nil:
+                        break
+                    succ_oid = succ.left
+                tx.add_struct(z, site="rbtree:remove:add_victim")
+                z.key = succ.key
+                z.value = succ.value
+                z = succ
+            child_oid = z.left if z.left != nil else z.right
+            was_black = z.color == BLACK
+            self._transplant(pool, tx, tree, z.offset, child_oid)
+            if was_black and child_oid != nil:
+                child = self._node(pool, child_oid)
+                tx.add_field(child, "color", site="rbtree:remove:add_childcolor")
+                store_field(child, "color", BLACK,
+                            site="rbtree:remove:store_childcolor")
+            tx.free(z.offset, site="rbtree:remove:free_node")
+            tx.add_field(tree, "count", site="rbtree:remove:add_count")
+            store_field(tree, "count", tree.count - 1,
+                        site="rbtree:remove:store_count")
+        return "removed"
+
+    def _transplant(self, pool: PmemObjPool, tx, tree: RBTree, u_oid: int,
+                    v_oid: int) -> None:
+        u = self._node(pool, u_oid)
+        parent_oid = u.parent
+        if parent_oid == tree.nil:
+            tx.add_field(tree, "root", site="rbtree:transplant:add_root")
+            store_field(tree, "root", v_oid, site="rbtree:transplant:store_root")
+        else:
+            parent = self._node(pool, parent_oid)
+            side = "left" if parent.left == u_oid else "right"
+            tx.add(parent.field_addr(side), 8, site="rbtree:transplant:add_link")
+            pool.write(parent.field_addr(side), v_oid.to_bytes(8, "little"),
+                       site="rbtree:transplant:store_link")
+        if v_oid != tree.nil:
+            v = self._node(pool, v_oid)
+            tx.add_field(v, "parent", site="rbtree:transplant:add_vparent")
+            store_field(v, "parent", parent_oid,
+                        site="rbtree:transplant:store_vparent")
+
+    # ------------------------------------------------------------------
+    # Oracle
+    # ------------------------------------------------------------------
+    def check_consistency(self, pool: PmemObjPool) -> List[str]:
+        violations: List[str] = []
+        if not self.is_created(pool):
+            return violations
+        tree = self._tree(pool)
+        nil = tree.nil
+        if nil == OID_NULL:
+            return ["NIL sentinel missing"]
+        if self._node(pool, nil).color != BLACK:
+            violations.append("NIL sentinel is not black")
+        count = self._check_subtree(pool, tree, tree.root, None, None,
+                                    violations, depth=0)
+        if tree.root != nil and self._node(pool, tree.root).color != BLACK:
+            violations.append("root is not black")
+        if count != tree.count:
+            violations.append(f"count {tree.count} != actual {count}")
+        return violations
+
+    def _check_subtree(self, pool, tree, oid, lo, hi, violations, depth) -> int:
+        if oid == tree.nil:
+            return 0
+        if depth > 128:
+            violations.append("tree too deep (cycle?)")
+            return 0
+        node = self._node(pool, oid)
+        key = node.key
+        if (lo is not None and key <= lo) or (hi is not None and key >= hi):
+            violations.append(f"BST violation at key {key}")
+            return 0
+        if node.color not in (RED, BLACK):
+            violations.append(f"color field corrupted at key {key}")
+        if node.color == RED:
+            for child_oid in (node.left, node.right):
+                if child_oid != tree.nil:
+                    if self._node(pool, child_oid).color == RED:
+                        violations.append(f"red-red violation at key {key}")
+        return (1
+                + self._check_subtree(pool, tree, node.left, lo, key,
+                                      violations, depth + 1)
+                + self._check_subtree(pool, tree, node.right, key, hi,
+                                      violations, depth + 1))
+
+    # ------------------------------------------------------------------
+    # Synthetic bugs (14 sites, Table 3)
+    # ------------------------------------------------------------------
+    def synthetic_bugs(self) -> Sequence[SyntheticBug]:
+        def bug(i: int, site: str, kind: BugKind, depth: int) -> SyntheticBug:
+            return SyntheticBug(f"rbtree:s{i:02d}", site, kind, depth)
+
+        return (
+            bug(1, "rbtree:create:add_root", BugKind.MISSING_TXADD, 0),
+            bug(2, "rbtree:create:store_root", BugKind.WRONG_VALUE, 0),
+            bug(3, "rbtree:create:store_nil", BugKind.WRONG_VALUE, 0),
+            bug(4, "rbtree:insert:add_value", BugKind.MISSING_TXADD, 1),
+            bug(5, "rbtree:insert:store_key", BugKind.WRONG_VALUE, 1),
+            bug(6, "rbtree:insert:add_link", BugKind.MISSING_TXADD, 1),
+            bug(7, "rbtree:insert:add_count", BugKind.MISSING_TXADD, 1),
+            bug(8, "rbtree:fixup:add_parent", BugKind.MISSING_TXADD, 2),
+            bug(9, "rbtree:fixup:store_pcolor", BugKind.WRONG_VALUE, 2),
+            bug(10, "rbtree:rotate:add_node", BugKind.MISSING_TXADD, 2),
+            bug(11, "rbtree:rotate:store_root", BugKind.WRONG_VALUE, 2),
+            bug(12, "rbtree:remove:add_victim", BugKind.MISSING_TXADD, 2),
+            bug(13, "rbtree:transplant:add_link", BugKind.MISSING_TXADD, 1),
+            bug(14, "rbtree:remove:store_count", BugKind.WRONG_VALUE, 1),
+        )

@@ -1,0 +1,122 @@
+"""The 12 real-world bugs PMFuzz discovered (paper Section 5.4).
+
+Each bug is re-created at the analogous location in the reproduced
+workloads and is enabled by a flag in the workload's ``bugs`` set.  The
+table below maps the paper's bug IDs to this repository.
+
+Crash consistency bugs:
+
+=====  =================  ==========================================
+Bug    Workload           Flag / mechanism
+=====  =================  ==========================================
+1      Hashmap-TX         ``init_not_retried`` — creation transaction
+                          rolled back by a crash is never retried; next
+                          run dereferences the NULL structure pointer.
+2      B-Tree             ``init_not_retried`` (same pattern)
+3      RB-Tree            ``init_not_retried``
+4      R-Tree             ``init_not_retried``
+5      Skip-List          ``init_not_retried``
+6      Hashmap-Atomic     ``bug6_no_recovery_call`` — the driver assumes
+                          transactional auto-recovery and never calls
+                          ``hashmap_atomic_init``; a crash image with
+                          ``count_dirty=1`` leaves the count wrong.
+=====  =================  ==========================================
+
+Performance bugs (all manifest as redundant-flush / redundant-TX_ADD
+trace annotations):
+
+=====  =================  ==========================================
+7      Memcached          ``bug7_redundant_flush`` — pslab_create
+                          flushes metadata that the whole-pool flush
+                          covers again.
+8      Hashmap-TX         ``bug8_redundant_txadd`` — create_hashmap
+                          TX_ADDs an object just allocated by TX_ZNEW.
+9      RB-Tree            ``bug9_txset_fresh_node`` — TX_SET on a node
+                          just allocated with TX_NEW.
+10     RB-Tree            ``bug10_log_fresh_root`` — logs the tree's
+                          first entry right after transactional
+                          allocation of the tree.
+11     RB-Tree            ``bug11_txset_rotated_parent`` — TX_SET on a
+                          parent already snapshotted by a rotation.
+12     B-Tree             ``bug12_txadd_found_dest`` — TX_ADDs the
+                          destination node again after find_dest_node
+                          already snapshotted it.
+=====  =================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+
+@dataclass(frozen=True)
+class RealBug:
+    """One of the 12 real-world bugs from Section 5.4."""
+
+    number: int
+    workload: str
+    flag: str
+    kind: str  # "crash-consistency" | "performance"
+    paper_location: str
+    paper_seconds: float  #: wall-clock time PMFuzz needed (Section 5.4.1)
+    description: str
+
+
+#: The full catalogue, in paper order.
+ALL_REAL_BUGS: Tuple[RealBug, ...] = (
+    RealBug(1, "hashmap_tx", "init_not_retried", "crash-consistency",
+            "hashmap_tx.c:402", 2.0,
+            "creation undone by a failure is never retried"),
+    RealBug(2, "btree", "init_not_retried", "crash-consistency",
+            "btree init", 2.0, "creation undone by a failure is never retried"),
+    RealBug(3, "rbtree", "init_not_retried", "crash-consistency",
+            "rbtree init", 2.0, "creation undone by a failure is never retried"),
+    RealBug(4, "rtree", "init_not_retried", "crash-consistency",
+            "rtree init", 2.0, "creation undone by a failure is never retried"),
+    RealBug(5, "skiplist", "init_not_retried", "crash-consistency",
+            "skiplist init", 2.0, "creation undone by a failure is never retried"),
+    RealBug(6, "hashmap_atomic", "bug6_no_recovery_call", "crash-consistency",
+            "mapcli:205 / hashmap_atomic.c:452", 37.0,
+            "driver never calls the low-level recovery function"),
+    RealBug(7, "memcached", "bug7_redundant_flush", "performance",
+            "pslab.c:317", 2.0,
+            "metadata flushes subsumed by the whole-pool flush"),
+    RealBug(8, "hashmap_tx", "bug8_redundant_txadd", "performance",
+            "hashmap_tx.c:90", 2.0,
+            "TX_ADD of an object freshly allocated by TX_ZNEW"),
+    RealBug(9, "rbtree", "bug9_txset_fresh_node", "performance",
+            "rbtree_map.c:215", 91.0,
+            "TX_SET on a transaction-allocated node"),
+    RealBug(10, "rbtree", "bug10_log_fresh_root", "performance",
+            "rbtree_map.c:215", 91.0,
+            "logging the first entry of a just-allocated tree"),
+    RealBug(11, "rbtree", "bug11_txset_rotated_parent", "performance",
+            "rbtree_map.c:215", 77.0,
+            "TX_SET on a parent already snapshotted by rotation"),
+    RealBug(12, "btree", "bug12_txadd_found_dest", "performance",
+            "btree_map.c:276", 88.0,
+            "TX_ADD of a node already snapshotted by find_dest_node"),
+)
+
+_BY_WORKLOAD: Dict[str, List[RealBug]] = {}
+for _bug in ALL_REAL_BUGS:
+    _BY_WORKLOAD.setdefault(_bug.workload, []).append(_bug)
+
+
+def real_bugs_for(workload_name: str) -> List[RealBug]:
+    """All catalogued real bugs living in ``workload_name``."""
+    return list(_BY_WORKLOAD.get(workload_name, []))
+
+
+def buggy_flags_for(workload_name: str) -> FrozenSet[str]:
+    """The flag set that enables every real bug of a workload."""
+    return frozenset(b.flag for b in real_bugs_for(workload_name))
+
+
+def bug_by_number(number: int) -> RealBug:
+    """Look up a bug by its paper number (1-12)."""
+    for bug in ALL_REAL_BUGS:
+        if bug.number == number:
+            return bug
+    raise KeyError(f"no real bug #{number}")

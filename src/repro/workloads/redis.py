@@ -1,0 +1,321 @@
+"""Simplified PM-Redis (the Intel ``pmem/redis`` analogue).
+
+The PM port of Redis keeps its serving dictionary in DRAM and mirrors
+every write into a persistent table, reconstructing the DRAM dictionary
+from PM at startup (the paper's Example 2 / Figure 3 shape):
+
+* **Persistent**: a bucketed table where each bucket is a singly-linked
+  entry list with head *and* tail pointers (appends go to the tail —
+  the code region Example 2's crash-consistency bug lives in; this
+  reproduction implements the *correct* tail backup).
+* **Volatile**: the serving dictionary, a RESP-ish protocol layer, and
+  expiry/statistics bookkeeping — the DRAM bulk that gives Redis the low
+  PM-path counts of Figure 13.
+
+14 synthetic-bug sites (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CommandError
+from repro.pmdk.layout import OID, PStruct, U64, store_field
+from repro.pmdk.pool import OID_NULL, PmemObjPool
+from repro.workloads.base import Command, Workload
+from repro.workloads.synthetic import BugKind, SyntheticBug
+
+NBUCKETS = 16
+
+
+class RedisRoot(PStruct):
+    """Pool root: pointer to the database object."""
+
+    _fields_ = [("db_oid", OID)]
+
+
+class RedisDB(PStruct):
+    """Database header."""
+
+    _fields_ = [("nbuckets", U64), ("count", U64), ("table_oid", OID)]
+
+
+class Bucket(PStruct):
+    """A bucket header: head and tail of the entry list."""
+
+    _fields_ = [("head", OID), ("tail", OID)]
+
+
+class REntry(PStruct):
+    """A persistent key-value entry."""
+
+    _fields_ = [("key", U64), ("value", U64), ("next", OID)]
+
+
+class RedisWorkload(Workload):
+    """Driver for the simplified PM-Redis."""
+
+    name = "redis"
+    layout = "redis"
+
+    def __init__(self, bugs=frozenset()) -> None:
+        super().__init__(bugs)
+        self._dict: Dict[int, int] = {}  # DRAM serving dictionary
+        self._dirty_protocol_bytes = 0  # volatile protocol statistics
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_structure(self, pool: PmemObjPool) -> None:
+        root = pool.root(RedisRoot, site="redis:create:root")
+        with pool.transaction() as tx:
+            tx.add_field(root, "db_oid", site="redis:create:add_root")
+            db = tx.znew(RedisDB, site="redis:create:alloc_db")
+            store_field(db, "nbuckets", NBUCKETS, site="redis:create:store_nbuckets")
+            table = tx.zalloc(Bucket._size_ * NBUCKETS,
+                              site="redis:create:alloc_table")
+            store_field(db, "table_oid", table, site="redis:create:store_table")
+            store_field(db, "count", 0, site="redis:create:store_count")
+            root.db_oid = db.offset
+
+    def is_created(self, pool: PmemObjPool) -> bool:
+        if pool.root_oid == OID_NULL:
+            return False
+        return pool.typed(pool.root_oid, RedisRoot).db_oid != OID_NULL
+
+    def recover(self, pool: PmemObjPool) -> None:
+        """``PMReconstruct``: rebuild the DRAM dictionary from PM."""
+        self._dict.clear()
+        if not self.is_created(pool):
+            return
+        db = self._db(pool)
+        for i in range(db.nbuckets):
+            bucket = self._bucket(pool, db, i)
+            cur = bucket.head
+            steps = 0
+            while cur != OID_NULL and steps < 4096:
+                steps += 1
+                entry = pool.typed(cur, REntry)
+                self._dict[entry.key] = entry.value
+                cur = entry.next
+
+    def _db(self, pool: PmemObjPool) -> RedisDB:
+        root = pool.typed(pool.root_oid, RedisRoot)
+        return pool.typed(root.db_oid, RedisDB)
+
+    def _bucket(self, pool: PmemObjPool, db: RedisDB, index: int) -> Bucket:
+        return pool.typed(db.table_oid + index * Bucket._size_, Bucket)
+
+    # ------------------------------------------------------------------
+    # Volatile protocol layer (RESP-ish round trip)
+    # ------------------------------------------------------------------
+    _VERBS = {"i": "SET", "g": "GET", "r": "DEL", "x": "EXISTS", "n": "DBSIZE",
+              "b": "FLUSHDB", "m": "RANDOMKEY", "q": "KEYS"}
+
+    def _encode_resp(self, verb: str, cmd: Command) -> List[bytes]:
+        """Render the command as a RESP array (pure DRAM work)."""
+        parts = [verb.encode()]
+        if cmd.key is not None:
+            parts.append(str(cmd.key).encode())
+        if cmd.value is not None:
+            parts.append(str(cmd.value).encode())
+        frame = b"*%d\r\n" % len(parts)
+        for part in parts:
+            frame += b"$%d\r\n%s\r\n" % (len(part), part)
+        self._dirty_protocol_bytes += len(frame)
+        # Re-parse (what the server side would do with the socket bytes).
+        tokens: List[bytes] = []
+        for line in frame.split(b"\r\n"):
+            if line and not line.startswith((b"*", b"$")):
+                tokens.append(line)
+        return tokens
+
+    def exec_command(self, pool: PmemObjPool, cmd: Command) -> Optional[str]:
+        verb = self._VERBS.get(cmd.op)
+        if verb is None:
+            raise CommandError(f"unknown op {cmd.op!r}")
+        tokens = self._encode_resp(verb, cmd)
+        if not tokens or tokens[0].decode() != verb:
+            raise CommandError("protocol round-trip failed")
+        if verb == "SET":
+            return self._put(pool, cmd.key, cmd.value or 0)
+        if verb == "GET":
+            value = self._dict.get(cmd.key)
+            return "none" if value is None else str(value)
+        if verb == "DEL":
+            return self._delete(pool, cmd.key)
+        if verb == "EXISTS":
+            return "1" if cmd.key in self._dict else "0"
+        if verb == "DBSIZE":
+            return str(self._db(pool).count)
+        if verb == "FLUSHDB":
+            removed = 0
+            for key in sorted(self._dict):
+                self._delete(pool, key)
+                removed += 1
+            return f"flushed {removed}"
+        if verb == "RANDOMKEY":
+            return self._first_key(pool)
+        if verb == "KEYS":
+            return ",".join(self._scan(pool))
+        raise CommandError(f"unhandled verb {verb}")
+
+    def _first_key(self, pool: PmemObjPool) -> str:
+        """Read the first persistent entry (PM read, occupancy-gated)."""
+        db = self._db(pool)
+        for i in range(db.nbuckets):
+            bucket = self._bucket(pool, db, i)
+            if bucket.head != OID_NULL:
+                entry = pool.typed(bucket.head, REntry)
+                return f"{entry.key}={entry.value}"
+        return "none"
+
+    def _scan(self, pool: PmemObjPool, limit: int = 24) -> List[str]:
+        """``KEYS *``: bounded walk over the persistent table."""
+        out: List[str] = []
+        db = self._db(pool)
+        for i in range(db.nbuckets):
+            bucket = self._bucket(pool, db, i)
+            cur = bucket.head
+            steps = 0
+            while cur != OID_NULL and steps < 64 and len(out) < limit:
+                steps += 1
+                entry = pool.typed(cur, REntry)
+                out.append(str(entry.key))
+                cur = entry.next
+            if len(out) >= limit:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # Persistent operations
+    # ------------------------------------------------------------------
+    def _put(self, pool: PmemObjPool, key: int, value: int) -> str:
+        db = self._db(pool)
+        index = key % db.nbuckets
+        with pool.transaction() as tx:
+            bucket = self._bucket(pool, db, index)
+            # Update in place when present.
+            cur = bucket.head
+            steps = 0
+            while cur != OID_NULL and steps < 4096:
+                steps += 1
+                entry = pool.typed(cur, REntry)
+                if entry.key == key:
+                    tx.add_field(entry, "value", site="redis:put:add_value")
+                    store_field(entry, "value", value, site="redis:put:store_value")
+                    self._dict[key] = value
+                    return "updated"
+                cur = entry.next
+            # Append at the tail (Example 2's code region, done right:
+            # both the tail pointer and the tail entry's next are logged).
+            new = tx.znew(REntry, site="redis:put:alloc_entry")
+            store_field(new, "key", key, site="redis:put:store_key")
+            store_field(new, "value", value, site="redis:put:store_newvalue")
+            if bucket.head == OID_NULL:
+                tx.add_struct(bucket, site="redis:put:add_bucket")
+                store_field(bucket, "head", new.offset, site="redis:put:store_head")
+                store_field(bucket, "tail", new.offset, site="redis:put:store_tail")
+            else:
+                tail_entry = pool.typed(bucket.tail, REntry)
+                tx.add_field(tail_entry, "next", site="redis:put:add_tailnext")
+                store_field(tail_entry, "next", new.offset,
+                            site="redis:put:store_tailnext")
+                tx.add_field(bucket, "tail", site="redis:put:add_tail")
+                store_field(bucket, "tail", new.offset,
+                            site="redis:put:store_tail2")
+            tx.add_field(db, "count", site="redis:put:add_count")
+            store_field(db, "count", db.count + 1, site="redis:put:store_count")
+        self._dict[key] = value
+        return "inserted"
+
+    def _delete(self, pool: PmemObjPool, key: int) -> str:
+        db = self._db(pool)
+        index = key % db.nbuckets
+        with pool.transaction() as tx:
+            bucket = self._bucket(pool, db, index)
+            prev = OID_NULL
+            cur = bucket.head
+            steps = 0
+            while cur != OID_NULL and steps < 4096:
+                steps += 1
+                entry = pool.typed(cur, REntry)
+                if entry.key == key:
+                    nxt = entry.next
+                    if prev == OID_NULL:
+                        tx.add_field(bucket, "head", site="redis:del:add_head")
+                        store_field(bucket, "head", nxt, site="redis:del:store_head")
+                    else:
+                        prev_entry = pool.typed(prev, REntry)
+                        tx.add_field(prev_entry, "next", site="redis:del:add_prev")
+                        store_field(prev_entry, "next", nxt,
+                                    site="redis:del:store_prev")
+                    if bucket.tail == cur:
+                        tx.add_field(bucket, "tail", site="redis:del:add_tail")
+                        store_field(bucket, "tail", prev, site="redis:del:store_tail")
+                    tx.free(cur, site="redis:del:free_entry")
+                    tx.add_field(db, "count", site="redis:del:add_count")
+                    store_field(db, "count", db.count - 1,
+                                site="redis:del:store_count")
+                    self._dict.pop(key, None)
+                    return "removed"
+                prev = cur
+                cur = entry.next
+        return "none"
+
+    # ------------------------------------------------------------------
+    # Oracle
+    # ------------------------------------------------------------------
+    def check_consistency(self, pool: PmemObjPool) -> List[str]:
+        violations: List[str] = []
+        if not self.is_created(pool):
+            return violations
+        db = self._db(pool)
+        if db.nbuckets != NBUCKETS:
+            return [f"nbuckets corrupted: {db.nbuckets}"]
+        total = 0
+        for i in range(db.nbuckets):
+            bucket = self._bucket(pool, db, i)
+            seen = set()
+            last = OID_NULL
+            cur = bucket.head
+            while cur != OID_NULL:
+                if cur in seen:
+                    violations.append(f"cycle in bucket {i}")
+                    return violations
+                seen.add(cur)
+                entry = pool.typed(cur, REntry)
+                if entry.key % db.nbuckets != i:
+                    violations.append(f"key {entry.key} in wrong bucket {i}")
+                total += 1
+                last = cur
+                cur = entry.next
+            if bucket.tail != last:
+                violations.append(f"bucket {i} tail does not match list end")
+        if total != db.count:
+            violations.append(f"count {db.count} != actual {total}")
+        return violations
+
+    # ------------------------------------------------------------------
+    # Synthetic bugs (14 sites, Table 3)
+    # ------------------------------------------------------------------
+    def synthetic_bugs(self) -> Sequence[SyntheticBug]:
+        def bug(i: int, site: str, kind: BugKind, depth: int) -> SyntheticBug:
+            return SyntheticBug(f"redis:s{i:02d}", site, kind, depth)
+
+        return (
+            bug(1, "redis:create:add_root", BugKind.MISSING_TXADD, 0),
+            bug(2, "redis:create:store_nbuckets", BugKind.WRONG_VALUE, 0),
+            bug(3, "redis:create:store_table", BugKind.WRONG_VALUE, 0),
+            bug(4, "redis:put:add_value", BugKind.MISSING_TXADD, 1),
+            bug(5, "redis:put:store_key", BugKind.WRONG_VALUE, 1),
+            bug(6, "redis:put:add_bucket", BugKind.MISSING_TXADD, 1),
+            bug(7, "redis:put:store_tail", BugKind.WRONG_VALUE, 1),
+            bug(8, "redis:put:add_tailnext", BugKind.MISSING_TXADD, 1),
+            bug(9, "redis:put:store_tail2", BugKind.WRONG_VALUE, 1),
+            bug(10, "redis:put:add_count", BugKind.MISSING_TXADD, 1),
+            bug(11, "redis:del:add_head", BugKind.MISSING_TXADD, 1),
+            bug(12, "redis:del:add_prev", BugKind.MISSING_TXADD, 2),
+            bug(13, "redis:del:add_tail", BugKind.MISSING_TXADD, 2),
+            bug(14, "redis:del:store_count", BugKind.WRONG_VALUE, 1),
+        )

@@ -1,0 +1,57 @@
+"""Workload registry: name → class, for drivers and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Type
+
+from repro.workloads.base import Workload
+
+
+def _load() -> Dict[str, Type[Workload]]:
+    from repro.workloads.btree import BTreeWorkload
+    from repro.workloads.hashmap_atomic import HashmapAtomicWorkload
+    from repro.workloads.hashmap_tx import HashmapTxWorkload
+    from repro.workloads.memcached import MemcachedWorkload
+    from repro.workloads.rbtree import RBTreeWorkload
+    from repro.workloads.redis import RedisWorkload
+    from repro.workloads.rtree import RTreeWorkload
+    from repro.workloads.skiplist import SkipListWorkload
+
+    classes = (
+        BTreeWorkload,
+        RBTreeWorkload,
+        RTreeWorkload,
+        SkipListWorkload,
+        HashmapTxWorkload,
+        HashmapAtomicWorkload,
+        MemcachedWorkload,
+        RedisWorkload,
+    )
+    return {cls.name: cls for cls in classes}
+
+
+#: Lazily populated name → class map (import cost paid once).
+WORKLOADS: Dict[str, Type[Workload]] = {}
+
+
+def _ensure_loaded() -> None:
+    if not WORKLOADS:
+        WORKLOADS.update(_load())
+
+
+def workload_names() -> List[str]:
+    """All eight workload names, in the paper's Table 3 order."""
+    _ensure_loaded()
+    return list(WORKLOADS)
+
+
+def get_workload(name: str, bugs: FrozenSet[str] = frozenset()) -> Workload:
+    """Instantiate a workload by name with the given real-bug flags."""
+    _ensure_loaded()
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+    return cls(bugs=bugs)

@@ -1,0 +1,291 @@
+"""Radix tree key-value store (PMDK ``rtree_map`` analogue).
+
+PMDK's ``rtree_map`` is a radix tree over the key's bit string.  The
+reproduction uses a fixed-stride radix tree: 8-bit keys consumed two
+bits at a time through 4-way branch nodes, so every insert touches a
+chain of up to four persistent nodes (a naturally long PM path), and
+removal *prunes* empty branch nodes bottom-up — the deep path that
+requires populated images to reach.
+
+Hosts paper **Bug 4** (``init_not_retried``) and 16 synthetic-bug sites.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import CommandError
+from repro.pmdk.layout import Array, OID, PStruct, U64, store_field
+from repro.pmdk.pool import OID_NULL, PmemObjPool
+from repro.workloads.base import Command, Workload
+from repro.workloads.synthetic import BugKind, SyntheticBug
+
+#: Two key bits consumed per level → 4 children per node.
+STRIDE_BITS = 2
+FANOUT = 1 << STRIDE_BITS
+KEY_BITS = 8
+DEPTH = KEY_BITS // STRIDE_BITS  # 4 levels below the root
+
+
+class RTreeRoot(PStruct):
+    """Pool root: pointer to the radix tree's top node."""
+
+    _fields_ = [("tree_oid", OID)]
+
+
+class RNode(PStruct):
+    """A radix node: 4 children plus an optional stored value."""
+
+    _fields_ = [
+        ("children", Array(OID, FANOUT)),
+        ("has_value", U64),
+        ("value", U64),
+        ("nchildren", U64),
+    ]
+
+
+def _digits(key: int) -> List[int]:
+    """The key's 2-bit digits, most significant first."""
+    return [(key >> (KEY_BITS - STRIDE_BITS * (i + 1))) & (FANOUT - 1)
+            for i in range(DEPTH)]
+
+
+class RTreeWorkload(Workload):
+    """Driver for the radix tree."""
+
+    name = "rtree"
+    layout = "rtree"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_structure(self, pool: PmemObjPool) -> None:
+        root = pool.root(RTreeRoot, site="rtree:create:root")
+        with pool.transaction() as tx:
+            tx.add_field(root, "tree_oid", site="rtree:create:add_root")
+            top = tx.znew(RNode, site="rtree:create:alloc_top")
+            store_field(top, "nchildren", 0, site="rtree:create:store_n")
+            root.tree_oid = top.offset
+
+    def is_created(self, pool: PmemObjPool) -> bool:
+        if pool.root_oid == OID_NULL:
+            return False
+        return pool.typed(pool.root_oid, RTreeRoot).tree_oid != OID_NULL
+
+    def recover(self, pool: PmemObjPool) -> None:
+        """Open-time check: descend the first occupied branch.
+
+        PM reads here only happen when the image carries entries — an
+        image-gated code region (Requirement 1).
+        """
+        if not self.is_created(pool):
+            return
+        node = self._top(pool)
+        for _ in range(DEPTH):
+            child = OID_NULL
+            for i in range(FANOUT):
+                child = node.children[i]
+                if child != OID_NULL:
+                    break
+            if child == OID_NULL:
+                return
+            node = pool.typed(child, RNode)
+        _ = node.value  # first stored value (PM read)
+
+    def _top(self, pool: PmemObjPool) -> RNode:
+        root = pool.typed(pool.root_oid, RTreeRoot)
+        return pool.typed(root.tree_oid, RNode)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def exec_command(self, pool: PmemObjPool, cmd: Command) -> Optional[str]:
+        if cmd.op == "i":
+            return self._insert(pool, cmd.key, cmd.value or 0)
+        if cmd.op == "g":
+            found = self._lookup(pool, cmd.key)
+            return "none" if found is None else str(found)
+        if cmd.op == "r":
+            return self._remove(pool, cmd.key)
+        if cmd.op == "x":
+            return "1" if self._lookup(pool, cmd.key) is not None else "0"
+        if cmd.op == "n":
+            return str(self._count(pool, self._top(pool), 0))
+        if cmd.op == "m":
+            node = self._top(pool)
+            key = 0
+            for level in range(DEPTH):
+                child = OID_NULL
+                digit = 0
+                for i in range(FANOUT):
+                    if node.children[i] != OID_NULL:
+                        child = node.children[i]
+                        digit = i
+                        break
+                if child == OID_NULL:
+                    return "none"
+                key = (key << STRIDE_BITS) | digit
+                node = pool.typed(child, RNode)
+            return f"{key}={node.value}" if node.has_value else "none"
+        if cmd.op == "q":
+            out: List[str] = []
+            self._scan(pool, self._top(pool), 0, 0, out)
+            return ",".join(out)
+        if cmd.op == "b":
+            return "noop"
+        raise CommandError(f"unknown op {cmd.op!r}")
+
+    def _scan(self, pool: PmemObjPool, node: RNode, depth: int, prefix: int,
+              out: List[str], limit: int = 24) -> None:
+        """Bounded DFS over stored values (mapcli foreach analogue)."""
+        if len(out) >= limit:
+            return
+        if depth == DEPTH:
+            if node.has_value:
+                out.append(str(prefix))
+            return
+        for i in range(FANOUT):
+            child = node.children[i]
+            if child != OID_NULL:
+                self._scan(pool, pool.typed(child, RNode), depth + 1,
+                           (prefix << STRIDE_BITS) | i, out, limit)
+                if len(out) >= limit:
+                    return
+
+    def _lookup(self, pool: PmemObjPool, key: int) -> Optional[int]:
+        node = self._top(pool)
+        for digit in _digits(key):
+            child = node.children[digit]
+            if child == OID_NULL:
+                return None
+            node = pool.typed(child, RNode)
+        return node.value if node.has_value else None
+
+    def _count(self, pool: PmemObjPool, node: RNode, depth: int) -> int:
+        total = 1 if node.has_value else 0
+        if depth >= DEPTH:
+            return total
+        for i in range(FANOUT):
+            child = node.children[i]
+            if child != OID_NULL:
+                total += self._count(pool, pool.typed(child, RNode), depth + 1)
+        return total
+
+    # ------------------------------------------------------------------
+    # Insert / remove
+    # ------------------------------------------------------------------
+    def _insert(self, pool: PmemObjPool, key: int, value: int) -> str:
+        with pool.transaction() as tx:
+            node = self._top(pool)
+            for digit in _digits(key):
+                child = node.children[digit]
+                if child == OID_NULL:
+                    fresh = tx.znew(RNode, site="rtree:insert:alloc_node")
+                    tx.add(node.field_addr("children") + 8 * digit, 8,
+                           site="rtree:insert:add_childslot")
+                    pool.write(node.field_addr("children") + 8 * digit,
+                               fresh.offset.to_bytes(8, "little"),
+                               site="rtree:insert:store_childslot")
+                    tx.add_field(node, "nchildren", site="rtree:insert:add_nchildren")
+                    store_field(node, "nchildren", node.nchildren + 1,
+                                site="rtree:insert:store_nchildren")
+                    node = fresh
+                else:
+                    node = pool.typed(child, RNode)
+            existed = node.has_value != 0
+            tx.add_field(node, "value", site="rtree:insert:add_value")
+            store_field(node, "value", value, site="rtree:insert:store_value")
+            tx.add_field(node, "has_value", site="rtree:insert:add_hasvalue")
+            store_field(node, "has_value", 1, site="rtree:insert:store_hasvalue")
+        return "updated" if existed else "inserted"
+
+    def _remove(self, pool: PmemObjPool, key: int) -> str:
+        with pool.transaction() as tx:
+            path: List[RNode] = [self._top(pool)]
+            digits = _digits(key)
+            for digit in digits:
+                child = path[-1].children[digit]
+                if child == OID_NULL:
+                    return "none"
+                path.append(pool.typed(child, RNode))
+            leaf = path[-1]
+            if not leaf.has_value:
+                return "none"
+            tx.add_field(leaf, "has_value", site="rtree:remove:add_hasvalue")
+            store_field(leaf, "has_value", 0, site="rtree:remove:store_hasvalue")
+            # Prune: free now-empty nodes bottom-up (the deep PM path).
+            for level in range(DEPTH, 0, -1):
+                node = path[level]
+                if node.has_value or node.nchildren:
+                    break
+                parent = path[level - 1]
+                digit = digits[level - 1]
+                tx.add(parent.field_addr("children") + 8 * digit, 8,
+                       site="rtree:prune:add_childslot")
+                pool.write(parent.field_addr("children") + 8 * digit,
+                           OID_NULL.to_bytes(8, "little"),
+                           site="rtree:prune:store_childslot")
+                tx.add_field(parent, "nchildren", site="rtree:prune:add_nchildren")
+                store_field(parent, "nchildren", parent.nchildren - 1,
+                            site="rtree:prune:store_nchildren")
+                tx.free(node.offset, site="rtree:prune:free_node")
+        return "removed"
+
+    # ------------------------------------------------------------------
+    # Oracle
+    # ------------------------------------------------------------------
+    def check_consistency(self, pool: PmemObjPool) -> List[str]:
+        violations: List[str] = []
+        if not self.is_created(pool):
+            return violations
+        self._check_node(pool, self._top(pool), 0, violations)
+        return violations
+
+    def _check_node(self, pool: PmemObjPool, node: RNode, depth: int,
+                    violations: List[str]) -> None:
+        if depth > DEPTH:
+            violations.append("radix node below leaf level")
+            return
+        actual = sum(1 for i in range(FANOUT) if node.children[i] != OID_NULL)
+        if actual != node.nchildren:
+            violations.append(
+                f"nchildren {node.nchildren} != actual {actual} "
+                f"at depth {depth}"
+            )
+        if depth == DEPTH and actual:
+            violations.append("leaf node has children")
+        if node.has_value not in (0, 1):
+            violations.append(f"has_value flag corrupted at depth {depth}")
+        if depth < DEPTH and node.has_value:
+            violations.append(f"interior node at depth {depth} holds a value")
+        for i in range(FANOUT):
+            child = node.children[i]
+            if child != OID_NULL:
+                self._check_node(pool, pool.typed(child, RNode), depth + 1,
+                                 violations)
+
+    # ------------------------------------------------------------------
+    # Synthetic bugs (16 sites, Table 3)
+    # ------------------------------------------------------------------
+    def synthetic_bugs(self) -> Sequence[SyntheticBug]:
+        def bug(i: int, site: str, kind: BugKind, depth: int) -> SyntheticBug:
+            return SyntheticBug(f"rtree:s{i:02d}", site, kind, depth)
+
+        return (
+            bug(1, "rtree:create:add_root", BugKind.MISSING_TXADD, 0),
+            bug(2, "rtree:create:store_n", BugKind.WRONG_VALUE, 0),
+            bug(3, "rtree:insert:add_childslot", BugKind.MISSING_TXADD, 1),
+            bug(4, "rtree:insert:store_childslot", BugKind.WRONG_VALUE, 1),
+            bug(5, "rtree:insert:add_nchildren", BugKind.MISSING_TXADD, 1),
+            bug(6, "rtree:insert:store_nchildren", BugKind.WRONG_VALUE, 1),
+            bug(7, "rtree:insert:add_value", BugKind.MISSING_TXADD, 1),
+            bug(8, "rtree:insert:store_value", BugKind.WRONG_VALUE, 1),
+            bug(9, "rtree:insert:add_hasvalue", BugKind.MISSING_TXADD, 1),
+            bug(10, "rtree:insert:store_hasvalue", BugKind.WRONG_VALUE, 1),
+            bug(11, "rtree:remove:add_hasvalue", BugKind.MISSING_TXADD, 1),
+            bug(12, "rtree:remove:store_hasvalue", BugKind.WRONG_VALUE, 1),
+            bug(13, "rtree:prune:add_childslot", BugKind.MISSING_TXADD, 2),
+            bug(14, "rtree:prune:store_childslot", BugKind.WRONG_VALUE, 2),
+            bug(15, "rtree:prune:add_nchildren", BugKind.MISSING_TXADD, 2),
+            bug(16, "rtree:prune:store_nchildren", BugKind.WRONG_VALUE, 2),
+        )

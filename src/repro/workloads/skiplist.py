@@ -1,0 +1,298 @@
+"""Skip list key-value store (PMDK ``skiplist_map`` analogue).
+
+A 4-level skip list with a persistent head node.  Node levels are a
+deterministic function of the key (derandomization requirement: the same
+input must always build the same structure).  Splicing a node touches up
+to four predecessor nodes in one transaction, giving multi-node PM
+paths; the highest levels are only exercised by specific keys, which is
+what makes some synthetic sites deep.
+
+Hosts paper **Bug 5** (``init_not_retried``) and 12 synthetic-bug sites.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro._util import stable_hash32
+from repro.errors import CommandError
+from repro.pmdk.layout import Array, OID, PStruct, U64, store_field
+from repro.pmdk.pool import OID_NULL, PmemObjPool
+from repro.workloads.base import Command, Workload
+from repro.workloads.synthetic import BugKind, SyntheticBug
+
+MAX_LEVEL = 4
+
+
+class SkipRoot(PStruct):
+    """Pool root: pointer to the skip list's head node."""
+
+    _fields_ = [("head_oid", OID)]
+
+
+class SkipNode(PStruct):
+    """A skip-list node with forward pointers for each level."""
+
+    _fields_ = [
+        ("key", U64),
+        ("value", U64),
+        ("level", U64),
+        ("next", Array(OID, MAX_LEVEL)),
+    ]
+
+
+def node_level(key: int) -> int:
+    """Deterministic level in [1, MAX_LEVEL] (geometric-ish by key hash)."""
+    h = stable_hash32(f"skiplist-level:{key}")
+    level = 1
+    while level < MAX_LEVEL and (h >> level) & 1:
+        level += 1
+    return level
+
+
+class SkipListWorkload(Workload):
+    """Driver for the skip list."""
+
+    name = "skiplist"
+    layout = "skiplist"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_structure(self, pool: PmemObjPool) -> None:
+        root = pool.root(SkipRoot, site="skiplist:create:root")
+        with pool.transaction() as tx:
+            tx.add_field(root, "head_oid", site="skiplist:create:add_root")
+            head = tx.znew(SkipNode, site="skiplist:create:alloc_head")
+            store_field(head, "level", MAX_LEVEL, site="skiplist:create:store_level")
+            root.head_oid = head.offset
+
+    def is_created(self, pool: PmemObjPool) -> bool:
+        if pool.root_oid == OID_NULL:
+            return False
+        return pool.typed(pool.root_oid, SkipRoot).head_oid != OID_NULL
+
+    def recover(self, pool: PmemObjPool) -> None:
+        """Open-time check: probe each level's first node.
+
+        Higher levels are populated only by tall nodes in accumulated
+        images, so these reads form a ladder of image-gated PM regions.
+        """
+        if not self.is_created(pool):
+            return
+        head = self._head(pool)
+        for lv in range(MAX_LEVEL - 1, -1, -1):
+            first = head.next[lv]
+            if first != OID_NULL:
+                node = pool.typed(first, SkipNode)
+                _ = node.key  # PM read, gated on level population
+                break
+
+    def _head(self, pool: PmemObjPool) -> SkipNode:
+        root = pool.typed(pool.root_oid, SkipRoot)
+        return pool.typed(root.head_oid, SkipNode)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def exec_command(self, pool: PmemObjPool, cmd: Command) -> Optional[str]:
+        if cmd.op == "i":
+            return self._insert(pool, cmd.key, cmd.value or 0)
+        if cmd.op == "g":
+            found = self._lookup(pool, cmd.key)
+            return "none" if found is None else str(found)
+        if cmd.op == "r":
+            return self._remove(pool, cmd.key)
+        if cmd.op == "x":
+            return "1" if self._lookup(pool, cmd.key) is not None else "0"
+        if cmd.op == "n":
+            return str(self._count(pool))
+        if cmd.op == "m":
+            head = self._head(pool)
+            first = head.next[0]
+            if first == OID_NULL:
+                return "none"
+            node = pool.typed(first, SkipNode)
+            return f"{node.key}={node.value}"
+        if cmd.op == "q":
+            return ",".join(self._scan(pool))
+        if cmd.op == "b":
+            return "noop"
+        raise CommandError(f"unknown op {cmd.op!r}")
+
+    def _scan(self, pool: PmemObjPool, limit: int = 24) -> List[str]:
+        """Bounded walk of every level (mapcli foreach analogue).
+
+        The higher levels only contain tall nodes, so their walk reads
+        fire only against images populated enough to have grown them.
+        """
+        out: List[str] = []
+        head = self._head(pool)
+        for lv in range(MAX_LEVEL - 1, -1, -1):
+            cur = head.next[lv]
+            steps = 0
+            while cur != OID_NULL and steps < 8 and len(out) < limit:
+                steps += 1
+                node = pool.typed(cur, SkipNode)
+                out.append(f"L{lv}:{node.key}")
+                cur = node.next[lv]
+        return out
+
+    def _find_preds(self, pool: PmemObjPool, key: int) -> List[SkipNode]:
+        """Return the predecessor node at every level (head included)."""
+        preds: List[Optional[SkipNode]] = [None] * MAX_LEVEL
+        node = self._head(pool)
+        for level in range(MAX_LEVEL - 1, -1, -1):
+            steps = 0
+            while steps < 4096:
+                steps += 1
+                nxt = node.next[level]
+                if nxt == OID_NULL:
+                    break
+                nxt_node = pool.typed(nxt, SkipNode)
+                if nxt_node.key >= key:
+                    break
+                node = nxt_node
+            preds[level] = node
+        return preds  # type: ignore[return-value]
+
+    def _lookup(self, pool: PmemObjPool, key: int) -> Optional[int]:
+        preds = self._find_preds(pool, key)
+        candidate = preds[0].next[0]
+        if candidate == OID_NULL:
+            return None
+        node = pool.typed(candidate, SkipNode)
+        return node.value if node.key == key else None
+
+    def _count(self, pool: PmemObjPool) -> int:
+        node = self._head(pool)
+        total = 0
+        steps = 0
+        cur = node.next[0]
+        while cur != OID_NULL and steps < 4096:
+            steps += 1
+            total += 1
+            cur = pool.typed(cur, SkipNode).next[0]
+        return total
+
+    # ------------------------------------------------------------------
+    # Insert / remove
+    # ------------------------------------------------------------------
+    def _insert(self, pool: PmemObjPool, key: int, value: int) -> str:
+        with pool.transaction() as tx:
+            preds = self._find_preds(pool, key)
+            candidate = preds[0].next[0]
+            if candidate != OID_NULL:
+                node = pool.typed(candidate, SkipNode)
+                if node.key == key:
+                    tx.add_field(node, "value", site="skiplist:insert:add_value")
+                    store_field(node, "value", value,
+                                site="skiplist:insert:store_value")
+                    return "updated"
+            level = node_level(key)
+            fresh = tx.znew(SkipNode, site="skiplist:insert:alloc_node")
+            store_field(fresh, "key", key, site="skiplist:insert:store_key")
+            store_field(fresh, "value", value, site="skiplist:insert:store_newvalue")
+            store_field(fresh, "level", level, site="skiplist:insert:store_level")
+            for lv in range(level):
+                pred = preds[lv]
+                fresh.next[lv] = pred.next[lv]
+                # The high levels are only spliced for tall nodes — a
+                # distinct, deeper PM operation site.
+                add_site = ("skiplist:insert:add_prednext_hi" if lv >= 2
+                            else "skiplist:insert:add_prednext")
+                tx.add(pred.field_addr("next") + 8 * lv, 8, site=add_site)
+                pool.write(pred.field_addr("next") + 8 * lv,
+                           fresh.offset.to_bytes(8, "little"),
+                           site="skiplist:insert:store_prednext")
+        return "inserted"
+
+    def _remove(self, pool: PmemObjPool, key: int) -> str:
+        with pool.transaction() as tx:
+            preds = self._find_preds(pool, key)
+            candidate = preds[0].next[0]
+            if candidate == OID_NULL:
+                return "none"
+            node = pool.typed(candidate, SkipNode)
+            if node.key != key:
+                return "none"
+            for lv in range(node.level):
+                pred = preds[lv]
+                if pred.next[lv] != candidate:
+                    continue
+                add_site = ("skiplist:remove:add_prednext_hi" if lv >= 2
+                            else "skiplist:remove:add_prednext")
+                tx.add(pred.field_addr("next") + 8 * lv, 8, site=add_site)
+                pool.write(pred.field_addr("next") + 8 * lv,
+                           node.next[lv].to_bytes(8, "little"),
+                           site="skiplist:remove:store_prednext")
+            tx.free(candidate, site="skiplist:remove:free_node")
+        return "removed"
+
+    # ------------------------------------------------------------------
+    # Oracle
+    # ------------------------------------------------------------------
+    def check_consistency(self, pool: PmemObjPool) -> List[str]:
+        violations: List[str] = []
+        if not self.is_created(pool):
+            return violations
+        head = self._head(pool)
+        if head.level != MAX_LEVEL:
+            violations.append(f"head level corrupted: {head.level}")
+        # Level 0 must be strictly sorted and acyclic.
+        seen = set()
+        keys: List[int] = []
+        cur = head.next[0]
+        while cur != OID_NULL:
+            if cur in seen:
+                violations.append("cycle in level-0 chain")
+                return violations
+            seen.add(cur)
+            node = pool.typed(cur, SkipNode)
+            if not 1 <= node.level <= MAX_LEVEL:
+                violations.append(
+                    f"node key {node.key} has invalid level {node.level}"
+                )
+            keys.append(node.key)
+            cur = node.next[0]
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            violations.append("level-0 chain not strictly sorted")
+        # Every higher level must be a subsequence of level 0.
+        level0 = set(seen)
+        for lv in range(1, MAX_LEVEL):
+            cur = head.next[lv]
+            steps = 0
+            while cur != OID_NULL and steps < 4096:
+                steps += 1
+                if cur not in level0:
+                    violations.append(f"level-{lv} node missing from level 0")
+                    break
+                node = pool.typed(cur, SkipNode)
+                if node.level <= lv:
+                    violations.append(
+                        f"node key {node.key} linked above its level"
+                    )
+                cur = node.next[lv]
+        return violations
+
+    # ------------------------------------------------------------------
+    # Synthetic bugs (12 sites, Table 3)
+    # ------------------------------------------------------------------
+    def synthetic_bugs(self) -> Sequence[SyntheticBug]:
+        def bug(i: int, site: str, kind: BugKind, depth: int) -> SyntheticBug:
+            return SyntheticBug(f"skiplist:s{i:02d}", site, kind, depth)
+
+        return (
+            bug(1, "skiplist:create:add_root", BugKind.MISSING_TXADD, 0),
+            bug(2, "skiplist:create:store_level", BugKind.WRONG_VALUE, 0),
+            bug(3, "skiplist:insert:add_value", BugKind.MISSING_TXADD, 1),
+            bug(4, "skiplist:insert:store_value", BugKind.WRONG_VALUE, 1),
+            bug(5, "skiplist:insert:store_key", BugKind.WRONG_VALUE, 1),
+            bug(6, "skiplist:insert:store_level", BugKind.WRONG_VALUE, 1),
+            bug(7, "skiplist:insert:add_prednext", BugKind.MISSING_TXADD, 1),
+            bug(8, "skiplist:insert:store_prednext", BugKind.WRONG_VALUE, 1),
+            bug(9, "skiplist:remove:add_prednext", BugKind.MISSING_TXADD, 1),
+            bug(10, "skiplist:remove:store_prednext", BugKind.WRONG_VALUE, 1),
+            bug(11, "skiplist:insert:add_prednext_hi", BugKind.MISSING_TXADD, 2),
+            bug(12, "skiplist:remove:add_prednext_hi", BugKind.MISSING_TXADD, 2),
+        )

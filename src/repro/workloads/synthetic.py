@@ -1,0 +1,144 @@
+"""Synthetic bug injection (Section 5.1, "Synthetic Bug Injection").
+
+The paper evaluates test-case quality by planting synthetic bugs in the
+workloads and the PMDK library, of four kinds:
+
+* remove/misplace writebacks (flushes) and fences,
+* reorder PM writes that were ordered by writeback+fence,
+* remove/misplace backup (TX_ADD) calls in transactional programs,
+* semantically incorrect code in low-level programs (e.g. writing a
+  wrong value to a commit variable).
+
+Each :class:`SyntheticBug` names the *site* (the explicit site label the
+workload passes to the PM library call) and the injection kind.  The
+:class:`BugInjector` is carried on the execution context; the pmdk layer
+consults it at every flush/fence/TX_ADD/store, so an active bug changes
+the library's behaviour exactly at its site — the software analogue of
+editing the source and recompiling.
+
+Detection accounting: a bug can be detected only if some generated test
+case *triggers* its site; the injector records triggered bug IDs so the
+evaluation pipeline can credit test cases (and the back-end detector
+then confirms the resulting trace violation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+
+class BugKind(enum.Enum):
+    """The synthetic bug classes of Section 5.1.
+
+    ``WRONG_VALUE`` inverts the stored bytes (a garbage write);
+    ``WRONG_COMMIT`` zeroes them — the paper's "setting a wrong value to
+    the commit variables": a commit flag that should open a recovery
+    window is written as *not set*, so the window silently never opens.
+    """
+
+    MISSING_FLUSH = "missing_flush"
+    MISSING_FENCE = "missing_fence"
+    MISSING_TXADD = "missing_txadd"
+    WRONG_VALUE = "wrong_value"
+    WRONG_COMMIT = "wrong_commit"
+
+
+@dataclass(frozen=True)
+class SyntheticBug:
+    """One injectable bug: a kind applied at a named PM-operation site.
+
+    Attributes:
+        bug_id: unique identifier, e.g. ``"btree:s03"``.
+        site: the site label of the PM operation the bug corrupts.
+        kind: which corruption to apply there.
+        depth: qualitative reachability (0 = init path, hit by any run;
+            1 = common op path; 2 = deep path needing a populated image
+            or crash image).  Used only for reporting.
+    """
+
+    bug_id: str
+    site: str
+    kind: BugKind
+    depth: int = 1
+    description: str = ""
+
+
+class BugInjector:
+    """Applies a set of active synthetic bugs during execution.
+
+    The pmdk layer calls :meth:`skip_flush` / :meth:`skip_fence` /
+    :meth:`skip_tx_add` / :meth:`corrupt_store` on every corresponding
+    operation; when the site matches an active bug the effect is applied
+    and the bug is recorded as *triggered*.
+    """
+
+    def __init__(self, bugs: Iterable[SyntheticBug] = ()) -> None:
+        self._by_site: Dict[str, SyntheticBug] = {}
+        for bug in bugs:
+            self.activate(bug)
+        self.triggered: Set[str] = set()
+
+    def activate(self, bug: SyntheticBug) -> None:
+        """Make ``bug`` active (one bug per site)."""
+        self._by_site[bug.site] = bug
+
+    def deactivate(self, bug_id: str) -> None:
+        """Remove an active bug by ID."""
+        self._by_site = {
+            s: b for s, b in self._by_site.items() if b.bug_id != bug_id
+        }
+
+    def active_bugs(self) -> FrozenSet[str]:
+        """IDs of all active bugs."""
+        return frozenset(b.bug_id for b in self._by_site.values())
+
+    # ------------------------------------------------------------------
+    # Hooks called from the pmdk layer
+    # ------------------------------------------------------------------
+    def _match(self, site: str, kind: BugKind) -> Optional[SyntheticBug]:
+        bug = self._by_site.get(site)
+        if bug is not None and bug.kind is kind:
+            self.triggered.add(bug.bug_id)
+            return bug
+        return None
+
+    def skip_flush(self, site: str) -> bool:
+        """True if an active MISSING_FLUSH bug removes this writeback."""
+        return self._match(site, BugKind.MISSING_FLUSH) is not None
+
+    def skip_fence(self, site: str) -> bool:
+        """True if an active MISSING_FENCE bug removes this ordering point.
+
+        Removing the fence between two ordered writes is also how the
+        paper's "reorder PM writes" bugs are realized: without the fence
+        the second write may persist first.
+        """
+        return self._match(site, BugKind.MISSING_FENCE) is not None
+
+    def skip_tx_add(self, site: str) -> bool:
+        """True if an active MISSING_TXADD bug removes this backup."""
+        return self._match(site, BugKind.MISSING_TXADD) is not None
+
+    def corrupt_store(self, site: str, addr: int, data: bytes) -> bytes:
+        """Apply a WRONG_VALUE (invert) or WRONG_COMMIT (zero) bug."""
+        if self._match(site, BugKind.WRONG_VALUE) is not None:
+            return bytes(b ^ 0xFF for b in data)
+        if self._match(site, BugKind.WRONG_COMMIT) is not None:
+            return b"\0" * len(data)
+        return data
+
+
+@dataclass
+class SiteCoverage:
+    """Which synthetic-bug sites a corpus of test cases has reached."""
+
+    sites_hit: Set[str] = field(default_factory=set)
+
+    def update(self, sites: Iterable[str]) -> None:
+        self.sites_hit.update(sites)
+
+    def covered(self, bugs: Iterable[SyntheticBug]) -> Set[str]:
+        """Return the IDs of bugs whose site some test case reached."""
+        return {b.bug_id for b in bugs if b.site in self.sites_hit}

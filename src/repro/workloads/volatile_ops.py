@@ -1,0 +1,209 @@
+"""Volatile (DRAM-only) command processing shared by all workloads.
+
+Real PM programs are mostly *not* PM code: protocol parsing, statistics,
+help text, encoding, expiry policy — all volatile.  The paper's third
+requirement is built on exactly this: "PM programs may contain
+procedures for different purposes ... traditional coverage metrics, such
+as branch coverage, do not target procedures with the most concerned PM
+operations" (Section 2.3).
+
+This module is that volatile bulk, shared by every workload: a set of
+commands that perform no PM operation at all but carry a large,
+data-dependent branch space.  A branch-coverage-guided fuzzer (the
+AFL++ baselines) dutifully explores it — saving and mutating test cases
+that never touch persistent memory — while PMFuzz's PM-path priority
+keeps its queue focused on the PM-relevant inputs.  This is the code
+that reproduces the volatile/persistent code-ratio property Figure 13
+shows for Memcached and Redis.
+
+Commands (see :mod:`repro.workloads.mapcli`):
+
+``h``        help text assembly (branch ladder over known verbs)
+``s``        statistics rendering (formatting state machine)
+``e <key>``  echo/encode a key through several encodings
+``u <key>``  checksum/validation state machine over the key's digits
+``w <key>``  classification of the key by bit patterns
+``v``        version/feature banner negotiation
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.workloads.base import Command
+
+#: Ops handled here — none of them performs a PM operation.
+VOLATILE_OPS = frozenset({"h", "s", "e", "u", "w", "v"})
+
+
+class VolatileCommandProcessor:
+    """DRAM-only command handling with a deliberately wide branch space."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._last_classified: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def handle(self, cmd: Command) -> str:
+        """Dispatch one volatile command."""
+        self._counters[cmd.op] = self._counters.get(cmd.op, 0) + 1
+        if cmd.op == "h":
+            return self._help()
+        if cmd.op == "s":
+            return self._stats()
+        if cmd.op == "e":
+            return self._echo(cmd.key or 0)
+        if cmd.op == "u":
+            return self._checksum(cmd.key or 0)
+        if cmd.op == "w":
+            return self._classify(cmd.key or 0)
+        if cmd.op == "v":
+            return self._version()
+        return "?"
+
+    # ------------------------------------------------------------------
+    def _help(self) -> str:
+        lines: List[str] = []
+        seen = self._counters
+        if "i" in seen or not seen:
+            lines.append("i <k> <v>: insert")
+        if seen.get("h", 0) > 2:
+            lines.append("(help shown repeatedly)")
+        elif seen.get("h", 0) == 2:
+            lines.append("(help shown twice)")
+        else:
+            lines.append("g <k>: get")
+            lines.append("r <k>: remove")
+        if seen.get("s"):
+            lines.append("s: stats")
+        if seen.get("q"):
+            lines.append("q: scan")
+        if len(lines) > 4:
+            lines = lines[:4]
+            lines.append("...")
+        return "; ".join(lines)
+
+    def _stats(self) -> str:
+        parts: List[str] = []
+        total = sum(self._counters.values())
+        if total == 0:
+            return "no activity"
+        for op in sorted(self._counters):
+            count = self._counters[op]
+            if count == 1:
+                parts.append(f"{op}:once")
+            elif count < 5:
+                parts.append(f"{op}:{count}")
+            elif count < 20:
+                parts.append(f"{op}:many")
+            else:
+                parts.append(f"{op}:hot")
+        if total > 50:
+            parts.append("session:long")
+        elif total > 10:
+            parts.append("session:active")
+        else:
+            parts.append("session:new")
+        return " ".join(parts)
+
+    def _echo(self, key: int) -> str:
+        encodings: List[str] = []
+        if key == 0:
+            return "zero"
+        if key % 2 == 0:
+            encodings.append(f"even:{key // 2}")
+        else:
+            encodings.append(f"odd:{(key - 1) // 2}")
+        if key < 10:
+            encodings.append("digit")
+        elif key < 100:
+            encodings.append(f"tens:{key // 10}")
+        elif key < 1000:
+            encodings.append(f"hundreds:{key // 100}")
+        else:
+            encodings.append("large")
+        hexed = format(key, "x")
+        if len(hexed) == 1:
+            encodings.append(f"x{hexed}")
+        elif hexed[0] == hexed[-1]:
+            encodings.append(f"pal:{hexed}")
+        else:
+            encodings.append(f"hex:{hexed}")
+        if bin(key).count("1") > 5:
+            encodings.append("dense")
+        return "|".join(encodings)
+
+    def _checksum(self, key: int) -> str:
+        state = 0
+        digits = str(key)
+        for ch in digits:
+            d = ord(ch) - ord("0")
+            if state == 0:
+                state = 1 if d < 5 else 2
+            elif state == 1:
+                if d == 0:
+                    state = 3
+                elif d % 3 == 0:
+                    state = 2
+                else:
+                    state = 1
+            elif state == 2:
+                if d == 9:
+                    state = 4
+                elif d % 2:
+                    state = 1
+                else:
+                    state = 2
+            elif state == 3:
+                state = 4 if d > 6 else 0
+            else:
+                break
+        checksum = sum(ord(c) for c in digits) % 97
+        if state == 4:
+            return f"accept:{checksum}"
+        if state == 3:
+            return f"hold:{checksum}"
+        if checksum == 0:
+            return "neutral"
+        if checksum < 32:
+            return f"low:{checksum}"
+        if checksum < 64:
+            return f"mid:{checksum}"
+        return f"high:{checksum}"
+
+    def _classify(self, key: int) -> str:
+        tags: List[str] = []
+        if key & 1:
+            tags.append("lsb")
+        if key & 0x80:
+            tags.append("bit7")
+        if key & 0xF0 == 0xF0:
+            tags.append("hinib")
+        if (key >> 4) & 0x3 == 0x3:
+            tags.append("midpair")
+        nibbles = [(key >> shift) & 0xF for shift in (0, 4, 8)]
+        if nibbles[0] == nibbles[1]:
+            tags.append("rep01")
+        if nibbles[1] == nibbles[2]:
+            tags.append("rep12")
+        if nibbles[0] > nibbles[1] > nibbles[2]:
+            tags.append("desc")
+        elif nibbles[0] < nibbles[1] < nibbles[2]:
+            tags.append("asc")
+        if not tags:
+            tags.append("plain")
+        label = ",".join(tags)
+        if label == self._last_classified:
+            label += "(again)"
+        self._last_classified = label
+        return label
+
+    def _version(self) -> str:
+        seen = self._counters.get("v", 0)
+        if seen == 1:
+            return "pm-map 1.0 (features: tx, scan, stats)"
+        if seen == 2:
+            return "pm-map 1.0"
+        if seen < 6:
+            return "1.0"
+        return "ok"

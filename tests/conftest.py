@@ -1,0 +1,29 @@
+"""Shared fixtures for the PMFuzz-reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pmdk.layout import Array, OID, PStruct, U32, U64
+from repro.pmdk.pool import PmemObjPool
+
+
+class Node(PStruct):
+    """A small struct used across the pmdk-layer tests."""
+
+    _fields_ = [
+        ("n", U32),
+        ("keys", Array(U64, 4)),
+        ("next", OID),
+    ]
+
+
+@pytest.fixture
+def pool() -> PmemObjPool:
+    """A fresh 64 KiB pool."""
+    return PmemObjPool.create("test", 64 * 1024)
+
+
+@pytest.fixture
+def node_type():
+    return Node

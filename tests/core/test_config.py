@@ -1,0 +1,48 @@
+"""Tests for the Table-2 configuration matrix."""
+
+import pytest
+
+from repro.core.config import (
+    AFLPP, AFLPP_IMGFUZZ, AFLPP_SYSOPT, CONFIGS, ImgFuzzMode, PMFUZZ,
+    PMFUZZ_NO_SYSOPT, config_by_name, render_table2,
+)
+
+
+def test_five_comparison_points():
+    assert len(CONFIGS) == 5
+    assert len({c.name for c in CONFIGS}) == 5
+
+
+def test_table2_feature_matrix():
+    """The exact feature matrix of the paper's Table 2."""
+    assert (PMFUZZ.input_fuzz, PMFUZZ.img_fuzz, PMFUZZ.pm_path_opt,
+            PMFUZZ.sys_opt) == (True, ImgFuzzMode.INDIRECT, True, True)
+    assert PMFUZZ_NO_SYSOPT.sys_opt is False
+    assert PMFUZZ_NO_SYSOPT.pm_path_opt is True
+    assert (AFLPP.img_fuzz, AFLPP.pm_path_opt, AFLPP.sys_opt) == \
+        (ImgFuzzMode.NONE, False, False)
+    assert AFLPP_SYSOPT.sys_opt is True
+    assert (AFLPP_IMGFUZZ.input_fuzz, AFLPP_IMGFUZZ.img_fuzz) == \
+        (False, ImgFuzzMode.DIRECT)
+
+
+def test_is_pmfuzz():
+    assert PMFUZZ.is_pmfuzz and PMFUZZ_NO_SYSOPT.is_pmfuzz
+    assert not AFLPP.is_pmfuzz and not AFLPP_IMGFUZZ.is_pmfuzz
+
+
+def test_lookup_by_short_and_display_name():
+    assert config_by_name("pmfuzz") is PMFUZZ
+    assert config_by_name("PMFuzz (All Feat.)") is PMFUZZ
+    assert config_by_name("aflpp_imgfuzz") is AFLPP_IMGFUZZ
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError):
+        config_by_name("nope")
+
+
+def test_render_table2_has_all_rows():
+    table = render_table2()
+    for config in CONFIGS:
+        assert config.name in table

@@ -1,0 +1,79 @@
+"""Tests for crash-image generation at ordering points."""
+
+from repro.core.crashgen import CrashImageGenerator
+from repro.fuzz.executor import Executor
+from repro.fuzz.rng import DeterministicRandom
+from repro.workloads import get_workload
+
+
+def make_gen(max_points=4, extra_rate=0.0, seed=1):
+    executor = Executor(lambda: get_workload("hashmap_tx"))
+    return CrashImageGenerator(executor, DeterministicRandom(seed),
+                               max_ordering_points=max_points,
+                               extra_rate=extra_rate)
+
+
+class TestFenceSelection:
+    def test_no_fences_no_points(self):
+        assert make_gen().select_fences(0) == []
+
+    def test_sampled_points_bounded(self):
+        gen = make_gen(max_points=4)
+        fences = gen.select_fences(100)
+        assert len(fences) <= 4
+        assert all(0 <= f < 100 for f in fences)
+
+    def test_probabilistic_store_extras_added(self):
+        gen = make_gen(max_points=4, extra_rate=1.0)
+        stores = gen.select_stores(500)
+        assert stores
+        assert all(0 <= s < 500 for s in stores)
+
+    def test_zero_rate_no_extras(self):
+        gen = make_gen(max_points=4, extra_rate=0.0)
+        assert gen.select_stores(500) == []
+
+    def test_no_stores_no_extras(self):
+        gen = make_gen(extra_rate=1.0)
+        assert gen.select_stores(0) == []
+
+    def test_selection_is_deterministic(self):
+        a = make_gen(extra_rate=0.5, seed=3)
+        b = make_gen(extra_rate=0.5, seed=3)
+        assert a.select_fences(50) == b.select_fences(50)
+        assert a.select_stores(300) == b.select_stores(300)
+
+
+class TestGeneration:
+    def test_images_are_valid_pool_states(self):
+        gen = make_gen(max_points=3)
+        wl = get_workload("hashmap_tx")
+        seed = wl.create_image()
+        baseline = wl.run(seed, [])
+        data = b"i 5 1\ni 9 2\n"
+        result = gen.executor.run(seed, data)
+        crashes = gen.generate(seed, data, result.fence_count)
+        assert crashes
+        for crash in crashes:
+            # Every crash image must recover into a consistent state.
+            check = get_workload("hashmap_tx")
+            r = check.run(crash.image, [])
+            assert r.outcome.value == "ok"
+            pool = check.open(r.final_image)
+            assert check.check_consistency(pool) == []
+
+    def test_costs_are_charged(self):
+        gen = make_gen(max_points=2)
+        wl = get_workload("hashmap_tx")
+        seed = wl.create_image()
+        result = gen.executor.run(seed, b"i 5 1\n")
+        crashes = gen.generate(seed, b"i 5 1\n", result.fence_count)
+        assert all(c.cost > 0 for c in crashes)
+
+    def test_fence_indices_recorded(self):
+        gen = make_gen(max_points=3)
+        wl = get_workload("hashmap_tx")
+        seed = wl.create_image()
+        result = gen.executor.run(seed, b"i 5 1\n")
+        crashes = gen.generate(seed, b"i 5 1\n", result.fence_count)
+        assert all(0 <= c.fence_index < result.fence_count for c in crashes)

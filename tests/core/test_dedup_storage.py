@@ -1,0 +1,89 @@
+"""Tests for image deduplication and tiered test-case storage."""
+
+from repro.core.dedup import ImageStore
+from repro.core.storage import TestCaseStorage
+from repro.pmem.image import PMImage
+
+
+def image_with(byte, size=4096):
+    img = PMImage.create("t", size)
+    img.payload[0] = byte
+    return img
+
+
+class TestImageStore:
+    def test_put_get_round_trip(self):
+        store = ImageStore()
+        image_id, is_new = store.put(image_with(1))
+        assert is_new
+        restored = store.get(image_id)
+        assert restored.payload[0] == 1
+
+    def test_duplicates_rejected(self):
+        store = ImageStore()
+        _, first = store.put(image_with(1))
+        _, second = store.put(image_with(1))
+        assert first and not second
+        assert store.duplicates_rejected == 1
+        assert len(store) == 1
+
+    def test_distinct_payloads_kept(self):
+        store = ImageStore()
+        store.put(image_with(1))
+        store.put(image_with(2))
+        assert len(store) == 2
+
+    def test_compression_saves_space(self):
+        store = ImageStore(compress=True)
+        store.put(image_with(1, size=64 * 1024))
+        assert store.stored_bytes < store.raw_bytes
+        assert store.compression_ratio > 5
+
+    def test_uncompressed_mode(self):
+        store = ImageStore(compress=False)
+        store.put(image_with(1, size=4096))
+        assert store.compression_ratio == 1.0
+        assert store.get(store.put(image_with(1))[0]).payload[0] == 1
+
+    def test_maybe_get(self):
+        store = ImageStore()
+        assert store.maybe_get("nope") is None
+        image_id, _ = store.put(image_with(3))
+        assert store.maybe_get(image_id) is not None
+        assert store.contains(image_id)
+
+
+class TestTieredStorage:
+    def test_save_load_round_trip(self):
+        storage = TestCaseStorage()
+        image_id, _ = storage.save(image_with(7))
+        assert storage.load(image_id).payload[0] == 7
+
+    def test_staging_hit_avoids_decompression(self):
+        storage = TestCaseStorage()
+        image_id, _ = storage.save(image_with(7))
+        storage.load(image_id)
+        before = storage.decompressions
+        storage.load(image_id)  # staged: no new decompression
+        assert storage.decompressions == before
+
+    def test_pm_budget_evicts_lru(self):
+        storage = TestCaseStorage(pm_budget_bytes=10 * 1024)
+        ids = [storage.save(image_with(i, size=4096))[0] for i in range(6)]
+        for image_id in ids:
+            storage.load(image_id)
+        assert storage.evictions > 0
+        assert storage.staged_bytes <= 10 * 1024 + 4096
+
+    def test_evicted_image_still_loadable(self):
+        storage = TestCaseStorage(pm_budget_bytes=8 * 1024)
+        ids = [storage.save(image_with(i, size=4096))[0] for i in range(5)]
+        for image_id in ids:
+            storage.load(image_id)
+        # The first image was evicted from staging but lives on "SSD".
+        assert storage.load(ids[0]).payload[0] == 0
+
+    def test_summary_renders(self):
+        storage = TestCaseStorage()
+        storage.save(image_with(1))
+        assert "images" in storage.summary()

@@ -1,0 +1,34 @@
+"""Tests for Algorithm-2 PM-path prioritization."""
+
+from repro.core.priority import pm_path_priority
+from repro.fuzz.coverage import GlobalCoverage
+
+
+def test_unseen_slot_is_high_priority():
+    cov = GlobalCoverage()
+    assert pm_path_priority(cov, [(5, 1)]) == 2
+
+
+def test_new_bucket_is_medium_priority():
+    cov = GlobalCoverage()
+    cov.update([(5, 1)])
+    assert pm_path_priority(cov, [(5, 200)]) == 1
+
+
+def test_identical_coverage_is_low_priority():
+    cov = GlobalCoverage()
+    cov.update([(5, 1)])
+    assert pm_path_priority(cov, [(5, 1)]) == 0
+
+
+def test_max_over_slots():
+    """One unseen slot outweighs any number of known ones."""
+    cov = GlobalCoverage()
+    cov.update([(1, 1), (2, 1)])
+    assert pm_path_priority(cov, [(1, 1), (2, 1), (3, 1)]) == 2
+
+
+def test_priority_does_not_mutate_coverage():
+    cov = GlobalCoverage()
+    pm_path_priority(cov, [(9, 1)])
+    assert cov.slots_covered == 0

@@ -1,0 +1,94 @@
+"""Tests for the Figure-12 test-case dependency tree."""
+
+import pytest
+
+from repro.core.testcase import TestCaseTree
+
+
+def tree():
+    return TestCaseTree("root")
+
+
+def test_root_exists():
+    t = tree()
+    assert "root" in t
+    assert len(t) == 1
+    assert t.get("root").parent_id is None
+
+
+def test_add_records_edge():
+    t = tree()
+    node = t.add("img_a", "root", b"i 1 1\n")
+    assert node.parent_id == "root"
+    assert node.input_data == b"i 1 1\n"
+    assert not node.is_crash_image
+    assert "img_a" in t.get("root").children
+
+
+def test_crash_image_edge():
+    t = tree()
+    node = t.add("img_c", "root", b"i 1 1\n", failure_point=7)
+    assert node.is_crash_image
+    assert t.crash_image_count() == 1
+
+
+def test_duplicate_image_ignored():
+    t = tree()
+    first = t.add("img_a", "root", b"first")
+    second = t.add("img_a", "root", b"second")
+    assert second is first
+    assert first.input_data == b"first"  # canonical edge preserved
+    assert len(t) == 2
+
+
+def test_unknown_parent_rejected():
+    t = tree()
+    with pytest.raises(KeyError):
+        t.add("img_x", "ghost", b"")
+
+
+def test_lineage_and_replay():
+    """The paper's reproducibility property: replay from the root."""
+    t = tree()
+    t.add("A", "root", b"input1")
+    t.add("B", "A", b"input2", failure_point=4)
+    t.add("C", "B", b"input3")
+    lineage = t.lineage("C")
+    assert [n.image_id for n in lineage] == ["root", "A", "B", "C"]
+    assert t.replay_steps("C") == [
+        (b"input1", None), (b"input2", 4), (b"input3", None),
+    ]
+    assert t.depth_of("C") == 3
+
+
+def test_minimal_edge_for_backend_tool():
+    """Figure 12: to test image D, execute Input 4 on top of image B."""
+    t = tree()
+    t.add("B", "root", b"input1")
+    t.add("D", "B", b"input4")
+    parent, data, failure = t.minimal_edge("D")
+    assert (parent, data, failure) == ("B", b"input4", None)
+    assert t.minimal_edge("root") == ("root", b"", None)
+
+
+def test_tree_replay_reproduces_image():
+    """End-to-end: replaying the recorded edges rebuilds the image."""
+    from repro.workloads import get_workload
+    from repro.workloads.mapcli import parse_commands
+
+    wl = get_workload("hashmap_tx")
+    seed = wl.create_image()
+    t = TestCaseTree(seed.content_hash())
+    r1 = wl.run(seed, parse_commands(b"i 5 1\n"))
+    t.add(r1.final_image.content_hash(), seed.content_hash(), b"i 5 1\n")
+    r2 = get_workload("hashmap_tx").run(r1.final_image,
+                                        parse_commands(b"i 9 2\n"))
+    t.add(r2.final_image.content_hash(), r1.final_image.content_hash(),
+          b"i 9 2\n")
+    # Replay from the root image.
+    current = seed
+    for data, failure in t.replay_steps(r2.final_image.content_hash()):
+        result = get_workload("hashmap_tx").run(
+            current, parse_commands(data), crash_at_fence=failure)
+        current = result.final_image
+    assert current.content_hash() == r2.final_image.content_hash()

@@ -1,0 +1,84 @@
+"""Focused tests for the ORDER_HAZARD rule and its exemptions."""
+
+from repro.detect.pmemcheck import Pmemcheck, ViolationKind
+from repro.instrument.context import ExecutionContext
+from repro.pmem.persistence import PersistenceDomain
+from repro.pmdk import libpmem
+from repro.pmdk.tx import TransactionLog
+
+HEAP_BASE = 64 + TransactionLog.region_size()
+
+
+def traced_domain():
+    d = PersistenceDomain(HEAP_BASE + 4096)
+    ctx = ExecutionContext()
+    d.add_observer(ctx.observe)
+    return d, ctx
+
+
+def analyze(ctx, clean=True):
+    return Pmemcheck(HEAP_BASE).analyze(ctx.trace, clean_shutdown=clean)
+
+
+def hazards(violations):
+    return [v for v in violations if v.kind is ViolationKind.ORDER_HAZARD]
+
+
+def test_store_while_flush_pending_is_hazard():
+    d, ctx = traced_domain()
+    d.store(HEAP_BASE, b"a", site="app:first")
+    d.flush(HEAP_BASE, 1, site="app:first")  # no fence follows
+    d.store(HEAP_BASE + 128, b"b", site="app:second")
+    d.persist(HEAP_BASE + 128, 1, site="app:second")
+    found = hazards(analyze(ctx))
+    assert found and found[0].site == "app:first"
+
+
+def test_fence_clears_the_window():
+    d, ctx = traced_domain()
+    d.store(HEAP_BASE, b"a", site="app:first")
+    d.persist(HEAP_BASE, 1, site="app:first")  # flush + fence
+    d.store(HEAP_BASE + 128, b"b", site="app:second")
+    d.persist(HEAP_BASE + 128, 1, site="app:second")
+    assert hazards(analyze(ctx)) == []
+
+
+def test_nodrain_sites_exempt():
+    """Deliberately fence-free idioms must not be flagged."""
+    d, ctx = traced_domain()
+    libpmem.pmem_memset_nodrain(d, HEAP_BASE, 0, 64,
+                                site="app:zero_nodrain")
+    d.store(HEAP_BASE + 128, b"b", site="app:second")
+    d.flush(HEAP_BASE + 128, 1, site="app:second")
+    d.drain(site="app:second")
+    assert hazards(analyze(ctx)) == []
+
+
+def test_same_site_continuation_exempt():
+    """Multi-line flushes from one site (a big memcpy) are one operation."""
+    d, ctx = traced_domain()
+    d.store(HEAP_BASE, b"a" * 64, site="app:bulk")
+    d.flush(HEAP_BASE, 64, site="app:bulk")
+    d.store(HEAP_BASE + 64, b"b" * 64, site="app:bulk")  # same site
+    d.flush(HEAP_BASE + 64, 64, site="app:bulk")
+    d.drain(site="app:bulk")
+    assert hazards(analyze(ctx)) == []
+
+
+def test_library_flushes_exempt():
+    d, ctx = traced_domain()
+    d.store(HEAP_BASE, b"a", site="tx:commit")
+    d.flush(HEAP_BASE, 1, site="tx:commit")
+    d.store(HEAP_BASE + 128, b"b", site="app:second")
+    d.persist(HEAP_BASE + 128, 1, site="app:second")
+    assert hazards(analyze(ctx)) == []
+
+
+def test_hazard_reported_once_per_line():
+    d, ctx = traced_domain()
+    d.store(HEAP_BASE, b"a", site="app:first")
+    d.flush(HEAP_BASE, 1, site="app:first")
+    for i in range(5):
+        d.store(HEAP_BASE + 128 + i, b"b", site="app:second")
+    found = hazards(analyze(ctx))
+    assert len(found) == 1

@@ -1,0 +1,151 @@
+"""Tests for the Pmemcheck-like trace checker."""
+
+import pytest
+
+from repro.detect.pmemcheck import Pmemcheck, ViolationKind
+from repro.instrument.context import ExecutionContext, push_context
+from repro.pmdk.pool import PmemObjPool
+from repro.pmdk.tx import TransactionLog
+from repro.workloads.mapcli import parse_commands
+from repro.workloads.synthetic import BugInjector, BugKind, SyntheticBug
+
+HEAP_BASE = 64 + TransactionLog.region_size()
+
+
+def traced_run(workload, commands, injector=None):
+    """Run a workload under tracing; return (trace, outcome)."""
+    ctx = ExecutionContext(injector=injector)
+    with push_context(ctx):
+        result = workload.run(workload.create_image(), commands)
+    return ctx.trace, result
+
+
+def analyze(trace, clean=True):
+    return Pmemcheck(HEAP_BASE).analyze(trace, clean_shutdown=clean)
+
+
+class TestCleanPrograms:
+    @pytest.mark.parametrize("name", ["hashmap_tx", "hashmap_atomic",
+                                      "skiplist", "redis", "memcached"])
+    def test_fixed_workload_has_no_cc_violations(self, name):
+        from repro.workloads import get_workload
+
+        trace, result = traced_run(
+            get_workload(name),
+            parse_commands(b"i 5 1\ni 9 2\nr 5\ng 9\nq\n"),
+        )
+        violations = analyze(trace)
+        cc = [v for v in violations if not v.is_performance]
+        assert cc == [], (name, cc)
+
+
+class TestMissingFlush:
+    def test_missing_flush_reported_not_persisted(self):
+        from repro.workloads import get_workload
+
+        bug = SyntheticBug("x", "hashmap_atomic:insert:persist_entry",
+                           BugKind.MISSING_FLUSH)
+        injector = BugInjector([bug])
+        trace, _ = traced_run(get_workload("hashmap_atomic"),
+                              parse_commands(b"i 5 1\n"), injector)
+        violations = analyze(trace)
+        assert any(v.kind is ViolationKind.NOT_PERSISTED for v in violations)
+
+
+class TestMissingFence:
+    def test_missing_fence_reported_order_hazard(self):
+        from repro.workloads import get_workload
+
+        bug = SyntheticBug("x", "hashmap_atomic:insert:persist_dirty",
+                           BugKind.MISSING_FENCE)
+        injector = BugInjector([bug])
+        trace, _ = traced_run(get_workload("hashmap_atomic"),
+                              parse_commands(b"i 5 1\n"), injector)
+        violations = analyze(trace)
+        hazards = [v for v in violations
+                   if v.kind is ViolationKind.ORDER_HAZARD]
+        assert hazards
+        assert hazards[0].site == "hashmap_atomic:insert:persist_dirty"
+
+
+class TestMissingTxAdd:
+    def test_unlogged_store_reported(self):
+        from repro.workloads import get_workload
+
+        bug = SyntheticBug("x", "hashmap_tx:insert:add_count",
+                           BugKind.MISSING_TXADD)
+        injector = BugInjector([bug])
+        trace, _ = traced_run(get_workload("hashmap_tx"),
+                              parse_commands(b"i 5 1\n"), injector)
+        violations = analyze(trace)
+        not_logged = [v for v in violations
+                      if v.kind is ViolationKind.NOT_LOGGED]
+        assert any(v.site == "hashmap_tx:insert:store_count"
+                   for v in not_logged)
+
+
+class TestPerformanceViolations:
+    def test_redundant_txadd_reported(self, pool, node_type):
+        ctx = ExecutionContext()
+        pool.domain.add_observer(ctx.observe)
+        root = pool.root(node_type)
+        with push_context(ctx):
+            with pool.transaction() as tx:
+                tx.add_struct(root, site="app:first")
+                tx.add_struct(root, site="app:second")
+        violations = Pmemcheck(pool.heap_base).analyze(ctx.trace)
+        redundant = [v for v in violations
+                     if v.kind is ViolationKind.REDUNDANT_LOG]
+        assert [v.site for v in redundant] == ["app:second"]
+        assert all(v.is_performance for v in redundant)
+
+    def test_redundant_flush_reported(self, pool):
+        ctx = ExecutionContext()
+        pool.domain.add_observer(ctx.observe)
+        oid = pool.zalloc(64)
+        pool.write(oid, b"x", site="app:store")
+        pool.persist(oid, 1, site="app:persist1")
+        pool.persist(oid, 1, site="app:persist2")  # nothing dirty
+        violations = Pmemcheck(pool.heap_base).analyze(ctx.trace)
+        redundant = [v for v in violations
+                     if v.kind is ViolationKind.REDUNDANT_FLUSH]
+        assert [v.site for v in redundant] == ["app:persist2"]
+
+    def test_library_sites_never_reported(self, pool, node_type):
+        ctx = ExecutionContext()
+        pool.domain.add_observer(ctx.observe)
+        with push_context(ctx):
+            with pool.transaction() as tx:
+                node = tx.znew(node_type)
+                node.n = 1
+        violations = Pmemcheck(pool.heap_base).analyze(ctx.trace)
+        assert all(not v.site.startswith(("heap:", "tx:", "pool:"))
+                   for v in violations)
+
+
+class TestDedupAndCrashMode:
+    def test_violations_deduped_by_site(self, pool, node_type):
+        ctx = ExecutionContext()
+        pool.domain.add_observer(ctx.observe)
+        root = pool.root(node_type)
+        with push_context(ctx):
+            for _ in range(5):
+                with pool.transaction() as tx:
+                    tx.add_struct(root, site="app:a")
+                    tx.add_struct(root, site="app:a")
+        violations = Pmemcheck(pool.heap_base).analyze(ctx.trace)
+        redundant = [v for v in violations
+                     if v.kind is ViolationKind.REDUNDANT_LOG]
+        assert len(redundant) == 1
+
+    def test_crash_trace_skips_end_rule(self, pool):
+        ctx = ExecutionContext()
+        pool.domain.add_observer(ctx.observe)
+        oid = pool.zalloc(64)
+        pool.write(oid, b"x", site="app:store")  # never persisted
+        checker = Pmemcheck(pool.heap_base)
+        assert any(v.kind is ViolationKind.NOT_PERSISTED
+                   for v in checker.analyze(ctx.trace, clean_shutdown=True))
+        assert not any(v.kind is ViolationKind.NOT_PERSISTED
+                       for v in checker.analyze(ctx.trace,
+                                                clean_shutdown=False))

@@ -1,0 +1,53 @@
+"""Tests for the combined TestingTool battery."""
+
+import pytest
+
+from repro.detect import TestingTool
+from repro.workloads import get_workload
+from repro.workloads.base import RunOutcome
+from repro.workloads.mapcli import parse_commands
+
+CMDS = parse_commands(b"i 5 1\ni 9 2\ni 13 3\ng 5\nr 9\n")
+
+
+def tool_for(name, bugs=frozenset(), **kwargs):
+    return TestingTool(lambda: get_workload(name, bugs=bugs), **kwargs)
+
+
+class TestFixedWorkloads:
+    @pytest.mark.parametrize("name", ["hashmap_tx", "hashmap_atomic",
+                                      "redis"])
+    def test_no_crash_consistency_findings(self, name):
+        wl = get_workload(name)
+        report = tool_for(name).test(wl.create_image(), CMDS)
+        assert report.outcome is RunOutcome.OK
+        assert report.crash_consistency_findings == []
+
+    def test_sites_hit_recorded(self):
+        wl = get_workload("hashmap_tx")
+        report = tool_for("hashmap_tx").test(wl.create_image(), CMDS)
+        assert "hashmap_tx:insert:add_bucket" in report.sites_hit
+
+
+class TestBuggyWorkloads:
+    def test_perf_bug_reported(self):
+        bugs = frozenset({"bug8_redundant_txadd"})
+        wl = get_workload("hashmap_tx", bugs=bugs)
+        report = tool_for("hashmap_tx", bugs=bugs).test(
+            wl.create_image(), CMDS, with_crash_images=False)
+        assert ("redundant_log at hashmap_tx:create:txadd_again"
+                in report.performance_findings)
+        assert report.has_bug
+
+    def test_cross_failure_findings_on_bug6(self):
+        bugs = frozenset({"bug6_no_recovery_call"})
+        wl = get_workload("hashmap_atomic", bugs=bugs)
+        report = tool_for("hashmap_atomic", bugs=bugs,
+                          max_crash_images=64).test(wl.create_image(), CMDS)
+        assert report.crash_findings, "dirty-window crash not exposed"
+
+    def test_crash_images_can_be_skipped(self):
+        wl = get_workload("hashmap_tx")
+        report = tool_for("hashmap_tx").test(
+            wl.create_image(), CMDS, with_crash_images=False)
+        assert report.crash_findings == []

@@ -1,0 +1,54 @@
+"""Tests for the global virgin-map coverage logic."""
+
+from repro.fuzz.coverage import GlobalCoverage
+
+
+class TestUpdate:
+    def test_first_hit_is_new_slot(self):
+        cov = GlobalCoverage()
+        new_slot, new_bucket = cov.update([(5, 1)])
+        assert new_slot and not new_bucket
+        assert cov.slots_covered == 1
+
+    def test_repeat_hit_same_bucket_is_nothing(self):
+        cov = GlobalCoverage()
+        cov.update([(5, 1)])
+        new_slot, new_bucket = cov.update([(5, 1)])
+        assert not new_slot and not new_bucket
+
+    def test_different_count_bucket_is_new_bucket(self):
+        cov = GlobalCoverage()
+        cov.update([(5, 1)])
+        new_slot, new_bucket = cov.update([(5, 200)])
+        assert not new_slot and new_bucket
+
+    def test_zero_counts_ignored(self):
+        cov = GlobalCoverage()
+        new_slot, _ = cov.update([(5, 0)])
+        assert not new_slot
+        assert cov.slots_covered == 0
+
+
+class TestClassify:
+    def test_classify_does_not_mutate(self):
+        cov = GlobalCoverage()
+        cov.classify([(3, 1)])
+        assert cov.slots_covered == 0
+
+    def test_classify_reports_new_slots(self):
+        cov = GlobalCoverage()
+        cov.update([(1, 1)])
+        new_slot, new_bucket, slots = cov.classify([(1, 1), (2, 1)])
+        assert new_slot
+        assert slots == [2]
+
+    def test_classify_reports_bucket_change(self):
+        cov = GlobalCoverage()
+        cov.update([(1, 1)])
+        new_slot, new_bucket, _ = cov.classify([(1, 100)])
+        assert not new_slot and new_bucket
+
+    def test_covered_slots_iteration(self):
+        cov = GlobalCoverage()
+        cov.update([(1, 1), (9, 2)])
+        assert sorted(cov.covered_slots()) == [1, 9]

@@ -1,0 +1,76 @@
+"""Tests for the instrumented executor and cost model."""
+
+import pytest
+
+from repro.fuzz.executor import CostModel, Executor
+from repro.workloads import get_workload
+from repro.workloads.base import RunOutcome
+
+
+def make_executor(name="hashmap_tx", **kwargs):
+    return Executor(lambda: get_workload(name), **kwargs)
+
+
+class TestExecution:
+    def test_basic_run_collects_everything(self):
+        ex = make_executor()
+        image = get_workload("hashmap_tx").create_image()
+        result = ex.run(image, b"i 5 1\ng 5\n")
+        assert result.outcome is RunOutcome.OK
+        assert result.pm_sparse, "no PM coverage collected"
+        assert result.branch_sparse, "no branch coverage collected"
+        assert result.sites_hit
+        assert result.final_image is not None
+        assert result.cost > 0
+
+    def test_crash_at_fence_yields_crash_image(self):
+        ex = make_executor()
+        image = get_workload("hashmap_tx").create_image()
+        result = ex.run(image, b"i 5 1\n", crash_at_fence=3)
+        assert result.outcome is RunOutcome.CRASHED
+        assert result.crash_image is not None
+
+    def test_command_cap_enforced(self):
+        ex = make_executor(max_commands=3)
+        image = get_workload("hashmap_tx").create_image()
+        result = ex.run(image, b"g 1\n" * 50)
+        assert result.commands_run == 3
+
+    def test_determinism(self):
+        ex = make_executor()
+        image = get_workload("hashmap_tx").create_image()
+        a = ex.run(image, b"i 5 1\ni 9 2\n")
+        b = ex.run(image, b"i 5 1\ni 9 2\n")
+        assert a.final_image.content_hash() == b.final_image.content_hash()
+        assert sorted(a.pm_sparse) == sorted(b.pm_sparse)
+
+    def test_raw_image_garbage_is_invalid(self):
+        ex = make_executor()
+        result = ex.run_raw_image(b"\x00" * 300, b"g 1\n")
+        assert result.outcome is RunOutcome.INVALID_IMAGE
+        assert result.cost > 0
+
+    def test_raw_image_valid_bytes_execute(self):
+        ex = make_executor()
+        image = get_workload("hashmap_tx").create_image()
+        result = ex.run_raw_image(image.to_bytes(), b"i 5 1\n")
+        assert result.outcome is RunOutcome.OK
+
+
+class TestCostModel:
+    def test_sysopt_cheaper_than_ssd(self):
+        fast = CostModel(sys_opt=True)
+        slow = CostModel(sys_opt=False)
+        assert fast.image_io(256 * 1024) < slow.image_io(256 * 1024)
+
+    def test_cost_grows_with_commands(self):
+        m = CostModel()
+        assert m.execution(10, 0, 0) > m.execution(1, 0, 0)
+
+    def test_cost_grows_with_fences(self):
+        m = CostModel()
+        assert m.execution(1, 100, 0) > m.execution(1, 0, 0)
+
+    def test_aborted_cheaper_than_full(self):
+        m = CostModel(sys_opt=False)
+        assert m.aborted_execution(1000) < m.execution(10, 50, 1000)

@@ -1,0 +1,77 @@
+"""Tests for indirect image fuzzing: the state must actually accumulate.
+
+These are the mechanism tests behind Figure 13's gap: PMFuzz grows the
+persistent state across the test-case tree, so it reaches structural
+states no single bounded input can construct from the empty image.
+"""
+
+from repro.core.config import config_by_name
+from repro.core.pmfuzz import build_engine
+from repro.fuzz.rng import DeterministicRandom
+from repro.workloads import get_workload
+
+
+def run_engine(name, config="pmfuzz", budget=2.0, seed=11):
+    engine = build_engine(name, config_by_name(config),
+                          rng=DeterministicRandom(seed))
+    stats = engine.run(budget)
+    return engine, stats
+
+
+def max_live_keys(engine):
+    """Largest key count across all hashmap_tx images in the tree."""
+    from repro.workloads.hashmap_tx import Hashmap, HashmapRoot
+
+    wl = get_workload("hashmap_tx")
+    best = 0
+    for node in engine.tree.nodes():
+        image = engine.storage.store.maybe_get(node.image_id)
+        if image is None:
+            continue
+        try:
+            pool = wl.open_for_inspection(image)
+            if pool.root_oid == 0:
+                continue
+            root = pool.typed(pool.root_oid, HashmapRoot)
+            if root.map_oid == 0:
+                continue
+            best = max(best, pool.typed(root.map_oid, Hashmap).count)
+        except Exception:
+            continue
+    return best
+
+
+def test_images_accumulate_beyond_one_input():
+    """Accumulated state exceeds what max_commands allows per run."""
+    engine, stats = run_engine("hashmap_tx", budget=2.5)
+    assert max_live_keys(engine) > engine.executor.max_commands // 2
+
+    # And the tree records multi-generation lineages.
+    depths = [engine.tree.depth_of(n.image_id)
+              for n in engine.tree.nodes()]
+    assert max(depths) >= 3
+
+
+def test_aflpp_never_accumulates():
+    """The image-less baseline always executes on the seed image."""
+    engine, stats = run_engine("hashmap_tx", config="aflpp_sysopt",
+                               budget=1.0)
+    assert stats.normal_images_generated == 0
+    image_ids = {e.image_id for e in engine.queue.entries}
+    assert image_ids == {engine._seed_image_id}
+
+
+def test_probabilistic_chaining_saves_non_novel_images():
+    engine, stats = run_engine("skiplist", budget=2.0)
+    # More images than PM-novel saves alone would produce: the favored=1
+    # chaining entries exist in the queue.
+    chained = [e for e in engine.queue.entries
+               if e.favored == 1 and e.image_id]
+    assert chained, "no probabilistic image-chaining entries"
+
+
+def test_crash_image_entries_marked():
+    engine, stats = run_engine("hashmap_atomic", budget=1.5)
+    crash_entries = [e for e in engine.queue.entries if e.from_crash_image]
+    assert crash_entries
+    assert stats.crash_images_generated >= len(crash_entries) // 2

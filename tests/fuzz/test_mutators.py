@@ -1,0 +1,72 @@
+"""Tests for the AFL-style mutation stack."""
+
+from repro.fuzz.mutators import MAX_INPUT_SIZE, MutationEngine
+from repro.fuzz.rng import DeterministicRandom
+
+
+def engine(seed=1):
+    return MutationEngine(DeterministicRandom(seed))
+
+
+class TestDeterministicStage:
+    def test_bitflips_differ_from_parent(self):
+        children = engine().deterministic(b"i 5 100\n")
+        assert children
+        assert all(c != b"i 5 100\n" for c in children)
+
+    def test_each_child_is_single_edit(self):
+        parent = b"abcdef"
+        for child in engine().deterministic(parent):
+            assert len(child) == len(parent)
+            diffs = sum(1 for a, b in zip(parent, child) if a != b)
+            assert diffs == 1
+
+    def test_empty_input_yields_nothing(self):
+        assert engine().deterministic(b"") == []
+
+    def test_limit_respected(self):
+        children = engine().deterministic(b"x" * 100, limit=16)
+        assert len(children) <= 16 + 100 // 4 + 2
+
+
+class TestHavoc:
+    def test_havoc_never_exceeds_max_size(self):
+        e = engine()
+        data = b"i 1 1\n" * 30
+        for _ in range(200):
+            assert len(e.havoc(data)) <= MAX_INPUT_SIZE
+
+    def test_havoc_never_returns_empty(self):
+        e = engine()
+        for _ in range(200):
+            assert e.havoc(b"")
+
+    def test_havoc_is_deterministic_per_rng(self):
+        a = MutationEngine(DeterministicRandom(11))
+        b = MutationEngine(DeterministicRandom(11))
+        data = b"i 5 100\ng 5\n"
+        assert [a.havoc(data) for _ in range(20)] == \
+               [b.havoc(data) for _ in range(20)]
+
+    def test_havoc_eventually_synthesizes_commands(self):
+        """The dictionary makes valid command tokens reachable."""
+        e = engine()
+        found_insert = False
+        for _ in range(300):
+            child = e.havoc(b"\n")
+            if b"i " in child:
+                found_insert = True
+                break
+        assert found_insert
+
+
+class TestSplice:
+    def test_splice_combines_inputs(self):
+        e = engine()
+        result = e.splice(b"AAAA", b"BBBB")
+        assert isinstance(result, bytes)
+
+    def test_splice_with_empty_side(self):
+        e = engine()
+        assert e.splice(b"", b"data")
+        assert e.splice(b"data", b"")

@@ -1,0 +1,73 @@
+"""Tests for the fuzzing queue and favored culling."""
+
+from repro.fuzz.queue import FuzzQueue
+from repro.fuzz.rng import DeterministicRandom
+
+
+def test_add_assigns_sequential_ids():
+    q = FuzzQueue()
+    a = q.add(b"a")
+    b = q.add(b"b")
+    assert (a.entry_id, b.entry_id) == (0, 1)
+
+
+def test_depth_follows_parent():
+    q = FuzzQueue()
+    root = q.add(b"root")
+    child = q.add(b"child", parent=root.entry_id)
+    grand = q.add(b"grand", parent=child.entry_id)
+    assert (root.depth, child.depth, grand.depth) == (0, 1, 2)
+
+
+def test_get_by_id():
+    q = FuzzQueue()
+    entry = q.add(b"x")
+    assert q.get(entry.entry_id) is entry
+    assert q.get(999) is None
+
+
+def test_select_prefers_pending_favored():
+    q = FuzzQueue()
+    q.add(b"plain")
+    favored = q.add(b"favored", favored=2)
+    rng = DeterministicRandom(1)
+    # The un-fuzzed favored entry must be chosen first.
+    assert q.select(rng) is favored
+
+
+def test_select_weighted_after_pending_drained():
+    q = FuzzQueue()
+    low = q.add(b"low")
+    high = q.add(b"high", favored=2)
+    low.fuzz_rounds = high.fuzz_rounds = 1
+    rng = DeterministicRandom(2)
+    picks = [q.select(rng).entry_id for _ in range(300)]
+    assert picks.count(high.entry_id) > picks.count(low.entry_id) * 2
+
+
+def test_select_empty_raises():
+    q = FuzzQueue()
+    try:
+        q.select(DeterministicRandom(1))
+        assert False, "expected IndexError"
+    except IndexError:
+        pass
+
+
+def test_cull_keeps_favored():
+    q = FuzzQueue(max_low_priority=2)
+    keep1 = q.add(b"pm", favored=2)
+    keep2 = q.add(b"branch", branch_favored=True)
+    for i in range(6):
+        q.add(b"low%d" % i)
+    dropped = q.cull()
+    assert dropped == 4
+    ids = {e.entry_id for e in q.entries}
+    assert keep1.entry_id in ids and keep2.entry_id in ids
+    assert len(q) == 4
+
+
+def test_cull_noop_under_budget():
+    q = FuzzQueue(max_low_priority=10)
+    q.add(b"a")
+    assert q.cull() == 0

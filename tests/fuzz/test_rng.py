@@ -1,0 +1,49 @@
+"""Tests for deterministic randomness."""
+
+from repro.fuzz.rng import DeterministicRandom
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRandom(42)
+    b = DeterministicRandom(42)
+    assert [a.randint(0, 100) for _ in range(20)] == \
+           [b.randint(0, 100) for _ in range(20)]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRandom(1)
+    b = DeterministicRandom(2)
+    assert [a.randint(0, 1000) for _ in range(10)] != \
+           [b.randint(0, 1000) for _ in range(10)]
+
+
+def test_fork_is_reproducible():
+    a = DeterministicRandom(7).fork("child")
+    b = DeterministicRandom(7).fork("child")
+    assert a.random_bytes(16) == b.random_bytes(16)
+
+
+def test_fork_labels_independent():
+    a = DeterministicRandom(7).fork("x")
+    b = DeterministicRandom(7).fork("y")
+    assert a.random_bytes(16) != b.random_bytes(16)
+
+
+def test_choice_and_sample():
+    rng = DeterministicRandom(3)
+    items = list(range(10))
+    assert rng.choice(items) in items
+    sample = rng.sample(items, 4)
+    assert len(sample) == 4 and len(set(sample)) == 4
+    assert rng.sample(items, 100) != []  # clamped, no error
+
+
+def test_chance_bounds():
+    rng = DeterministicRandom(5)
+    assert not any(rng.chance(0.0) for _ in range(50))
+    assert all(rng.chance(1.0) for _ in range(50))
+
+
+def test_random_bytes_length():
+    rng = DeterministicRandom(9)
+    assert len(rng.random_bytes(33)) == 33

@@ -1,0 +1,46 @@
+"""Tests for coverage-over-time statistics."""
+
+from repro.fuzz.stats import CoverageSample, FuzzStats
+
+
+def sample(vtime, pm):
+    return CoverageSample(vtime=vtime, executions=0, pm_paths=pm,
+                          branch_edges=0, queue_size=0, images=0)
+
+
+def test_final_values():
+    stats = FuzzStats()
+    stats.record(sample(0.0, 1))
+    stats.record(sample(1.0, 5))
+    assert stats.final_pm_paths == 5
+
+
+def test_pm_paths_at_is_step_function():
+    stats = FuzzStats()
+    stats.record(sample(0.0, 1))
+    stats.record(sample(2.0, 10))
+    assert stats.pm_paths_at(0.5) == 1
+    assert stats.pm_paths_at(2.0) == 10
+    assert stats.pm_paths_at(99.0) == 10
+
+
+def test_series_checkpoints():
+    stats = FuzzStats()
+    stats.record(sample(0.0, 2))
+    stats.record(sample(1.0, 4))
+    assert stats.series([0.5, 1.5]) == [(0.5, 2), (1.5, 4)]
+
+
+def test_render_curve_uses_paper_axis():
+    stats = FuzzStats()
+    stats.record(sample(0.0, 1))
+    stats.record(sample(4.0, 9))
+    curve = stats.render_curve([0.0, 2.0, 4.0], total_budget=4.0)
+    assert curve.startswith("0:00:1")
+    assert "2:00" in curve and "4:00:9" in curve
+
+
+def test_empty_stats():
+    stats = FuzzStats()
+    assert stats.final_pm_paths == 0
+    assert stats.pm_paths_at(1.0) == 0

@@ -1,0 +1,77 @@
+"""Tests for the execution context and PM-op registry."""
+
+import pytest
+
+from repro.instrument.context import (
+    ExecutionContext, current_context, pm_call_site, push_context,
+)
+from repro.instrument.pmops import PMOpRegistry
+from repro.pmem.persistence import PersistenceDomain
+
+
+class TestRegistry:
+    def test_ids_are_stable(self):
+        r = PMOpRegistry()
+        assert r.site_id("a:1") == r.site_id("a:1")
+
+    def test_ids_are_16_bit(self):
+        r = PMOpRegistry()
+        for label in ("x", "y:123", "deep/path.py:9999"):
+            assert 0 <= r.site_id(label) < (1 << 16)
+
+    def test_label_lookup(self):
+        r = PMOpRegistry()
+        op_id = r.site_id("file.py:42")
+        assert r.label_of(op_id) == "file.py:42"
+
+    def test_unknown_id_is_none(self):
+        r = PMOpRegistry()
+        assert r.label_of(12345) is None
+
+    def test_ids_stable_across_registries(self):
+        """Compile-time analogue: the same site gets the same ID anywhere."""
+        assert PMOpRegistry().site_id("s") == PMOpRegistry().site_id("s")
+
+
+class TestContextStack:
+    def test_no_context_by_default(self):
+        assert current_context() is None
+
+    def test_push_and_pop(self):
+        ctx = ExecutionContext()
+        with push_context(ctx):
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_nested_contexts(self):
+        outer, inner = ExecutionContext(), ExecutionContext()
+        with push_context(outer):
+            with push_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+
+    def test_record_pm_op_updates_everything(self):
+        ctx = ExecutionContext()
+        ctx.record_pm_op("site:1")
+        ctx.record_pm_op("site:2")
+        assert ctx.sites_hit == {"site:1", "site:2"}
+        assert ctx.counter_map.path_count() == 2
+
+    def test_observer_buffers_trace(self):
+        ctx = ExecutionContext()
+        domain = PersistenceDomain(64)
+        domain.add_observer(ctx.observe)
+        domain.store(0, b"x")
+        assert len(ctx.trace) == 1
+
+    def test_trace_collection_can_be_disabled(self):
+        ctx = ExecutionContext(collect_trace=False)
+        domain = PersistenceDomain(64)
+        domain.add_observer(ctx.observe)
+        domain.store(0, b"x")
+        assert ctx.trace == []
+
+
+def test_pm_call_site_names_this_file():
+    label = pm_call_site(depth=1)
+    assert "test_context.py" in label

@@ -1,0 +1,86 @@
+"""Tests for the Algorithm-1 PM counter-map."""
+
+from repro.instrument.counter_map import PM_MAP_SIZE, PMCounterMap, bucket_of
+
+
+class TestAlgorithm1:
+    def test_transition_encoding(self):
+        m = PMCounterMap()
+        loc1 = m.update(0x1234)  # prev = 0
+        assert loc1 == 0x1234
+        loc2 = m.update(0x1234)  # prev = 0x1234 >> 1
+        assert loc2 == (0x1234 ^ (0x1234 >> 1))
+
+    def test_direction_preserved(self):
+        """A→B and B→A must hit different slots (the >>1 shift)."""
+        a, b = 0x0F0F, 0x1111
+        m1 = PMCounterMap()
+        m1.update(a)
+        slot_ab = m1.update(b)
+        m2 = PMCounterMap()
+        m2.update(b)
+        slot_ba = m2.update(a)
+        assert slot_ab != slot_ba
+
+    def test_counter_increments(self):
+        m = PMCounterMap()
+        for _ in range(3):
+            m.update(0x1)
+            m.update(0x2)
+        # transition 1->2 and 2->1 hit fixed slots thrice... at least one
+        # populated slot has count >= 2.
+        assert max(m.counters) >= 2
+
+    def test_counter_saturates_at_255(self):
+        m = PMCounterMap()
+        for _ in range(300):
+            m.update(0x1)
+            m.update(0x1)
+        assert max(m.counters) == 255
+
+    def test_reset(self):
+        m = PMCounterMap()
+        m.update(0x42)
+        m.reset()
+        assert m.path_count() == 0
+        assert not m.touched
+
+    def test_sparse_matches_counters(self):
+        m = PMCounterMap()
+        for op in (1, 5, 9, 5, 1):
+            m.update(op)
+        for slot, count in m.sparse():
+            assert m.counters[slot] == count
+            assert count > 0
+        assert len(m.sparse()) == m.path_count()
+
+    def test_slots_bounded(self):
+        m = PMCounterMap()
+        loc = m.update(0xFFFF)
+        assert 0 <= loc < PM_MAP_SIZE
+
+    def test_identical_sequences_identical_maps(self):
+        """Derandomization: same ops → same map (Section 4.4)."""
+        ops = [3, 7, 3, 11, 7, 3]
+        m1, m2 = PMCounterMap(), PMCounterMap()
+        for op in ops:
+            m1.update(op)
+            m2.update(op)
+        assert bytes(m1.counters) == bytes(m2.counters)
+
+
+class TestBuckets:
+    def test_bucket_boundaries(self):
+        assert bucket_of(0) == 0
+        assert bucket_of(1) == 1
+        assert bucket_of(3) == 3
+        assert bucket_of(4) == 4
+        assert bucket_of(7) == 4
+        assert bucket_of(8) == 5
+        assert bucket_of(127) == 7
+        assert bucket_of(128) == 8
+        assert bucket_of(255) == 8
+
+    def test_buckets_monotone(self):
+        buckets = [bucket_of(c) for c in range(256)]
+        assert buckets == sorted(buckets)

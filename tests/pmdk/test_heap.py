@@ -1,0 +1,110 @@
+"""Tests for the persistent heap allocator."""
+
+import pytest
+
+from repro.errors import OutOfPMemError, PMemError, SegmentationFault
+from repro.pmdk.heap import ALLOC_HEADER_SIZE
+from repro.pmdk.pool import PmemObjPool
+
+
+@pytest.fixture
+def heap(pool):
+    return pool.heap
+
+
+class TestAllocation:
+    def test_alloc_returns_heap_offset(self, pool, heap):
+        oid = heap.alloc(32)
+        assert oid >= heap.heap_base + ALLOC_HEADER_SIZE
+
+    def test_allocations_do_not_overlap(self, heap):
+        a = heap.alloc(100)
+        b = heap.alloc(100)
+        assert abs(a - b) >= 100 + ALLOC_HEADER_SIZE
+
+    def test_zalloc_zeroes(self, pool, heap):
+        # Dirty the heap region first via a non-zeroing alloc cycle.
+        first = heap.alloc(64)
+        pool.domain.store(first, b"\xff" * 64)
+        heap.free(first)
+        oid = heap.zalloc(64)
+        assert pool.domain.load(oid, 64) == b"\0" * 64
+
+    def test_usable_size_recorded(self, heap):
+        oid = heap.alloc(100)
+        assert heap.usable_size(oid) == 100
+
+    def test_nonpositive_size_rejected(self, heap):
+        with pytest.raises(PMemError):
+            heap.alloc(0)
+
+    def test_exhaustion_raises(self):
+        pool = PmemObjPool.create("tiny", 32 * 1024)
+        with pytest.raises(OutOfPMemError):
+            for _ in range(10000):
+                pool.heap.alloc(512)
+
+    def test_alignment_to_cache_line(self, heap):
+        for size in (1, 63, 64, 65):
+            oid = heap.alloc(size)
+            assert oid % 64 == 0
+
+
+class TestFreeList:
+    def test_freed_block_is_reused(self, heap):
+        a = heap.alloc(64)
+        heap.free(a)
+        b = heap.alloc(64)
+        assert b == a
+
+    def test_smaller_request_reuses_larger_block(self, heap):
+        a = heap.alloc(128)
+        heap.free(a)
+        b = heap.alloc(32)
+        assert b == a
+
+    def test_larger_request_does_not_reuse(self, heap):
+        a = heap.alloc(64)
+        heap.free(a)
+        b = heap.alloc(512)
+        assert b != a
+
+    def test_double_free_rejected(self, heap):
+        a = heap.alloc(64)
+        heap.free(a)
+        with pytest.raises(PMemError):
+            heap.free(a)
+
+    def test_free_of_wild_pointer_rejected(self, heap):
+        with pytest.raises(SegmentationFault):
+            heap.free(1)
+
+    def test_free_blocks_listing(self, heap):
+        a = heap.alloc(64)
+        b = heap.alloc(64)
+        heap.free(a)
+        heap.free(b)
+        blocks = heap.free_blocks()
+        assert len(blocks) == 2
+        # LIFO order: most recently freed first.
+        assert blocks[0][0] == b - ALLOC_HEADER_SIZE
+
+    def test_fifo_chain_reuse(self, heap):
+        oids = [heap.alloc(64) for _ in range(4)]
+        for oid in oids:
+            heap.free(oid)
+        reused = [heap.alloc(64) for _ in range(4)]
+        assert set(reused) == set(oids)
+
+
+class TestPersistence:
+    def test_allocator_state_survives_reopen(self, pool):
+        oid = pool.heap.alloc(64)
+        pool.domain.store(oid, b"payload!")
+        pool.persist(oid, 8, site="test")
+        image = pool.close()
+        reopened = PmemObjPool.open(image, "test")
+        assert reopened.domain.load(oid, 8) == b"payload!"
+        # The cursor advanced persistently: a new alloc does not clobber.
+        other = reopened.heap.alloc(64)
+        assert other != oid

@@ -1,0 +1,119 @@
+"""Tests for the typed persistent-struct layer."""
+
+import pytest
+
+from repro.errors import PMemError
+from repro.pmdk.layout import (
+    Array, Bytes, OID, PStruct, U8, U16, U32, U64, load_field, store_field,
+)
+from repro.pmdk.pool import PmemObjPool
+
+
+class Mixed(PStruct):
+    _fields_ = [
+        ("a", U8),
+        ("b", U16),
+        ("c", U32),
+        ("d", U64),
+        ("arr", Array(U64, 3)),
+        ("raw", Bytes(8)),
+    ]
+
+
+class TestLayoutComputation:
+    def test_offsets_are_sequential(self):
+        assert Mixed.field_offset("a") == 0
+        assert Mixed.field_offset("b") == 1
+        assert Mixed.field_offset("c") == 3
+        assert Mixed.field_offset("d") == 7
+        assert Mixed.field_offset("arr") == 15
+        assert Mixed.field_offset("raw") == 39
+
+    def test_total_size(self):
+        assert Mixed._size_ == 47
+
+    def test_field_sizes(self):
+        assert Mixed.field_size("a") == 1
+        assert Mixed.field_size("arr") == 24
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(PMemError):
+            class Dup(PStruct):
+                _fields_ = [("x", U8), ("x", U16)]
+
+    def test_empty_struct(self):
+        class Empty(PStruct):
+            _fields_ = []
+        assert Empty._size_ == 0
+
+
+class TestFieldAccess:
+    @pytest.fixture
+    def view(self, pool):
+        oid = pool.zalloc(Mixed._size_)
+        return pool.typed(oid, Mixed)
+
+    def test_scalar_round_trip(self, view):
+        view.a = 200
+        view.b = 60000
+        view.c = 4_000_000_000
+        view.d = 2**63
+        assert view.a == 200
+        assert view.b == 60000
+        assert view.c == 4_000_000_000
+        assert view.d == 2**63
+
+    def test_array_round_trip(self, view):
+        view.arr[0] = 1
+        view.arr[2] = 3
+        assert view.arr.tolist() == [1, 0, 3]
+
+    def test_array_index_bounds(self, view):
+        with pytest.raises(IndexError):
+            view.arr[3]
+        with pytest.raises(IndexError):
+            view.arr[-1] = 0
+
+    def test_array_iteration(self, view):
+        view.arr[1] = 7
+        assert list(view.arr) == [0, 7, 0]
+
+    def test_whole_array_assignment_rejected(self, view):
+        with pytest.raises(PMemError):
+            view.arr = [1, 2, 3]
+
+    def test_bytes_field_padded(self, view):
+        view.raw = b"hi"
+        assert view.raw == b"hi" + b"\0" * 6
+
+    def test_bytes_field_overflow_rejected(self, view):
+        with pytest.raises(PMemError):
+            view.raw = b"123456789"
+
+    def test_unknown_field_get(self, view):
+        with pytest.raises(AttributeError):
+            view.nope
+
+    def test_unknown_field_set(self, view):
+        with pytest.raises(AttributeError):
+            view.nope = 1
+
+    def test_field_addr(self, view):
+        assert view.field_addr("d") == view.offset + 7
+
+    def test_writes_reach_the_pool(self, pool):
+        oid = pool.zalloc(Mixed._size_)
+        view = pool.typed(oid, Mixed)
+        view.d = 0x1122334455667788
+        raw = pool.read(oid + 7, 8)
+        assert raw == bytes.fromhex("8877665544332211")
+
+    def test_explicit_site_helpers(self, pool):
+        oid = pool.zalloc(Mixed._size_)
+        view = pool.typed(oid, Mixed)
+        store_field(view, "c", 77, site="test:site")
+        assert load_field(view, "c", site="test:site") == 77
+        assert view.c == 77
+
+    def test_repr_contains_offset(self, view):
+        assert f"0x{view.offset:x}" in repr(view)

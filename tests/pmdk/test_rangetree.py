@@ -1,0 +1,104 @@
+"""Tests for the logged-range tree."""
+
+from repro.pmdk.rangetree import RangeTree
+
+
+class TestCovers:
+    def test_empty_covers_nothing(self):
+        t = RangeTree()
+        assert not t.covers(0, 1)
+
+    def test_exact_range_covered(self):
+        t = RangeTree()
+        t.add(10, 5)
+        assert t.covers(10, 5)
+
+    def test_subrange_covered(self):
+        t = RangeTree()
+        t.add(10, 10)
+        assert t.covers(12, 3)
+
+    def test_partial_overlap_not_covered(self):
+        t = RangeTree()
+        t.add(10, 5)
+        assert not t.covers(12, 10)
+
+    def test_adjacent_not_covered(self):
+        t = RangeTree()
+        t.add(10, 5)
+        assert not t.covers(15, 1)
+
+    def test_zero_size_always_covered(self):
+        t = RangeTree()
+        assert t.covers(123, 0)
+
+
+class TestMerging:
+    def test_adjacent_ranges_merge(self):
+        t = RangeTree()
+        t.add(0, 5)
+        t.add(5, 5)
+        assert len(t) == 1
+        assert t.covers(0, 10)
+
+    def test_overlapping_ranges_merge(self):
+        t = RangeTree()
+        t.add(0, 10)
+        t.add(5, 10)
+        assert len(t) == 1
+        assert t.covers(0, 15)
+
+    def test_disjoint_ranges_stay_separate(self):
+        t = RangeTree()
+        t.add(0, 5)
+        t.add(10, 5)
+        assert len(t) == 2
+        assert not t.covers(5, 5)
+
+    def test_bridge_merges_three(self):
+        t = RangeTree()
+        t.add(0, 5)
+        t.add(10, 5)
+        t.add(5, 5)  # bridges the gap
+        assert len(t) == 1
+        assert t.covers(0, 15)
+
+    def test_contained_range_absorbed(self):
+        t = RangeTree()
+        t.add(0, 20)
+        t.add(5, 5)
+        assert len(t) == 1
+
+    def test_covered_bytes(self):
+        t = RangeTree()
+        t.add(0, 5)
+        t.add(10, 5)
+        assert t.covered_bytes() == 10
+
+
+class TestOverlaps:
+    def test_overlap_detected(self):
+        t = RangeTree()
+        t.add(10, 10)
+        assert t.overlaps(15, 10)
+        assert t.overlaps(5, 6)
+
+    def test_no_overlap(self):
+        t = RangeTree()
+        t.add(10, 10)
+        assert not t.overlaps(0, 10)
+        assert not t.overlaps(20, 5)
+
+    def test_clear(self):
+        t = RangeTree()
+        t.add(0, 5)
+        t.clear()
+        assert len(t) == 0
+        assert not t.covers(0, 1)
+
+    def test_iteration_sorted(self):
+        t = RangeTree()
+        t.add(20, 5)
+        t.add(0, 5)
+        t.add(10, 5)
+        assert list(t) == [(0, 5), (10, 15), (20, 25)]

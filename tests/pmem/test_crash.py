@@ -1,0 +1,60 @@
+"""Tests for crash-state extraction policies."""
+
+from repro.pmem.crash import CrashPolicy, crash_states, snapshot_with_lines
+from repro.pmem.persistence import CACHE_LINE, PersistenceDomain
+
+
+def test_strict_policy_yields_media_only():
+    d = PersistenceDomain(256)
+    d.store(0, b"x")
+    states = list(crash_states(d, CrashPolicy.STRICT))
+    assert len(states) == 1
+    assert states[0][0] == 0  # the dirty byte did not persist
+
+
+def test_strict_state_reflects_persisted_data():
+    d = PersistenceDomain(256)
+    d.store(0, b"x")
+    d.persist(0, 1)
+    d.store(64, b"y")  # pending
+    (state,) = crash_states(d, CrashPolicy.STRICT)
+    assert state[0] == ord("x")
+    assert state[64] == 0
+
+
+def test_all_pending_includes_full_eviction_state():
+    d = PersistenceDomain(256)
+    d.store(0, b"a")
+    d.store(CACHE_LINE, b"b")
+    states = list(crash_states(d, CrashPolicy.ALL_PENDING))
+    # strict + all-pending + one per pending line
+    assert len(states) == 4
+    full = states[1]
+    assert full[0] == ord("a") and full[CACHE_LINE] == ord("b")
+
+
+def test_all_pending_single_line_states():
+    d = PersistenceDomain(256)
+    d.store(0, b"a")
+    d.store(CACHE_LINE, b"b")
+    states = list(crash_states(d, CrashPolicy.ALL_PENDING))
+    singles = states[2:]
+    # One state has only line 0 evicted, the other only line 1.
+    evictions = {(s[0] != 0, s[CACHE_LINE] != 0) for s in singles}
+    assert evictions == {(True, False), (False, True)}
+
+
+def test_no_pending_lines_yields_strict_only():
+    d = PersistenceDomain(256)
+    d.store(0, b"a")
+    d.persist(0, 1)
+    states = list(crash_states(d, CrashPolicy.ALL_PENDING))
+    assert len(states) == 1
+
+
+def test_snapshot_with_lines_merges_volatile():
+    d = PersistenceDomain(256)
+    d.store(0, b"a")
+    snap = snapshot_with_lines(d, [0])
+    assert snap[0] == ord("a")
+    assert d.persisted_view()[0] == 0  # domain itself unchanged

@@ -1,0 +1,79 @@
+"""Tests for the analysis package (aggregation, figures, tables)."""
+
+import pytest
+
+from repro.analysis import (
+    CampaignMatrix, coverage_ratio, geomean, render_coverage_figure,
+    render_table, summarize_matrix,
+)
+from repro.fuzz.stats import CoverageSample, FuzzStats
+
+
+def stats_with(pm_paths, config="cfg", vtimes=(0.5, 1.0)):
+    s = FuzzStats(config_name=config)
+    for i, t in enumerate(vtimes):
+        s.record(CoverageSample(vtime=t, executions=i, pm_paths=pm_paths,
+                                branch_edges=0, queue_size=0, images=0))
+    return s
+
+
+class TestAggregate:
+    def test_geomean_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([5]) == pytest.approx(5.0)
+
+    def test_geomean_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_coverage_ratio(self):
+        assert coverage_ratio(stats_with(100), stats_with(50)) == 2.0
+        assert coverage_ratio(stats_with(10), stats_with(0)) == 10.0
+
+    def test_matrix_operations(self):
+        m = CampaignMatrix()
+        m.put("w1", "A", stats_with(100, "A"))
+        m.put("w1", "B", stats_with(50, "B"))
+        m.put("w2", "A", stats_with(80, "A"))
+        m.put("w2", "B", stats_with(20, "B"))
+        assert m.workloads == ["w1", "w2"]
+        assert m.configs() == ["A", "B"]
+        assert m.final_coverage("w2", "B") == 20
+        assert m.ratio_geomean("A", "B") == pytest.approx(geomean([2, 4]))
+
+    def test_summary_lines(self):
+        m = CampaignMatrix()
+        m.put("w1", "A", stats_with(100, "A"))
+        m.put("w1", "B", stats_with(50, "B"))
+        lines = summarize_matrix(m, baseline="B")
+        assert any("geomean A / B: 2.00x" in line for line in lines)
+
+
+class TestFigureRendering:
+    def test_figure_contains_all_series(self):
+        curves = {"PMFuzz": stats_with(40), "AFL++": stats_with(10)}
+        text = render_coverage_figure(curves, budget=1.0, title="t")
+        assert "PMFuzz" in text and "AFL++" in text
+        assert "40" in text and "10" in text
+        assert "0:00" in text and "4:00" in text
+
+    def test_empty_series_safe(self):
+        text = render_coverage_figure({"X": FuzzStats("X")}, budget=1.0)
+        assert "X" in text
+
+
+class TestTableRendering:
+    def test_alignment(self):
+        table = render_table(["name", "count"],
+                             [["alpha", 5], ["b", 1234]], title="T")
+        lines = table.split("\n")
+        assert lines[0] == "T"
+        assert "alpha" in table and "1234" in table
+        # Numeric column right-aligned: 5 and 1234 end at the same column.
+        row_a = next(l for l in lines if "alpha" in l)
+        row_b = next(l for l in lines if "1234" in l)
+        assert len(row_a) == len(row_b)
+
+    def test_text_column_left_aligned(self):
+        table = render_table(["x"], [["short"], ["a-much-longer-cell"]])
+        assert "short" in table

@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_fuzz_args(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--workload", "btree", "--budget", "1.5"])
+        assert args.workload == "btree"
+        assert args.budget == 1.5
+        assert args.config == "pmfuzz"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--workload", "nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "btree" in out and "redis" in out
+        assert "bug6_no_recovery_call" in out
+
+    def test_fuzz_command(self, capsys):
+        code = main(["fuzz", "--workload", "skiplist", "--config",
+                     "aflpp_sysopt", "--budget", "0.3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PM paths covered" in out
+
+    def test_unknown_config_fails_fast(self, capsys):
+        assert main(["fuzz", "--workload", "btree", "--config",
+                     "bogus", "--budget", "0.1"]) == 2
+
+    def test_real_bugs_single(self, capsys):
+        code = main(["real-bugs", "--bug", "8", "--budget", "1.0"])
+        out = capsys.readouterr().out
+        assert "bug  8" in out
+        assert code == 0
+        assert "detected" in out

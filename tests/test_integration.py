@@ -1,0 +1,109 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a full paper workflow: fuzz → generate images →
+detect, with the real components (no mocks anywhere in this repo).
+"""
+
+import pytest
+
+from repro.core.config import config_by_name
+from repro.core.pipeline import FuzzAndDetectPipeline
+from repro.core.pmfuzz import build_engine
+from repro.detect import TestingTool
+from repro.fuzz.rng import DeterministicRandom
+from repro.workloads import get_workload
+from repro.workloads.mapcli import parse_commands
+from repro.workloads.realbugs import buggy_flags_for
+
+
+class TestFigure9Workflow:
+    """The full Figure-9 loop on one workload."""
+
+    def test_fuzz_then_detect(self):
+        engine = build_engine("redis", config_by_name("pmfuzz"),
+                              rng=DeterministicRandom(3))
+        stats = engine.run(1.0)
+        assert stats.final_pm_paths > 20
+        # Hand the three most-favored test cases to the testing tool.
+        tool = TestingTool(lambda: get_workload("redis"))
+        entries = sorted(engine.queue.entries, key=lambda e: -e.favored)[:3]
+        for entry in entries:
+            image = engine.storage.load(entry.image_id or
+                                        engine._seed_image_id)
+            report = tool.test(image, parse_commands(entry.data))
+            assert report.crash_consistency_findings == [], \
+                "fixed redis must be clean"
+
+    def test_crash_image_entries_execute_recovery(self):
+        engine = build_engine("hashmap_atomic", config_by_name("pmfuzz"),
+                              rng=DeterministicRandom(4))
+        engine.run(1.5)
+        crash_entries = [e for e in engine.queue.entries
+                         if e.from_crash_image]
+        assert crash_entries, "no crash images entered the queue"
+        # Executing a crash-image entry must succeed (recovery works).
+        entry = crash_entries[0]
+        image = engine.storage.load(entry.image_id)
+        result = get_workload("hashmap_atomic").run(
+            image, parse_commands(entry.data))
+        assert result.outcome.value == "ok"
+
+
+class TestImageLineage:
+    def test_every_tree_node_is_replayable(self):
+        """Reproducibility (Section 4.6): each image rebuilds from its
+        recorded lineage of (input, failure point) edges."""
+        engine = build_engine("hashmap_tx", config_by_name("pmfuzz"),
+                              rng=DeterministicRandom(5))
+        engine.run(1.0)
+        tree = engine.tree
+        # Check a handful of non-root nodes, including crash images.
+        nodes = [n for n in tree.nodes() if n.parent_id is not None][:5]
+        assert nodes
+        for node in nodes:
+            current = engine.storage.load(tree.root_id)
+            for data, failure in tree.replay_steps(node.image_id):
+                wl = get_workload("hashmap_tx")
+                result = wl.run(current, parse_commands(data),
+                                crash_at_fence=failure)
+                current = (result.crash_image if failure is not None
+                           else result.final_image)
+                assert current is not None
+            assert current.content_hash() == node.image_id
+
+
+class TestConfigurationMatrix:
+    @pytest.mark.parametrize("config_name", [
+        "pmfuzz", "pmfuzz_no_sysopt", "aflpp", "aflpp_sysopt",
+        "aflpp_imgfuzz",
+    ])
+    def test_every_config_runs_on_every_db_workload(self, config_name):
+        for workload in ("memcached", "redis"):
+            engine = build_engine(workload, config_by_name(config_name),
+                                  rng=DeterministicRandom(6))
+            stats = engine.run(0.4)
+            assert stats.executions > 0
+            assert stats.final_pm_paths > 0
+
+
+class TestBuggyVariantsThroughPipeline:
+    def test_rbtree_all_four_bugs(self):
+        pipe = FuzzAndDetectPipeline(
+            "rbtree", "pmfuzz", bugs=buggy_flags_for("rbtree"),
+            max_checked=48,
+        )
+        result = pipe.run(budget_vseconds=2.5)
+        detected = {r.bug.number for r in result.real_bugs if r.detected}
+        assert 3 in detected  # init not retried
+        assert 9 in detected  # TX_SET on fresh node
+        assert 10 in detected  # log of fresh root
+        # Bug 11 needs the rotate-then-recolor path; give it a second
+        # chance with a longer budget rather than flake.
+        if 11 not in detected:
+            retry = FuzzAndDetectPipeline(
+                "rbtree", "pmfuzz", bugs=buggy_flags_for("rbtree"),
+                max_checked=64, seed=0xBEEF,
+            ).run(budget_vseconds=4.0)
+            detected |= {r.bug.number for r in retry.real_bugs
+                         if r.detected}
+        assert 11 in detected

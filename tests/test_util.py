@@ -1,0 +1,77 @@
+"""Tests for shared utilities and the error hierarchy."""
+
+import pytest
+
+from repro._util import (
+    align_down, align_up, format_duration, sha256_hex, stable_hash16,
+    stable_hash32,
+)
+from repro import errors
+
+
+class TestHashing:
+    def test_stable_across_calls(self):
+        assert stable_hash32("x") == stable_hash32("x")
+        assert stable_hash16("y") == stable_hash16("y")
+
+    def test_ranges(self):
+        for text in ("", "a", "long/label.py:123"):
+            assert 0 <= stable_hash32(text) < (1 << 32)
+            assert 0 <= stable_hash16(text) < (1 << 16)
+
+    def test_sensitivity(self):
+        assert stable_hash32("a") != stable_hash32("b")
+
+    def test_sha256_hex(self):
+        digest = sha256_hex(b"abc")
+        assert len(digest) == 64
+        assert digest == sha256_hex(b"abc")
+
+
+class TestAlignment:
+    @pytest.mark.parametrize("value,alignment,expected", [
+        (0, 64, 0), (1, 64, 64), (64, 64, 64), (65, 64, 128),
+        (100, 8, 104),
+    ])
+    def test_align_up(self, value, alignment, expected):
+        assert align_up(value, alignment) == expected
+
+    @pytest.mark.parametrize("value,alignment,expected", [
+        (0, 64, 0), (63, 64, 0), (64, 64, 64), (130, 64, 128),
+    ])
+    def test_align_down(self, value, alignment, expected):
+        assert align_down(value, alignment) == expected
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            align_up(1, 0)
+        with pytest.raises(ValueError):
+            align_down(1, -1)
+
+
+class TestFormatting:
+    def test_duration_axis_labels(self):
+        assert format_duration(0) == "0:00"
+        assert format_duration(1800) == "0:30"
+        assert format_duration(3600) == "1:00"
+        assert format_duration(4 * 3600) == "4:00"
+        assert format_duration(3661) == "1:01"
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in ("PMemError", "InvalidImageError", "OutOfPMemError",
+                     "SegmentationFault", "TransactionError",
+                     "TransactionAborted", "SimulatedCrash",
+                     "CommandError", "FuzzerError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_simulated_crash_carries_fence(self):
+        crash = errors.SimulatedCrash(7)
+        assert crash.fence_index == 7
+        assert "7" in str(crash)
+
+    def test_corruption_errors_include_segfault(self):
+        assert errors.SegmentationFault in errors.CORRUPTION_ERRORS
+        assert IndexError in errors.CORRUPTION_ERRORS

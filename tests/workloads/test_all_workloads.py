@@ -1,0 +1,136 @@
+"""Cross-cutting tests that every workload must satisfy.
+
+These are the load-bearing guarantees of the whole evaluation:
+
+* fixed workloads behave like a dictionary (differential test),
+* fixed workloads are crash-consistent at *every* ordering point,
+* images round-trip through serialization,
+* the synthetic-bug catalogue matches Table 3 and every site is real.
+"""
+
+import random
+
+import pytest
+
+from repro.workloads import get_workload, workload_names
+from repro.workloads.base import Command, RunOutcome
+from repro.workloads.mapcli import parse_commands
+
+ALL = workload_names()
+
+#: Expected Table-3 synthetic bug counts.
+TABLE3_COUNTS = {
+    "btree": 17, "rbtree": 14, "rtree": 16, "skiplist": 12,
+    "hashmap_tx": 21, "hashmap_atomic": 14, "memcached": 17, "redis": 14,
+}
+
+WORKOUT = parse_commands(
+    b"i 5 50\ni 9 90\ni 5 55\ni 13 1\ni 200 2\nr 9\ng 5\nq\nm\nn\n",
+    max_commands=16,
+)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestEveryWorkload:
+    def test_registry_name_matches(self, name):
+        assert get_workload(name).name == name
+
+    def test_create_open_round_trip(self, name):
+        wl = get_workload(name)
+        image = wl.create_image()
+        pool = wl.open(image)
+        assert wl.is_created(pool)
+        assert wl.check_consistency(pool) == []
+
+    def test_differential_against_dict(self, name):
+        import zlib
+
+        wl = get_workload(name)
+        pool = wl.open(wl.create_image())
+        shadow = {}
+        rng = random.Random(zlib.crc32(name.encode()))
+        for step in range(400):
+            op = rng.choice("iiigrx")
+            # Keep the live-key count below memcached's slab capacity so
+            # LRU eviction never diverges from plain-dict semantics.
+            k, v = rng.randrange(32), rng.randrange(1000)
+            out = wl.exec_command(
+                pool, Command(op, k, v if op == "i" else None))
+            if op == "i":
+                shadow[k] = v
+            elif op == "g":
+                expect = str(shadow[k]) if k in shadow else "none"
+                assert out == expect, (name, step, k)
+            elif op == "x":
+                assert out == ("1" if k in shadow else "0"), (name, step, k)
+            elif op == "r":
+                shadow.pop(k, None)
+        violations = wl.check_consistency(pool)
+        assert violations == [], (name, violations)
+
+    def test_run_produces_normal_image(self, name):
+        wl = get_workload(name)
+        result = wl.run(wl.create_image(), WORKOUT)
+        assert result.outcome is RunOutcome.OK, (name, result.error)
+        assert result.final_image is not None
+        assert result.commands_run == len(WORKOUT)
+
+    def test_normal_image_reusable(self, name):
+        wl = get_workload(name)
+        first = wl.run(wl.create_image(), WORKOUT)
+        second = get_workload(name).run(first.final_image,
+                                        parse_commands(b"g 5\nn\n"))
+        assert second.outcome is RunOutcome.OK, (name, second.error)
+
+    def test_crash_consistency_at_sampled_fences(self, name):
+        """Crash anywhere → recovery → consistent (the core guarantee)."""
+        wl = get_workload(name)
+        seed = wl.create_image()
+        baseline = wl.run(seed, WORKOUT)
+        total = baseline.fence_count
+        assert total > 0
+        for fence in range(0, total, max(1, total // 12)):
+            crash = get_workload(name).run(seed, WORKOUT,
+                                           crash_at_fence=fence)
+            assert crash.outcome is RunOutcome.CRASHED, (name, fence)
+            after = get_workload(name)
+            result = after.run(crash.crash_image, parse_commands(b"g 5\n"))
+            assert result.outcome is RunOutcome.OK, (name, fence,
+                                                     result.error)
+            pool = get_workload(name).open(result.final_image)
+            violations = get_workload(name).check_consistency(pool)
+            assert violations == [], (name, fence, violations)
+
+    def test_table3_synthetic_count(self, name):
+        bugs = get_workload(name).synthetic_bugs()
+        assert len(bugs) == TABLE3_COUNTS[name]
+
+    def test_synthetic_bug_ids_unique(self, name):
+        bugs = get_workload(name).synthetic_bugs()
+        assert len({b.bug_id for b in bugs}) == len(bugs)
+
+    def test_synthetic_sites_unique(self, name):
+        bugs = get_workload(name).synthetic_bugs()
+        assert len({b.site for b in bugs}) == len(bugs)
+
+    def test_deterministic_execution(self, name):
+        """Same input test case → byte-identical output image (Sec. 4.4)."""
+        a = get_workload(name).run(get_workload(name).create_image(), WORKOUT)
+        b = get_workload(name).run(get_workload(name).create_image(), WORKOUT)
+        assert a.final_image.content_hash() == b.final_image.content_hash()
+
+    def test_volatile_commands_touch_no_pm(self, name):
+        from repro.instrument.context import ExecutionContext, push_context
+
+        wl = get_workload(name)
+        image = wl.run(wl.create_image(), parse_commands(b"i 1 1\n")).final_image
+        ctx = ExecutionContext()
+        with push_context(ctx):
+            wl2 = get_workload(name)
+            wl2.run(image, parse_commands(b"h\ns\nv\ne 5\nu 6\nw 7\n"))
+        baseline_sites = set(ctx.sites_hit)
+        # The volatile commands add no PM operations beyond the open path:
+        ctx2 = ExecutionContext()
+        with push_context(ctx2):
+            get_workload(name).run(image, [])
+        assert baseline_sites == set(ctx2.sites_hit)

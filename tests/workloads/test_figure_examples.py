@@ -1,0 +1,130 @@
+"""Executable recreations of the paper's illustrative figures.
+
+The non-measurement figures are validated as behaviours:
+
+* Figure 5  — direct image mutation aborts; program logic mutates validly.
+* Figure 7  — recovery control flow depends only on the commit variable.
+* Figure 10 — the counter-map state after a loop of PM operations.
+* Figure 12 — covered in tests/core/test_testcase_tree.py.
+* Figure 16 — rotation logs both nodes; the redundancy is benign and
+  not attributed to any catalogued bug.
+"""
+
+from collections import Counter
+
+from repro.errors import InvalidImageError
+from repro.instrument.context import ExecutionContext, push_context
+from repro.instrument.counter_map import PMCounterMap
+from repro.pmem.image import PMImage
+from repro.workloads import get_workload
+from repro.workloads.mapcli import parse_commands
+
+
+class TestFigure5:
+    """(a) invalid image by direct mutation, (b) valid image by logic."""
+
+    def test_direct_mutation_aborts(self):
+        wl = get_workload("hashmap_tx")
+        image = wl.create_image()
+        data = bytearray(image.to_bytes())
+        # Mutate "the middle of the key and its entry pointer".
+        for offset in range(2000, 2032):
+            data[offset] ^= 0xA5
+        try:
+            mutated = PMImage.from_bytes(bytes(data))
+        except InvalidImageError:
+            return  # aborted at validation, as expected
+        result = get_workload("hashmap_tx").run(
+            mutated, parse_commands(b"g 1\n"))
+        assert result.outcome.value in ("invalid_image", "segfault", "error")
+
+    def test_program_logic_produces_valid_mutation(self):
+        wl = get_workload("hashmap_tx")
+        image = wl.create_image()
+        result = wl.run(image, parse_commands(b"i 5 100\n"))
+        assert result.outcome.value == "ok"
+        # The output image differs (mutated) and is fully valid.
+        assert result.final_image.content_hash() != image.content_hash()
+        follow_up = get_workload("hashmap_tx").run(
+            result.final_image, parse_commands(b"g 5\n"))
+        assert follow_up.outputs == ["100"]
+
+
+class TestFigure7:
+    """Recovery takes one of two paths based on the commit variable."""
+
+    def test_crash_images_collapse_into_recovery_cases(self):
+        from repro.pmdk.pool import PmemObjPool
+        from repro.workloads.hashmap_atomic import (
+            HashmapAtomic, HashmapAtomicRoot,
+        )
+
+        wl = get_workload("hashmap_atomic")
+        seed = wl.create_image()
+        commands = parse_commands(b"i 5 1\ni 9 2\n")
+        total = wl.run(seed, commands).fence_count
+        cases = Counter()
+        for fence in range(total):
+            crash = get_workload("hashmap_atomic").run(
+                seed, commands, crash_at_fence=fence)
+            if crash.crash_image is None:
+                continue
+            pool = PmemObjPool.open(crash.crash_image, "hashmap_atomic")
+            if pool.root_oid == 0:
+                cases["pre-creation"] += 1
+                continue
+            root = pool.typed(pool.root_oid, HashmapAtomicRoot)
+            if root.map_oid == 0:
+                cases["pre-creation"] += 1
+                continue
+            hm = pool.typed(root.map_oid, HashmapAtomic)
+            cases["case1-recount" if hm.count_dirty else "case2-verify"] += 1
+        # Dozens of failure points, exactly the paper's two post-creation
+        # recovery cases (plus the creation window).
+        assert cases["case1-recount"] > 0
+        assert cases["case2-verify"] > 0
+        assert set(cases) <= {"pre-creation", "case1-recount",
+                              "case2-verify"}
+
+
+class TestFigure10:
+    """Counter-map state after a loop of PM operations."""
+
+    def test_loop_populates_transition_counters(self):
+        # btreeSplitNode-style loop: five operations, repeated while the
+        # loop runs; transition counters record visit counts.
+        m = PMCounterMap()
+        ops = [0x0A, 0x0B, 0x0C, 0x0D, 0x0E]
+        for _ in range(2):  # two loop iterations
+            for op in ops:
+                m.update(op)
+        populated = dict(m.items())
+        assert len(populated) >= 5  # distinct transitions
+        # The back-edge transition (last op -> first op) exists once less
+        # than the in-loop ones would suggest; total counts match 10 ops.
+        assert sum(populated.values()) == 10
+
+
+class TestFigure16:
+    """Rotation logs both nodes up front; benign, not a catalogued bug."""
+
+    def test_fixed_rbtree_rotation_redundancy_not_attributed(self):
+        from repro.detect import TestingTool
+
+        tool = TestingTool(lambda: get_workload("rbtree"))
+        wl = get_workload("rbtree")
+        report = tool.test(
+            wl.create_image(),
+            parse_commands(b"i 10 1\ni 20 2\ni 30 3\ni 25 4\ni 28 5\n",
+                           max_commands=16),
+            with_crash_images=False,
+        )
+        # Rotation-related redundant logs may appear (Figure 16's
+        # programmability trade-off) ...
+        rotation_noise = [f for f in report.performance_findings
+                          if "rotate" in f or "fixup:add" in f]
+        # ... but none of the *catalogued* bug sites fire on fixed code.
+        from repro.core.pipeline import PERF_BUG_SIGNATURES
+
+        for _, site in PERF_BUG_SIGNATURES.values():
+            assert not any(site in f for f in report.performance_findings)

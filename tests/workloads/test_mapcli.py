@@ -1,0 +1,65 @@
+"""Tests for the mapcli command parser."""
+
+from repro.workloads.base import Command
+from repro.workloads.mapcli import (
+    KEY_SPACE, VALUE_SPACE, parse_commands, render_commands,
+)
+
+
+class TestParsing:
+    def test_basic_commands(self):
+        cmds = parse_commands(b"i 5 100\ng 5\nr 5\nx 5\nn\nb\nm\nq\n")
+        assert [c.op for c in cmds] == list("igrxnbmq")
+        assert cmds[0] == Command("i", 5, 100)
+        assert cmds[1] == Command("g", 5)
+
+    def test_keys_fold_into_key_space(self):
+        (cmd,) = parse_commands(b"g 99999999\n")
+        assert 0 <= cmd.key < KEY_SPACE
+
+    def test_values_fold_into_value_space(self):
+        (cmd,) = parse_commands(b"i 1 99999999999\n")
+        assert 0 <= cmd.value < VALUE_SPACE
+
+    def test_non_numeric_tokens_hash_deterministically(self):
+        a = parse_commands(b"g abc\n")
+        b = parse_commands(b"g abc\n")
+        assert a == b
+        assert 0 <= a[0].key < KEY_SPACE
+
+    def test_garbage_lines_skipped(self):
+        cmds = parse_commands(b"zzz\n\x00\x01\x02\ni 1 2\n???\n")
+        assert len(cmds) == 1
+        assert cmds[0].op == "i"
+
+    def test_missing_key_skipped(self):
+        assert parse_commands(b"g\n") == []
+
+    def test_insert_without_value_defaults_zero(self):
+        (cmd,) = parse_commands(b"i 3\n")
+        assert cmd.value == 0
+
+    def test_command_cap(self):
+        data = b"g 1\n" * 100
+        assert len(parse_commands(data, max_commands=6)) == 6
+
+    def test_empty_input(self):
+        assert parse_commands(b"") == []
+
+    def test_op_is_first_byte_case_insensitive(self):
+        (cmd,) = parse_commands(b"I 1 2\n")
+        assert cmd.op == "i"
+
+    def test_volatile_ops_parse(self):
+        cmds = parse_commands(b"h\ns\nv\ne 5\nu 6\nw 7\n")
+        assert [c.op for c in cmds] == list("hsveuw")
+
+
+class TestRendering:
+    def test_round_trip(self):
+        cmds = parse_commands(b"i 5 100\ng 5\nn\nq\n")
+        rendered = render_commands(cmds)
+        assert parse_commands(rendered) == cmds
+
+    def test_empty_render(self):
+        assert render_commands([]) == b""

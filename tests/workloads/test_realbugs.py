@@ -1,0 +1,165 @@
+"""Tests that all 12 real-world bugs (Section 5.4) behave as in the paper:
+
+* the buggy variant is detectable by the right mechanism,
+* the fixed variant is clean at the same sites,
+* the bug catalogue metadata is complete and well-formed.
+"""
+
+import pytest
+
+from repro.detect import TestingTool
+from repro.workloads import get_workload
+from repro.workloads.base import RunOutcome
+from repro.workloads.mapcli import parse_commands
+from repro.workloads.realbugs import (
+    ALL_REAL_BUGS, bug_by_number, buggy_flags_for, real_bugs_for,
+)
+
+#: Inputs known to trigger each performance bug's designated site.
+PERF_TRIGGERS = {
+    7: ("memcached", "bug7_redundant_flush",
+        "redundant_flush at memcached:pslab:persist_all", b"i 5 1\n"),
+    8: ("hashmap_tx", "bug8_redundant_txadd",
+        "redundant_log at hashmap_tx:create:txadd_again", b"i 5 1\n"),
+    9: ("rbtree", "bug9_txset_fresh_node",
+        "redundant_log at rbtree:insert:txset_fresh", b"i 5 1\ni 9 2\n"),
+    10: ("rbtree", "bug10_log_fresh_root",
+         "redundant_log at rbtree:create:log_first", b"i 5 1\n"),
+    11: ("rbtree", "bug11_txset_rotated_parent",
+         "redundant_log at rbtree:fixup:txset_parent",
+         b"i 10 1\ni 20 2\ni 15 3\n"),
+    12: ("btree", "bug12_txadd_found_dest",
+         "redundant_log at btree:insert_item:txadd",
+         b"i 10 1\ni 20 2\ni 30 3\ni 40 4\ni 25 5\n"),
+}
+
+
+class TestCatalogue:
+    def test_twelve_bugs(self):
+        assert len(ALL_REAL_BUGS) == 12
+        assert sorted(b.number for b in ALL_REAL_BUGS) == list(range(1, 13))
+
+    def test_kinds_match_paper(self):
+        cc = [b for b in ALL_REAL_BUGS if b.kind == "crash-consistency"]
+        perf = [b for b in ALL_REAL_BUGS if b.kind == "performance"]
+        assert [b.number for b in cc] == [1, 2, 3, 4, 5, 6]
+        assert [b.number for b in perf] == [7, 8, 9, 10, 11, 12]
+
+    def test_lookup_helpers(self):
+        assert bug_by_number(6).workload == "hashmap_atomic"
+        with pytest.raises(KeyError):
+            bug_by_number(13)
+        assert {b.flag for b in real_bugs_for("rbtree")} == {
+            "init_not_retried", "bug9_txset_fresh_node",
+            "bug10_log_fresh_root", "bug11_txset_rotated_parent",
+        }
+        assert buggy_flags_for("memcached") == \
+            frozenset({"bug7_redundant_flush"})
+
+    def test_paper_seconds_recorded(self):
+        assert bug_by_number(1).paper_seconds == 2.0
+        assert bug_by_number(6).paper_seconds == 37.0
+        assert bug_by_number(9).paper_seconds == 91.0
+
+
+@pytest.mark.parametrize("name", ["hashmap_tx", "btree", "rbtree",
+                                  "rtree", "skiplist"])
+class TestBugs1To5:
+    def _creation_crash_image(self, name, bugs):
+        """Crash during the creation transaction; return the crash image."""
+        wl = get_workload(name, bugs=bugs)
+        seed = wl.create_image()
+        for fence in range(2, 14):
+            r = get_workload(name, bugs=bugs).run(
+                seed, parse_commands(b"i 5 1\n"), crash_at_fence=fence)
+            if r.crash_image is None:
+                continue
+            probe = get_workload(name, bugs=bugs).run(
+                r.crash_image, parse_commands(b"i 7 2\ng 7\n"))
+            if probe.outcome is not RunOutcome.OK:
+                return r.crash_image, probe
+        return None, None
+
+    def test_buggy_variant_segfaults_after_creation_crash(self, name):
+        bugs = frozenset({"init_not_retried"})
+        crash_image, probe = self._creation_crash_image(name, bugs)
+        assert crash_image is not None, f"{name}: bug never manifested"
+        assert probe.outcome is RunOutcome.SEGFAULT
+
+    def test_fixed_variant_recreates(self, name):
+        wl = get_workload(name)
+        seed = wl.create_image()
+        for fence in range(2, 14):
+            r = get_workload(name).run(seed, parse_commands(b"i 5 1\n"),
+                                       crash_at_fence=fence)
+            if r.crash_image is None:
+                continue
+            probe = get_workload(name).run(
+                r.crash_image, parse_commands(b"i 7 2\ng 7\n"))
+            assert probe.outcome is RunOutcome.OK, (name, fence, probe.error)
+            assert probe.outputs[-1] == "2"
+
+
+class TestBug6:
+    BUGS = frozenset({"bug6_no_recovery_call"})
+
+    def _dirty_window_image(self, bugs):
+        wl = get_workload("hashmap_atomic", bugs=bugs)
+        seed = wl.create_image()
+        cmds = parse_commands(b"i 5 1\ni 9 2\n")
+        total = get_workload("hashmap_atomic", bugs=bugs).run(
+            seed, cmds).fence_count
+        for fence in range(total):
+            r = get_workload("hashmap_atomic", bugs=bugs).run(
+                seed, cmds, crash_at_fence=fence)
+            if r.crash_image is None:
+                continue
+            check = get_workload("hashmap_atomic", bugs=bugs)
+            probe = check.run(r.crash_image, [])
+            if probe.outcome is not RunOutcome.OK:
+                continue
+            pool = get_workload("hashmap_atomic", bugs=bugs).open(
+                probe.final_image)
+            wl2 = get_workload("hashmap_atomic", bugs=bugs)
+            if wl2.check_consistency(pool):
+                return fence
+        return None
+
+    def test_buggy_driver_leaves_stale_count(self):
+        assert self._dirty_window_image(self.BUGS) is not None
+
+    def test_fixed_driver_repairs_count(self):
+        assert self._dirty_window_image(frozenset()) is None
+
+
+class TestPerformanceBugs:
+    @pytest.mark.parametrize("number", sorted(PERF_TRIGGERS))
+    def test_buggy_variant_reports_designated_site(self, number):
+        name, flag, expected, data = PERF_TRIGGERS[number]
+        bugs = frozenset({flag})
+        tool = TestingTool(lambda: get_workload(name, bugs=bugs))
+        wl = get_workload(name, bugs=bugs)
+        report = tool.test(wl.create_image(), parse_commands(data),
+                           with_crash_images=False)
+        assert expected in report.performance_findings
+
+    @pytest.mark.parametrize("number", sorted(PERF_TRIGGERS))
+    def test_fixed_variant_is_clean_at_site(self, number):
+        name, _, expected, data = PERF_TRIGGERS[number]
+        tool = TestingTool(lambda: get_workload(name))
+        wl = get_workload(name)
+        report = tool.test(wl.create_image(), parse_commands(data),
+                           with_crash_images=False)
+        assert expected not in report.performance_findings
+
+    def test_bug11_needs_inner_rotation_path(self):
+        """Paper: Bug 11 'requires the if-condition at line 20 to be
+        false but line 23 to be true' — a plain insert does not fire it."""
+        bugs = frozenset({"bug11_txset_rotated_parent"})
+        tool = TestingTool(lambda: get_workload("rbtree", bugs=bugs))
+        wl = get_workload("rbtree", bugs=bugs)
+        report = tool.test(wl.create_image(),
+                           parse_commands(b"i 10 1\ni 20 2\ni 30 3\n"),
+                           with_crash_images=False)
+        expected = "redundant_log at rbtree:fixup:txset_parent"
+        assert expected not in report.performance_findings

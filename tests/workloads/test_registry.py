@@ -1,0 +1,56 @@
+"""Tests for the workload registry and base-class contracts."""
+
+import pytest
+
+from repro.workloads import get_workload, workload_names
+from repro.workloads.base import Workload
+from repro.workloads.realbugs import ALL_REAL_BUGS
+
+
+def test_eight_workloads_in_table3_order():
+    assert workload_names() == [
+        "btree", "rbtree", "rtree", "skiplist", "hashmap_tx",
+        "hashmap_atomic", "memcached", "redis",
+    ]
+
+
+def test_unknown_name_raises_with_candidates():
+    with pytest.raises(KeyError) as exc_info:
+        get_workload("nope")
+    assert "btree" in str(exc_info.value)
+
+
+def test_instances_are_independent():
+    a = get_workload("redis")
+    b = get_workload("redis")
+    assert a is not b
+    a._dict[1] = 1
+    assert 1 not in b._dict
+
+
+def test_bug_flags_carried():
+    wl = get_workload("btree", bugs=frozenset({"init_not_retried"}))
+    assert "init_not_retried" in wl.bugs
+    assert get_workload("btree").bugs == frozenset()
+
+
+def test_every_workload_is_a_workload(subtests=None):
+    for name in workload_names():
+        assert isinstance(get_workload(name), Workload)
+
+
+def test_layouts_are_unique():
+    layouts = [get_workload(n).layout for n in workload_names()]
+    assert len(set(layouts)) == len(layouts)
+
+
+def test_every_real_bug_workload_exists():
+    names = set(workload_names())
+    for bug in ALL_REAL_BUGS:
+        assert bug.workload in names
+
+
+def test_pool_sizes_reasonable():
+    for name in workload_names():
+        wl = get_workload(name)
+        assert 64 * 1024 <= wl.pool_size <= 16 * 1024 * 1024

@@ -1,0 +1,256 @@
+"""Structure-specific tests for each workload's deep code paths."""
+
+import pytest
+
+from repro.instrument.context import ExecutionContext, push_context
+from repro.workloads import get_workload
+from repro.workloads.base import Command
+from repro.workloads.btree import BTreeWorkload, MAX_KEYS
+from repro.workloads.hashmap_tx import HashmapTxWorkload, INITIAL_BUCKETS
+from repro.workloads.rbtree import BLACK, RBTreeWorkload
+from repro.workloads.rtree import DEPTH, RTreeWorkload
+from repro.workloads.skiplist import MAX_LEVEL, SkipListWorkload, node_level
+
+
+def sites_of(workload, commands):
+    """PM-operation sites hit by executing commands on a fresh image."""
+    ctx = ExecutionContext()
+    with push_context(ctx):
+        result = workload.run(workload.create_image(), commands)
+    assert result.outcome.value == "ok", result.error
+    return ctx.sites_hit
+
+
+class TestBTreeDepth:
+    def test_split_path_reached_by_bulk_insert(self):
+        wl = BTreeWorkload()
+        cmds = [Command("i", k, k) for k in range(1, 12)]
+        assert "btree:split:add_parent" in sites_of(wl, cmds)
+
+    def test_merge_path_reached_by_removal(self):
+        wl = BTreeWorkload()
+        cmds = [Command("i", k, k) for k in range(1, 10)]
+        cmds += [Command("r", k) for k in range(1, 9)]
+        assert "btree:merge:add_left" in sites_of(wl, cmds)
+
+    def test_rotation_reached(self):
+        wl = BTreeWorkload()
+        # i 10,20,30,40 splits into root [20] / children [10], [30,40];
+        # removing 10 underflows the left child and borrows from the
+        # right sibling — the rotate_left path of Figure 1.
+        cmds = [Command("i", k, k) for k in (10, 20, 30, 40)]
+        cmds.append(Command("r", 10))
+        sites = sites_of(wl, cmds)
+        assert "btree:rotate:add_node" in sites
+
+    def test_tree_grows_multiple_levels(self):
+        wl = BTreeWorkload()
+        pool = wl.open(wl.create_image())
+        for k in range(1, 30):
+            wl.exec_command(pool, Command("i", k, k))
+        tree = wl._tree(pool)
+        assert not wl._is_leaf(tree)  # at least two levels
+        assert wl.exec_command(pool, Command("n")) == "29"
+        assert wl.check_consistency(pool) == []
+
+    def test_scan_returns_sorted_prefix(self):
+        wl = BTreeWorkload()
+        pool = wl.open(wl.create_image())
+        for k in (9, 3, 7, 1, 5):
+            wl.exec_command(pool, Command("i", k, k))
+        out = wl.exec_command(pool, Command("q"))
+        assert out == "1,3,5,7,9"
+
+    def test_min_command(self):
+        wl = BTreeWorkload()
+        pool = wl.open(wl.create_image())
+        assert wl.exec_command(pool, Command("m")) == "none"
+        wl.exec_command(pool, Command("i", 8, 80))
+        wl.exec_command(pool, Command("i", 3, 30))
+        assert wl.exec_command(pool, Command("m")) == "3=30"
+
+
+class TestRBTreeShape:
+    def test_root_stays_black(self):
+        wl = RBTreeWorkload()
+        pool = wl.open(wl.create_image())
+        for k in range(1, 20):
+            wl.exec_command(pool, Command("i", k, k))
+            tree = wl._tree(pool)
+            assert wl._node(pool, tree.root).color == BLACK
+
+    def test_rotation_sites_reached(self):
+        wl = RBTreeWorkload()
+        cmds = [Command("i", k, k) for k in range(1, 8)]
+        assert "rbtree:rotate:add_node" in sites_of(wl, cmds)
+
+    def test_scan_sorted(self):
+        wl = RBTreeWorkload()
+        pool = wl.open(wl.create_image())
+        for k in (6, 2, 9, 4):
+            wl.exec_command(pool, Command("i", k, k * 10))
+        assert wl.exec_command(pool, Command("q")) == "2,4,6,9"
+
+    def test_count_tracks_inserts_and_removes(self):
+        wl = RBTreeWorkload()
+        pool = wl.open(wl.create_image())
+        for k in range(5):
+            wl.exec_command(pool, Command("i", k, 1))
+        wl.exec_command(pool, Command("r", 2))
+        assert wl.exec_command(pool, Command("n")) == "4"
+
+
+class TestRTreeShape:
+    def test_insert_allocates_full_path(self):
+        wl = RTreeWorkload()
+        pool = wl.open(wl.create_image())
+        wl.exec_command(pool, Command("i", 0b10110100, 7))
+        # DEPTH nodes below the top were allocated.
+        assert wl.exec_command(pool, Command("g", 0b10110100)) == "7"
+
+    def test_prune_frees_empty_branches(self):
+        wl = RTreeWorkload()
+        cmds = [Command("i", 5, 1), Command("r", 5)]
+        assert "rtree:prune:free_node" in sites_of(wl, cmds)
+
+    def test_shared_prefixes_share_nodes(self):
+        wl = RTreeWorkload()
+        pool = wl.open(wl.create_image())
+        wl.exec_command(pool, Command("i", 0b11000000, 1))
+        wl.exec_command(pool, Command("i", 0b11000001, 2))
+        top = wl._top(pool)
+        assert top.nchildren == 1  # both keys under one branch
+        assert wl.check_consistency(pool) == []
+
+    def test_scan_returns_all_keys(self):
+        wl = RTreeWorkload()
+        pool = wl.open(wl.create_image())
+        for k in (1, 200, 33):
+            wl.exec_command(pool, Command("i", k, k))
+        out = wl.exec_command(pool, Command("q"))
+        assert set(out.split(",")) == {"1", "200", "33"}
+
+
+class TestSkipListShape:
+    def test_levels_deterministic(self):
+        assert node_level(5) == node_level(5)
+        assert 1 <= node_level(123) <= MAX_LEVEL
+
+    def test_tall_nodes_exist(self):
+        levels = {node_level(k) for k in range(200)}
+        assert max(levels) >= 3  # some keys are tall
+
+    def test_high_level_splice_site_gated_on_tall_key(self):
+        wl = SkipListWorkload()
+        tall = next(k for k in range(200) if node_level(k) >= 3)
+        short = next(k for k in range(200) if node_level(k) == 1)
+        assert "skiplist:insert:add_prednext_hi" in sites_of(
+            wl, [Command("i", tall, 1)])
+        assert "skiplist:insert:add_prednext_hi" not in sites_of(
+            SkipListWorkload(), [Command("i", short, 1)])
+
+
+class TestHashmapTxRebuild:
+    def test_rebuild_triggered_by_load_factor(self):
+        wl = HashmapTxWorkload()
+        pool = wl.open(wl.create_image())
+        threshold = INITIAL_BUCKETS
+        for k in range(threshold + 1):
+            wl.exec_command(pool, Command("i", k, k))
+        hm = wl._map(pool)
+        assert hm.nbuckets == 2 * INITIAL_BUCKETS
+        assert wl.check_consistency(pool) == []
+        assert wl.exec_command(pool, Command("n")) == str(threshold + 1)
+
+    def test_manual_rebuild_gated_on_density(self):
+        wl = HashmapTxWorkload()
+        pool = wl.open(wl.create_image())
+        wl.exec_command(pool, Command("i", 1, 1))
+        assert wl.exec_command(pool, Command("b")) == "skipped"
+
+    def test_all_keys_survive_rebuild(self):
+        wl = HashmapTxWorkload()
+        pool = wl.open(wl.create_image())
+        keys = list(range(0, 40, 2))
+        for k in keys:
+            wl.exec_command(pool, Command("i", k, k * 3))
+        for k in keys:
+            assert wl.exec_command(pool, Command("g", k)) == str(k * 3)
+
+
+class TestMemcachedSlab:
+    def test_eviction_when_slab_full(self):
+        from repro.workloads.memcached import MemcachedWorkload, NSLOTS
+
+        wl = MemcachedWorkload()
+        pool = wl.open(wl.create_image())
+        for k in range(NSLOTS + 5):
+            assert wl.exec_command(pool, Command("i", k, k)) == "stored"
+        # The oldest keys were evicted; the newest survive.
+        assert wl.exec_command(pool, Command("g", NSLOTS + 4)) == str(NSLOTS + 4)
+        assert wl.exec_command(pool, Command("g", 0)) == "none"
+        assert wl.check_consistency(pool) == []
+
+    def test_index_rebuilt_on_open(self):
+        from repro.workloads.memcached import MemcachedWorkload
+
+        wl = MemcachedWorkload()
+        result = wl.run(wl.create_image(),
+                        [Command("i", 5, 55), Command("i", 9, 99)])
+        reopened = MemcachedWorkload()
+        second = reopened.run(result.final_image, [Command("g", 5)])
+        assert second.outputs == ["55"]
+
+
+class TestRedisTail:
+    def test_tail_appends_preserve_fifo_order(self):
+        from repro.workloads.redis import RedisWorkload
+
+        wl = RedisWorkload()
+        pool = wl.open(wl.create_image())
+        # Keys in the same bucket (mod 16) chain head→tail.
+        for k in (1, 17, 33):
+            wl.exec_command(pool, Command("i", k, k))
+        db = wl._db(pool)
+        bucket = wl._bucket(pool, db, 1)
+        assert bucket.head != bucket.tail
+        assert wl.check_consistency(pool) == []
+
+    def test_tail_updated_on_tail_removal(self):
+        from repro.workloads.redis import RedisWorkload
+
+        wl = RedisWorkload()
+        pool = wl.open(wl.create_image())
+        for k in (1, 17, 33):
+            wl.exec_command(pool, Command("i", k, k))
+        wl.exec_command(pool, Command("r", 33))  # the tail entry
+        assert wl.check_consistency(pool) == []
+
+    def test_dict_reconstructed_on_open(self):
+        from repro.workloads.redis import RedisWorkload
+
+        wl = RedisWorkload()
+        result = wl.run(wl.create_image(),
+                        [Command("i", 7, 77), Command("i", 23, 23)])
+        second = RedisWorkload().run(result.final_image, [Command("g", 7)])
+        assert second.outputs == ["77"]
+
+
+class TestHashmapAtomicWindow:
+    def test_dirty_flag_cleared_after_each_op(self):
+        from repro.workloads.hashmap_atomic import HashmapAtomicWorkload
+
+        wl = HashmapAtomicWorkload()
+        pool = wl.open(wl.create_image())
+        for k in range(6):
+            wl.exec_command(pool, Command("i", k, k))
+            assert wl._map(pool).count_dirty == 0
+        wl.exec_command(pool, Command("r", 3))
+        assert wl._map(pool).count_dirty == 0
+
+    def test_explicit_reinit_command(self):
+        from repro.workloads.hashmap_atomic import HashmapAtomicWorkload
+
+        wl = HashmapAtomicWorkload()
+        pool = wl.open(wl.create_image())
+        assert wl.exec_command(pool, Command("b")) == "reinit"

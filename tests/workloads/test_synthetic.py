@@ -1,0 +1,143 @@
+"""Tests for the synthetic-bug machinery and site reachability.
+
+The heavy-duty guarantee here: *every* Table-3 synthetic bug site is a
+real PM-operation site — i.e. there exists a command sequence (possibly
+needing a populated or crash image) that executes it.  Without this the
+Table-3 benchmark would silently score unreachable bugs as undetected.
+"""
+
+import pytest
+
+from repro.instrument.context import ExecutionContext, push_context
+from repro.workloads import get_workload, workload_names
+from repro.workloads.base import Command
+from repro.workloads.synthetic import BugInjector, BugKind, SyntheticBug
+
+
+def sites_for(name, command_batches, use_crash_images=False):
+    """Sites hit by running batches sequentially on an evolving image."""
+    hit = set()
+    wl = get_workload(name)
+    image = wl.create_image()
+    fresh = wl.create_image()
+    for batch in command_batches:
+        # Each batch runs both on the evolving image (accumulated state)
+        # and on a fresh one (shape-sensitive paths like internal-node
+        # removal need a precisely shaped small structure).
+        ctx_fresh = ExecutionContext()
+        with push_context(ctx_fresh):
+            get_workload(name).run(fresh, batch)
+        hit |= ctx_fresh.sites_hit
+        ctx = ExecutionContext()
+        with push_context(ctx):
+            result = get_workload(name).run(image, batch)
+        hit |= ctx.sites_hit
+        if result.final_image is not None:
+            image = result.final_image
+        if use_crash_images and result.fence_count:
+            # Crash at several points and re-open (recovery paths).
+            for frac in (4, 2, 3):
+                fence = result.fence_count * (frac - 1) // frac
+                crash = get_workload(name).run(image, batch,
+                                               crash_at_fence=fence)
+                if crash.crash_image is not None:
+                    ctx2 = ExecutionContext()
+                    with push_context(ctx2):
+                        get_workload(name).run(crash.crash_image, batch)
+                    hit |= ctx2.sites_hit
+    return hit
+
+
+#: Command batches that exercise the deep paths of every workload.
+DEEP_BATCHES = {
+    name: [
+        [Command("i", k, k) for k in range(start, start + 12)]
+        for start in (0, 12, 24, 36)
+    ] + [
+        [Command("r", k) for k in range(0, 24)],
+        [Command("i", k, 1) for k in (1, 17, 33, 49)],
+        [Command("r", k) for k in (49, 33, 17, 1)],
+        # Internal-node key removal: i 10..40 builds root [20] with
+        # children [10] and [30,40]; removing 20 replaces via successor.
+        [Command("i", k, k) for k in (10, 20, 30, 40)] +
+        [Command("r", 20)],
+        [Command("i", 5, 50), Command("x", 5), Command("g", 5),
+         Command("q", None), Command("m", None), Command("n", None),
+         Command("b", None)],
+    ]
+    for name in workload_names()
+}
+
+
+def _colliding_pair():
+    """Two small keys that share a bucket in the fresh hashmap_tx table."""
+    from repro.workloads.hashmap_tx import HASH_SEED, INITIAL_BUCKETS, _hash
+
+    first_by_bucket = {}
+    for key in range(200):
+        bucket = _hash(key, HASH_SEED, INITIAL_BUCKETS)
+        if bucket in first_by_bucket:
+            return first_by_bucket[bucket], key
+        first_by_bucket[bucket] = key
+    raise AssertionError("no collision in 200 keys?")
+
+
+# Removing the second element of a chain needs two colliding keys before
+# any rebuild spreads them out.
+_K1, _K2 = _colliding_pair()
+DEEP_BATCHES["hashmap_tx"].append(
+    [Command("i", _K1, 1), Command("i", _K2, 2), Command("r", _K1)]
+)
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_every_synthetic_site_is_reachable(name):
+    wl = get_workload(name)
+    bugs = wl.synthetic_bugs()
+    reached = sites_for(name, DEEP_BATCHES[name], use_crash_images=True)
+    missing = [b.bug_id for b in bugs if b.site not in reached]
+    assert not missing, f"{name}: unreachable synthetic sites {missing}"
+
+
+class TestInjector:
+    def test_activation_and_lookup(self):
+        bug = SyntheticBug("b1", "site", BugKind.MISSING_FLUSH)
+        inj = BugInjector([bug])
+        assert inj.active_bugs() == {"b1"}
+        assert inj.skip_flush("site")
+        assert "b1" in inj.triggered
+
+    def test_kind_must_match(self):
+        bug = SyntheticBug("b1", "site", BugKind.MISSING_FLUSH)
+        inj = BugInjector([bug])
+        assert not inj.skip_fence("site")
+        assert not inj.skip_tx_add("site")
+        assert inj.corrupt_store("site", 0, b"\x00") == b"\x00"
+        assert not inj.triggered
+
+    def test_deactivation(self):
+        bug = SyntheticBug("b1", "site", BugKind.MISSING_FENCE)
+        inj = BugInjector([bug])
+        inj.deactivate("b1")
+        assert not inj.skip_fence("site")
+
+    def test_corrupt_store_inverts(self):
+        bug = SyntheticBug("b1", "site", BugKind.WRONG_VALUE)
+        inj = BugInjector([bug])
+        assert inj.corrupt_store("site", 0, b"\x0f\xf0") == b"\xf0\x0f"
+
+    def test_one_bug_per_site(self):
+        a = SyntheticBug("a", "site", BugKind.MISSING_FLUSH)
+        b = SyntheticBug("b", "site", BugKind.MISSING_FENCE)
+        inj = BugInjector([a, b])
+        assert inj.active_bugs() == {"b"}  # later activation wins
+
+
+class TestDepthDistribution:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_each_workload_has_deep_bugs(self, name):
+        """Table 3's gap needs bugs that shallow fuzzing cannot reach."""
+        bugs = get_workload(name).synthetic_bugs()
+        depths = {b.depth for b in bugs}
+        assert 0 in depths or 1 in depths
+        assert 2 in depths, f"{name} has no deep synthetic bugs"

@@ -1,0 +1,119 @@
+"""Tests for store-point failures and weak (eviction) crash states.
+
+These extend the paper's strict ordering-point snapshots with the full
+hardware semantics: a crash may additionally persist any subset of the
+pending cache lines.  The headline test shows a missing-fence bug that
+strict snapshots mask but a weak state exposes — the commit flag of a
+memcached slot persisting *before* its payload.
+"""
+
+import pytest
+
+from repro.workloads import get_workload
+from repro.workloads.base import RunOutcome
+from repro.workloads.mapcli import parse_commands
+from repro.workloads.synthetic import BugInjector, BugKind, SyntheticBug
+from repro.instrument.context import ExecutionContext, push_context
+
+
+class TestStorePointCrashes:
+    def test_crash_at_store_produces_image(self):
+        wl = get_workload("hashmap_tx")
+        seed = wl.create_image()
+        baseline = wl.run(seed, parse_commands(b"i 5 1\ni 9 2\n"))
+        assert baseline.store_count > 0
+        crash = get_workload("hashmap_tx").run(
+            seed, parse_commands(b"i 5 1\ni 9 2\n"),
+            crash_at_store=baseline.store_count // 2)
+        assert crash.outcome is RunOutcome.CRASHED
+        assert crash.crash_image is not None
+
+    def test_store_crash_recovers_consistent(self):
+        """Fixed workloads tolerate failures at arbitrary stores too."""
+        wl = get_workload("hashmap_atomic")
+        seed = wl.create_image()
+        cmds = parse_commands(b"i 5 1\ni 9 2\nr 5\n")
+        total = wl.run(seed, cmds).store_count
+        for store in range(0, total, max(1, total // 10)):
+            crash = get_workload("hashmap_atomic").run(
+                seed, cmds, crash_at_store=store)
+            if crash.crash_image is None:
+                continue
+            after = get_workload("hashmap_atomic")
+            result = after.run(crash.crash_image, [])
+            assert result.outcome is RunOutcome.OK
+            pool = get_workload("hashmap_atomic").open(result.final_image)
+            assert get_workload("hashmap_atomic").check_consistency(pool) \
+                == [], store
+
+
+class TestWeakStates:
+    def test_weak_states_collected_on_crash(self):
+        wl = get_workload("hashmap_tx")
+        seed = wl.create_image()
+        cmds = parse_commands(b"i 5 1\n")
+        total = wl.run(seed, cmds).store_count
+        crash = get_workload("hashmap_tx").run(
+            seed, cmds, crash_at_store=total // 2, weak_states=True)
+        assert crash.outcome is RunOutcome.CRASHED
+        assert crash.weak_crash_images
+        # Weak states differ from the strict snapshot.
+        strict = crash.crash_image.content_hash()
+        assert any(img.content_hash() != strict
+                   for img in crash.weak_crash_images)
+
+    def test_weak_state_count_bounded(self):
+        wl = get_workload("btree")
+        seed = wl.create_image()
+        cmds = parse_commands(b"i 5 1\ni 9 2\ni 13 3\n")
+        total = wl.run(seed, cmds).store_count
+        crash = get_workload("btree").run(
+            seed, cmds, crash_at_store=total - 2, weak_states=True,
+            max_weak_states=4)
+        assert len(crash.weak_crash_images) <= 4
+
+    def test_missing_fence_exposed_only_by_weak_state(self):
+        """The commit flag persists before the payload via eviction.
+
+        With the fence between payload-persist and flag-persist removed,
+        the strict snapshot at any store still looks consistent, but the
+        eviction state where only the flag's line persisted commits a
+        garbage slot — caught by the structural oracle.
+        """
+        bug = SyntheticBug("t", "memcached:set:persist_payload",
+                           BugKind.MISSING_FENCE)
+
+        def buggy():
+            return get_workload("memcached")
+
+        cmds = parse_commands(b"i 5 100\n")
+        seed = get_workload("memcached").create_image()
+        injector = BugInjector([bug])
+        ctx = ExecutionContext(injector=injector)
+        with push_context(ctx):
+            baseline = buggy().run(seed, cmds)
+        assert "t" in injector.triggered
+        total = baseline.store_count
+
+        weak_violation = False
+        strict_violation = False
+        for store in range(total):
+            injector2 = BugInjector([bug])
+            ctx2 = ExecutionContext(injector=injector2, collect_trace=False)
+            with push_context(ctx2):
+                crash = buggy().run(seed, cmds, crash_at_store=store,
+                                    weak_states=True, max_weak_states=8)
+            if crash.outcome is not RunOutcome.CRASHED:
+                continue
+            checker = get_workload("memcached")
+            pool = checker.open_for_inspection(crash.crash_image)
+            if checker.check_consistency(pool):
+                strict_violation = True
+            for weak in crash.weak_crash_images:
+                checker = get_workload("memcached")
+                pool = checker.open_for_inspection(weak)
+                if checker.check_consistency(pool):
+                    weak_violation = True
+        assert weak_violation, "eviction state did not expose the bug"
+        assert not strict_violation, \
+            "strict snapshots were expected to mask this bug"
