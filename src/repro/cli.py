@@ -30,6 +30,7 @@ from typing import List, Optional
 
 from repro.analysis.figures import render_coverage_figure
 from repro.core.config import CONFIGS, config_by_name
+from repro.errors import CheckpointError, FuzzerError
 from repro.core.pipeline import FuzzAndDetectPipeline
 from repro.core.pmfuzz import run_campaign
 from repro.workloads import workload_names
@@ -37,17 +38,46 @@ from repro.workloads.realbugs import ALL_REAL_BUGS, bug_by_number, \
     buggy_flags_for
 
 
+def _slug(name: str) -> str:
+    """Filesystem-safe short form of a configuration display name."""
+    return "".join(c if c.isalnum() else "-" for c in name.lower()).strip("-")
+
+
+def _checkpoint_kwargs(args: argparse.Namespace, config_name: str) -> dict:
+    """Checkpoint engine kwargs from the CLI flags (empty if disabled)."""
+    if args.checkpoint_every is None:
+        return {}
+    path = getattr(args, "checkpoint_path", None) or \
+        f"{args.workload}-{_slug(config_name)}.ckpt"
+    return {"checkpoint_every": args.checkpoint_every,
+            "checkpoint_path": path}
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    stats = run_campaign(args.workload, args.config, args.budget,
-                         seed=args.seed)
+    if not args.resume and not args.workload:
+        print("fuzz: --workload is required (unless resuming with "
+              "--resume)", file=sys.stderr)
+        return 2
+    if args.resume:
+        stats = run_campaign(args.workload, args.config, args.budget,
+                             resume_from=args.resume)
+    else:
+        stats = run_campaign(args.workload, args.config, args.budget,
+                             seed=args.seed, fault_plan=args.fault_plan,
+                             **_checkpoint_kwargs(args, args.config))
     print(f"configuration     : {stats.config_name}")
     print(f"workload          : {stats.workload_name}")
     print(f"executions        : {stats.executions}")
+    print(f"stopped           : {stats.stop_reason}")
     print(f"PM paths covered  : {stats.final_pm_paths}")
     print(f"branch edges      : {stats.final_branch_edges}")
     print(f"normal images     : {stats.normal_images_generated}")
     print(f"crash images      : {stats.crash_images_generated}")
     print(f"deduplicated      : {stats.images_deduplicated}")
+    if stats.harness_faults or stats.retries or stats.quarantined:
+        print(f"harness faults    : {stats.harness_faults} "
+              f"({stats.retries} retries, {stats.timeouts} timeouts, "
+              f"{stats.quarantined} quarantined)")
     return 0
 
 
@@ -55,11 +85,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     curves = {}
     for config in CONFIGS:
         print(f"running {config.name} …", file=sys.stderr)
-        curves[config.name] = run_campaign(args.workload, config.name,
-                                           args.budget, seed=args.seed)
+        curves[config.name] = run_campaign(
+            args.workload, config.name, args.budget, seed=args.seed,
+            fault_plan=args.fault_plan,
+            **_checkpoint_kwargs(args, config.name))
     print(render_coverage_figure(
         curves, args.budget,
         title=f"PM path coverage — {args.workload}"))
+    faulted = {name: s for name, s in curves.items() if s.harness_faults}
+    for name, s in faulted.items():
+        print(f"{name}: {s.harness_faults} harness faults absorbed "
+              f"({s.retries} retries, {s.quarantined} quarantined)")
     return 0
 
 
@@ -102,11 +138,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     fuzz = sub.add_parser("fuzz", help="run one fuzzing campaign")
-    fuzz.add_argument("--workload", required=True, choices=workload_names())
+    fuzz.add_argument("--workload", choices=workload_names(),
+                      help="required unless --resume is given")
     fuzz.add_argument("--config", default="pmfuzz")
     fuzz.add_argument("--budget", type=float, default=2.0,
                       help="virtual seconds (campaign length)")
     fuzz.add_argument("--seed", type=int, default=0x504D465A)
+    fuzz.add_argument("--fault-plan", default=None, metavar="SPEC",
+                      help="environment-fault plan, e.g. 'all:0.01' or "
+                           "'storage-load:0.05:3,exec-fault:0.01'")
+    fuzz.add_argument("--checkpoint-every", type=float, default=None,
+                      metavar="VSECONDS",
+                      help="snapshot campaign state every N virtual seconds")
+    fuzz.add_argument("--checkpoint-path", default=None,
+                      help="checkpoint file (default: "
+                           "<workload>-<config>.ckpt)")
+    fuzz.add_argument("--resume", default=None, metavar="CHECKPOINT",
+                      help="resume a killed campaign from its checkpoint "
+                           "and fuzz to --budget")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     compare = sub.add_parser("compare",
@@ -115,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=workload_names())
     compare.add_argument("--budget", type=float, default=2.0)
     compare.add_argument("--seed", type=int, default=0x504D465A)
+    compare.add_argument("--fault-plan", default=None, metavar="SPEC",
+                         help="environment-fault plan applied to every "
+                              "configuration")
+    compare.add_argument("--checkpoint-every", type=float, default=None,
+                         metavar="VSECONDS",
+                         help="checkpoint each campaign to "
+                              "<workload>-<config>.ckpt")
     compare.set_defaults(func=_cmd_compare)
 
     bugs = sub.add_parser("real-bugs",
@@ -138,7 +194,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (CheckpointError, FuzzerError) as exc:
+        # Bad fault plans and damaged/missing checkpoints are user
+        # input errors: one clean line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

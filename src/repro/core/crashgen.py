@@ -42,7 +42,12 @@ class CrashImageGenerator:
     """Generates crash images for one test case by re-execution.
 
     Args:
-        executor: the campaign executor (carries the cost model).
+        executor: the campaign executor (carries the cost model) — a raw
+            :class:`Executor` or a
+            :class:`~repro.resilience.supervisor.SupervisedExecutor`;
+            with the latter, environment faults during re-execution are
+            retried/absorbed and surface as non-CRASHED outcomes that
+            are simply skipped.
         max_ordering_points: cap on sampled ordering points per test
             case (the paper bounds per-test-case work to ~150 ms).
         extra_rate: probability of adding one probabilistic store-point

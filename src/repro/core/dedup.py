@@ -15,6 +15,7 @@ from __future__ import annotations
 import zlib
 from typing import Dict, Optional, Tuple
 
+from repro.errors import InvalidImageError, StorageFaultError
 from repro.pmem.image import PMImage
 
 
@@ -25,10 +26,16 @@ class ImageStore:
         compress: keep serialized images zlib/LZ77-compressed (the
             Section 4.7 SysOpt storage behaviour).  When False, images
             are kept raw, as the unoptimized configuration would.
+        env_faults: optional
+            :class:`~repro.resilience.faults.EnvFaultInjector` consulted
+            at the ``storage-save`` / ``storage-load`` /
+            ``storage-corrupt`` / ``decompress`` fault sites (the SSD
+            tier failing under campaign pressure).
     """
 
-    def __init__(self, compress: bool = True) -> None:
+    def __init__(self, compress: bool = True, env_faults=None) -> None:
         self.compress = compress
+        self.env_faults = env_faults
         self._by_hash: Dict[str, bytes] = {}
         self._layouts: Dict[str, str] = {}
         self.raw_bytes = 0
@@ -44,6 +51,8 @@ class ImageStore:
         ``image_id`` is the SHA-256 content hash.  A duplicate image is
         rejected (``is_new=False``) and costs nothing.
         """
+        if self.env_faults is not None:
+            self.env_faults.check("storage-save")
         image_id = image.content_hash()
         if image_id in self._by_hash:
             self.duplicates_rejected += 1
@@ -60,11 +69,36 @@ class ImageStore:
         return image_id, True
 
     def get(self, image_id: str) -> PMImage:
-        """Materialize an image by ID (decompressing if needed)."""
+        """Materialize an image by ID (decompressing if needed).
+
+        Every stored blob was valid when :meth:`put` accepted it, so any
+        materialization failure here — a failed read, bytes that come
+        back truncated or corrupted, a decompression error — is an
+        *environment* fault, raised as transient
+        :class:`~repro.errors.StorageFaultError` for the supervisor to
+        retry.  The stored bytes themselves are never modified.
+        """
+        faults = self.env_faults
+        if faults is not None:
+            faults.check("storage-load")
         stored = self._by_hash[image_id]
+        if faults is not None:
+            stored = faults.filter_bytes("storage-corrupt", stored)
         if self.compress:
-            stored = zlib.decompress(stored)
-        return PMImage.from_bytes(stored)
+            if faults is not None:
+                faults.check("decompress")
+            try:
+                stored = zlib.decompress(stored)
+            except zlib.error as exc:
+                raise StorageFaultError(
+                    f"decompression failed for {image_id[:12]}...: {exc}",
+                    site="decompress", transient=True) from exc
+        try:
+            return PMImage.from_bytes(stored)
+        except InvalidImageError as exc:
+            raise StorageFaultError(
+                f"stored image {image_id[:12]}... read back corrupt: {exc}",
+                site="storage-corrupt", transient=True) from exc
 
     def contains(self, image_id: str) -> bool:
         return image_id in self._by_hash

@@ -26,11 +26,13 @@ from typing import FrozenSet, Optional, Sequence
 from repro.core.config import CONFIGS, FuzzConfig, ImgFuzzMode, config_by_name
 from repro.core.crashgen import CrashImageGenerator
 from repro.core.priority import pm_path_priority
+from repro.errors import HarnessFaultError
 from repro.fuzz.engine import DEFAULT_SEED_INPUTS, FuzzEngine
 from repro.fuzz.executor import ExecResult
 from repro.fuzz.queue import QueueEntry
 from repro.fuzz.rng import DeterministicRandom
 from repro.fuzz.stats import FuzzStats
+from repro.resilience.faults import EnvFaultInjector, as_fault_plan
 from repro.workloads.registry import get_workload
 
 
@@ -40,8 +42,11 @@ class PMFuzzEngine(FuzzEngine):
     def __init__(self, *args, max_ordering_points: int = 4,
                  crash_extra_rate: float = 0.25, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        # Crash-image re-executions run through the supervisor too, so
+        # an environment fault during crash generation is retried or
+        # absorbed instead of killing the campaign.
         self.crashgen = CrashImageGenerator(
-            self.executor, self.rng,
+            self.supervisor, self.rng,
             max_ordering_points=max_ordering_points,
             extra_rate=crash_extra_rate,
         )
@@ -61,10 +66,12 @@ class PMFuzzEngine(FuzzEngine):
         assert self.tree is not None
         parent_image_id = parent.image_id or self._seed_image_id
         # (1) The normal image: the run's output state, valid by
-        # construction because the program logic produced it.
+        # construction because the program logic produced it.  A
+        # permanent storage fault forfeits this one contribution only.
         if result.outcome.value == "ok" and result.final_image is not None:
-            image_id, is_new = self.storage.save(result.final_image)
-            if is_new:
+            saved = self._save_image(result.final_image)
+            if saved is not None and saved[1]:
+                image_id = saved[0]
                 self.stats.normal_images_generated += 1
                 self.tree.add(image_id, parent_image_id, data, None)
                 # Pair the new image with the input that produced it:
@@ -79,18 +86,28 @@ class PMFuzzEngine(FuzzEngine):
                     parent=parent.entry_id,
                     created_at=self.vclock,
                 )
-            else:
+            elif saved is not None:
                 self.stats.images_deduplicated += 1
         if not pm_novel:
             return
         # (2) Crash images: interrupt the same execution at its ordering
         # points; every re-execution is charged to the virtual clock.
         # Reserved for PM-novel test cases (the expensive step).
+        try:
+            parent_image, fault_cost = self.supervisor.load_image(
+                self.storage, parent_image_id)
+        except HarnessFaultError as exc:
+            self.vclock += exc.vcost  # crash gen skipped this round
+            return
+        self.vclock += fault_cost
         for crash in self.crashgen.generate(
-                self.storage.load(parent_image_id), data,
+                parent_image, data,
                 result.fence_count, result.store_count):
             self.vclock += crash.cost
-            image_id, is_new = self.storage.save(crash.image)
+            saved = self._save_image(crash.image)
+            if saved is None:
+                continue
+            image_id, is_new = saved
             if not is_new:
                 self.stats.images_deduplicated += 1
                 continue
@@ -125,7 +142,10 @@ class PMFuzzEngine(FuzzEngine):
             return
         assert self.tree is not None
         parent_image_id = parent.image_id or self._seed_image_id
-        image_id, is_new = self.storage.save(result.final_image)
+        saved = self._save_image(result.final_image)
+        if saved is None:
+            return
+        image_id, is_new = saved
         if not is_new:
             self.stats.images_deduplicated += 1
             return
@@ -142,14 +162,35 @@ def build_engine(
     bugs: FrozenSet[str] = frozenset(),
     seed_inputs: Sequence[bytes] = DEFAULT_SEED_INPUTS,
     injector=None,
+    fault_plan=None,
     **engine_kwargs,
 ) -> FuzzEngine:
-    """Construct the right engine class for a Table-2 configuration."""
+    """Construct the right engine class for a Table-2 configuration.
+
+    ``fault_plan`` (a :class:`~repro.resilience.faults.FaultPlan` or a
+    ``site:rate[:burst]`` spec string) arms environment-fault injection
+    across the harness.  The engine's ``campaign_meta`` records
+    everything needed to rebuild it, which is what makes checkpoints
+    self-describing (see :mod:`repro.resilience.checkpoint`).
+    """
     rng = rng or DeterministicRandom().fork(f"{workload_name}/{config.name}")
+    plan = as_fault_plan(fault_plan)
+    env_faults = engine_kwargs.pop("env_faults", None)
+    if plan is not None and env_faults is None:
+        env_faults = EnvFaultInjector(plan)
     factory = lambda: get_workload(workload_name, bugs=bugs)  # noqa: E731
     cls = PMFuzzEngine if config.is_pmfuzz else FuzzEngine
-    return cls(factory, config, rng=rng, seed_inputs=seed_inputs,
-               injector=injector, **engine_kwargs)
+    engine = cls(factory, config, rng=rng, seed_inputs=seed_inputs,
+                 injector=injector, env_faults=env_faults, **engine_kwargs)
+    engine.campaign_meta = {
+        "workload": workload_name,
+        "config": config.name,
+        "bugs": sorted(bugs),
+        "seed_inputs": [bytes(s) for s in seed_inputs],
+        "fault_plan": env_faults.plan if env_faults is not None else None,
+        "engine_kwargs": dict(engine_kwargs),
+    }
+    return engine
 
 
 def run_campaign(
@@ -159,17 +200,28 @@ def run_campaign(
     bugs: FrozenSet[str] = frozenset(),
     seed: int = 0x504D465A,
     injector=None,
+    fault_plan=None,
+    resume_from: Optional[str] = None,
     **engine_kwargs,
 ) -> FuzzStats:
     """Run one complete campaign and return its statistics.
 
     This is the single entry point the benchmarks (and the quickstart
     example) use: workload × Table-2 configuration × virtual budget.
+
+    With ``resume_from`` set, the campaign is restored from that
+    checkpoint instead of starting fresh (the other campaign-shaping
+    arguments are taken from the checkpoint) and fuzzes until the total
+    ``budget_vseconds`` is exhausted.
     """
+    if resume_from is not None:
+        engine = FuzzEngine.resume(resume_from, injector=injector)
+        return engine.run(budget_vseconds)
     config = config_by_name(config_name)
     rng = DeterministicRandom(seed).fork(f"{workload_name}/{config.name}")
     engine = build_engine(workload_name, config, rng=rng, bugs=bugs,
-                          injector=injector, **engine_kwargs)
+                          injector=injector, fault_plan=fault_plan,
+                          **engine_kwargs)
     return engine.run(budget_vseconds)
 
 

@@ -42,6 +42,10 @@ class TestCaseStorage:
         self._staged_bytes = 0
         self.decompressions = 0
         self.evictions = 0
+        #: loads that failed in the SSD tier (environment faults); the
+        #: decompression/eviction accounting only ever reflects loads
+        #: that *completed*, so a failed load leaves it untouched.
+        self.load_faults = 0
 
     # ------------------------------------------------------------------
     def save(self, image: PMImage) -> tuple:
@@ -52,13 +56,20 @@ class TestCaseStorage:
         """Fetch an image for use as a fuzzing input.
 
         A staging hit is free; a miss decompresses from the SSD tier and
-        stages the result (evicting LRU images past the PM budget).
+        stages the result (evicting LRU images past the PM budget).  A
+        load that fails mid-way (an injected storage fault) mutates no
+        tier state: the image is neither counted as decompressed nor
+        staged, so the Section 4.7 accounting stays consistent.
         """
         staged = self._staging.get(image_id)
         if staged is not None:
             self._staging.move_to_end(image_id)
             return staged
-        image = self.store.get(image_id)
+        try:
+            image = self.store.get(image_id)
+        except Exception:
+            self.load_faults += 1
+            raise
         self.decompressions += 1
         self._stage(image_id, image)
         return image

@@ -75,6 +75,56 @@ class FuzzerError(ReproError):
     """Configuration or invariant violation inside the fuzzing engine."""
 
 
+class HarnessFaultError(ReproError):
+    """The fuzzing *harness* failed — not the program under test.
+
+    The real fuzzer's analogue is the fork server dying, the target
+    binary being killed by the OOM killer, or the test-case drive
+    returning ``EIO``: events AFL++ absorbs and keeps fuzzing through.
+    :class:`repro.resilience.supervisor.SupervisedExecutor` catches this
+    hierarchy, retries transient faults with backoff, and degrades the
+    campaign gracefully instead of dying.
+
+    Args:
+        message: human-readable description.
+        site: the named fault site that failed (see
+            :data:`repro.resilience.faults.FAULT_SITES`).
+        transient: whether an immediate retry can plausibly succeed.
+    """
+
+    def __init__(self, message: str = "", site: str = "",
+                 transient: bool = True) -> None:
+        super().__init__(message or f"harness fault at {site or 'unknown'}")
+        self.site = site
+        self.transient = transient
+        #: Virtual-time cost accrued while handling the fault (set by the
+        #: supervisor before re-raising a permanent failure).
+        self.vcost = 0.0
+
+
+class StorageFaultError(HarnessFaultError):
+    """Storage I/O failed: read/write errors, truncated or corrupted
+    image bytes, or a transient decompression failure (the SSD tier of
+    Section 4.7 under pressure)."""
+
+
+class ExecTimeoutError(HarnessFaultError):
+    """An execution exceeded its virtual-time budget (a hung target).
+
+    Hangs are treated as non-transient: re-running a hanging test case
+    would burn another full timeout budget, so the supervisor charges
+    one budget and moves on (AFL++'s ``+hang`` behaviour).
+    """
+
+    def __init__(self, message: str = "", site: str = "exec-hang") -> None:
+        super().__init__(message or "execution exceeded its virtual-time "
+                                    "budget", site=site, transient=False)
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint could not be written, read, or verified."""
+
+
 import struct as _struct  # noqa: E402  (kept local to the tuple below)
 
 #: Exceptions that model memory corruption in a C program: a corrupted

@@ -25,13 +25,14 @@ from repro.core.config import FuzzConfig, ImgFuzzMode
 from repro.core.dedup import ImageStore
 from repro.core.storage import TestCaseStorage
 from repro.core.testcase import TestCaseTree
-from repro.errors import FuzzerError
+from repro.errors import FuzzerError, HarnessFaultError
 from repro.fuzz.coverage import GlobalCoverage
 from repro.fuzz.executor import CostModel, ExecResult, Executor
 from repro.fuzz.mutators import MutationEngine
 from repro.fuzz.queue import FuzzQueue, QueueEntry
 from repro.fuzz.rng import DeterministicRandom
 from repro.fuzz.stats import CoverageSample, FuzzStats
+from repro.resilience.supervisor import SupervisedExecutor
 from repro.workloads.base import RunOutcome, Workload
 
 #: Basic seed inputs: "a list of basic commands" (Section 5.1).
@@ -59,6 +60,11 @@ class FuzzEngine:
         sample_interval: float = 0.25,
         havoc_batch: int = 12,
         injector=None,
+        env_faults=None,
+        exec_vtime_budget: float = 0.25,
+        max_retries: int = 3,
+        checkpoint_every: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> None:
         self.workload_factory = workload_factory
         self.config = config
@@ -70,20 +76,37 @@ class FuzzEngine:
         self.havoc_batch = havoc_batch
 
         self.cost_model = CostModel(sys_opt=config.sys_opt)
+        self.env_faults = env_faults
         self.executor = Executor(workload_factory, self.cost_model,
-                                 injector=injector)
+                                 injector=injector, env_faults=env_faults)
         self.mutator = MutationEngine(self.rng)
         self.queue = FuzzQueue()
         self.branch_cov = GlobalCoverage()
         self.pm_cov = GlobalCoverage()  # measured in every configuration
-        self.storage = TestCaseStorage(ImageStore(compress=config.sys_opt))
+        self.storage = TestCaseStorage(ImageStore(compress=config.sys_opt,
+                                                  env_faults=env_faults))
         self.stats = FuzzStats(config_name=config.name)
+        #: Resilience layer: retries transient harness faults, enforces
+        #: the per-test-case time budget, quarantines harness killers.
+        self.supervisor = SupervisedExecutor(
+            self.executor, stats=self.stats,
+            max_retries=max_retries,
+            exec_vtime_budget=exec_vtime_budget)
         self.vclock = 0.0
         self.tree: Optional[TestCaseTree] = None
         self._seed_image_id = ""
         self._seed_image_bytes = b""
         self._next_sample = 0.0
         self._set_up = False
+        if checkpoint_every is not None and not checkpoint_path:
+            raise FuzzerError("checkpoint_every requires checkpoint_path")
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self._next_checkpoint = checkpoint_every or 0.0
+        #: Campaign provenance (workload name, config, kwargs) recorded
+        #: by build_engine so checkpoints are self-describing; engines
+        #: constructed by hand can still checkpoint by filling this in.
+        self.campaign_meta: dict = {}
 
     # ------------------------------------------------------------------
     # Setup
@@ -95,7 +118,11 @@ class FuzzEngine:
         workload: Workload = self.workload_factory()
         self.stats.workload_name = workload.name
         seed_image = workload.create_image()
-        self._seed_image_id, _ = self.storage.save(seed_image)
+        # The campaign cannot exist without its seed image, so a
+        # permanent storage fault here is allowed to propagate.
+        (self._seed_image_id, _), fault_cost = \
+            self.supervisor.save_image(self.storage, seed_image)
+        self.vclock += fault_cost
         self._seed_image_bytes = seed_image.to_bytes()
         self.tree = TestCaseTree(self._seed_image_id)
         if self.config.img_fuzz is ImgFuzzMode.DIRECT:
@@ -115,10 +142,20 @@ class FuzzEngine:
     # Main loop
     # ------------------------------------------------------------------
     def run(self, budget_vseconds: float) -> FuzzStats:
-        """Fuzz until the virtual-time budget is exhausted."""
+        """Fuzz until the virtual-time budget is exhausted.
+
+        With ``checkpoint_every`` set, the complete campaign state is
+        snapshotted to ``checkpoint_path`` at fuzzing-round boundaries;
+        a campaign killed at *any* point resumes from its last
+        checkpoint (:meth:`resume`) and — because every random decision
+        flows through the snapshotted RNG — replays the interrupted
+        tail bit-for-bit, ending in the same final state as an
+        uninterrupted run.
+        """
         self.setup()
         while (self.vclock < budget_vseconds
                and self.stats.executions < MAX_EXECUTIONS):
+            self._maybe_checkpoint()
             entry = self.queue.select(self.rng)
             entry.fuzz_rounds += 1
             for data in self._children_of(entry):
@@ -128,8 +165,50 @@ class FuzzEngine:
                 self._run_one(entry, data)
             if self.stats.executions % 64 == 0:
                 self.queue.cull()
+        self.stats.stop_reason = (
+            "exec-cap" if self.stats.executions >= MAX_EXECUTIONS
+            else "budget")
         self._sample(force=True)
         return self.stats
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume (crash-safe campaign state)
+    # ------------------------------------------------------------------
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoint_every is None:
+            return
+        if self.vclock < self._next_checkpoint:
+            return
+        # Advance the schedule *before* capturing so a resumed campaign
+        # inherits the already-advanced value and the trajectory of
+        # checkpoints (which never mutates campaign state) lines up.
+        self._next_checkpoint = self.vclock + self.checkpoint_every
+        self.checkpoint()
+
+    def checkpoint(self, path: Optional[str] = None) -> str:
+        """Atomically snapshot the complete campaign state to disk."""
+        from repro.resilience.checkpoint import write_engine_checkpoint
+
+        target = path or self.checkpoint_path
+        if not target:
+            raise FuzzerError("no checkpoint path configured")
+        write_engine_checkpoint(target, self)
+        return target
+
+    @classmethod
+    def resume(cls, path: str, injector=None) -> "FuzzEngine":
+        """Rebuild a campaign from its last checkpoint.
+
+        The engine class is chosen from the checkpointed configuration
+        (a PMFuzz config resumes as a
+        :class:`~repro.core.pmfuzz.PMFuzzEngine`), so calling this on
+        either class returns the right engine.  ``injector`` re-attaches
+        a workload-level :class:`BugInjector`, which is process state
+        and cannot be checkpointed.
+        """
+        from repro.resilience.checkpoint import resume_campaign
+
+        return resume_campaign(path, injector=injector)
 
     def _children_of(self, entry: QueueEntry) -> List[bytes]:
         """Mutated inputs for one fuzzing round of ``entry``."""
@@ -149,10 +228,21 @@ class FuzzEngine:
     # ------------------------------------------------------------------
     def _run_one(self, parent: QueueEntry, data: bytes) -> None:
         if self.config.img_fuzz is ImgFuzzMode.DIRECT:
-            result = self.executor.run_raw_image(data, self.seed_inputs[0])
+            result = self.supervisor.run_raw_image(data, self.seed_inputs[0])
         else:
-            image = self.storage.load(parent.image_id or self._seed_image_id)
-            result = self.executor.run(image, data)
+            image_id = parent.image_id or self._seed_image_id
+            try:
+                image, fault_cost = self.supervisor.load_image(
+                    self.storage, image_id)
+            except HarnessFaultError as exc:
+                # The input image is unreadable right now; charge the
+                # recovery time, record a degraded execution, move on.
+                self.vclock += exc.vcost
+                self.stats.executions += 1
+                self._sample()
+                return
+            self.vclock += fault_cost
+            result = self.supervisor.run(image, data, image_id=image_id)
         self.vclock += result.cost
         self.stats.executions += 1
         if result.outcome is RunOutcome.INVALID_IMAGE:
@@ -234,4 +324,23 @@ class FuzzEngine:
             branch_edges=self.branch_cov.slots_covered,
             queue_size=len(self.queue),
             images=len(self.storage.store),
+            harness_faults=self.stats.harness_faults,
         ))
+
+    # ------------------------------------------------------------------
+    # Supervised storage helpers
+    # ------------------------------------------------------------------
+    def _save_image(self, image) -> Optional[tuple]:
+        """Supervised image save; ``(image_id, is_new)`` or None.
+
+        A permanent storage fault costs the campaign this one image
+        contribution (the recovery time is charged), never the campaign.
+        """
+        try:
+            saved, fault_cost = self.supervisor.save_image(
+                self.storage, image)
+        except HarnessFaultError as exc:
+            self.vclock += exc.vcost
+            return None
+        self.vclock += fault_cost
+        return saved

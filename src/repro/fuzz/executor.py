@@ -24,10 +24,11 @@ numbers — are what reproduce the relative curves of Figure 13.
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.errors import InvalidImageError
+from repro.errors import InvalidImageError, ReproError
 from repro.instrument.branchcov import BranchCoverage
 from repro.instrument.context import ExecutionContext, push_context
 from repro.pmem.image import PMImage
@@ -46,6 +47,9 @@ class CostModel:
     syscall_overhead: float = 1e-3  #: mmap/open/close per image (no SysOpt)
     ssd_bandwidth: float = 80e6  #: bytes/s to the test-case drive
     pm_bandwidth: float = 2e9  #: bytes/s through the CoW heap (SysOpt)
+    fault_overhead: float = 1e-3  #: detecting + reaping a dead harness
+    retry_backoff_base: float = 4e-3  #: first-retry backoff delay
+    retry_backoff_factor: float = 2.0  #: exponential backoff multiplier
 
     def image_io(self, nbytes: int) -> float:
         """Cost of moving one image in and out of the execution."""
@@ -63,6 +67,11 @@ class CostModel:
     def aborted_execution(self, image_bytes: int) -> float:
         """Charge for an execution that died at image validation."""
         return self.exec_base + self.image_io(image_bytes)
+
+    def retry_backoff(self, attempt: int) -> float:
+        """Backoff delay before retry ``attempt`` (1-based, exponential)."""
+        return (self.retry_backoff_base
+                * self.retry_backoff_factor ** (attempt - 1))
 
 
 @dataclass
@@ -94,6 +103,7 @@ class Executor:
         injector=None,
         collect_trace: bool = False,
         max_commands: int = 6,
+        env_faults=None,
     ) -> None:
         # max_commands reproduces the paper's bounded per-test-case
         # execution (the 150 ms limit of Section 4.6): deep persistent
@@ -104,6 +114,8 @@ class Executor:
         self.injector = injector
         self.collect_trace = collect_trace
         self.max_commands = max_commands
+        #: optional EnvFaultInjector consulted at the exec fault sites.
+        self.env_faults = env_faults
         self._branch_cov = BranchCoverage()
 
     # ------------------------------------------------------------------
@@ -116,7 +128,22 @@ class Executor:
         weak_states: bool = False,
         commands: Optional[Sequence[Command]] = None,
     ) -> ExecResult:
-        """Execute command bytes (or pre-parsed commands) on an image."""
+        """Execute command bytes (or pre-parsed commands) on an image.
+
+        Environment faults: when an :class:`EnvFaultInjector` is armed,
+        the ``exec-hang`` / ``exec-fault`` sites fire *before* the target
+        runs (the fork server losing the child), raising
+        :class:`~repro.errors.ExecTimeoutError` /
+        :class:`~repro.errors.HarnessFaultError` for the supervisor to
+        classify.  An unexpected non-:class:`~repro.errors.ReproError`
+        exception escaping ``workload.run`` — a harness bug, not a
+        program outcome — is contained as ``RunOutcome.HARNESS_FAULT``
+        with the traceback in ``ExecResult.error`` instead of killing
+        the whole campaign.
+        """
+        if self.env_faults is not None:
+            self.env_faults.check("exec-hang")
+            self.env_faults.check("exec-fault")
         cmds = (list(commands) if commands is not None
                 else parse_commands(data, max_commands=self.max_commands))
         workload: Workload = self.workload_factory()
@@ -131,6 +158,18 @@ class Executor:
                     image, cmds, crash_at_fence=crash_at_fence,
                     crash_at_store=crash_at_store, weak_states=weak_states,
                 )
+        except ReproError:
+            raise  # harness-level signal; the supervisor classifies it
+        except Exception:
+            # The workload driver catches every modeled program outcome;
+            # anything reaching here is the harness's own failure.
+            return ExecResult(
+                outcome=RunOutcome.HARNESS_FAULT,
+                cost=self.cost_model.execution(
+                    n_commands=len(cmds), n_fences=0,
+                    image_bytes=len(image)),
+                error=traceback.format_exc(),
+            )
         finally:
             cov.stop()
         cost = self.cost_model.execution(

@@ -48,6 +48,14 @@ class DeterministicRandom:
         """n uniform bytes."""
         return bytes(self._rng.randrange(256) for _ in range(n))
 
+    def getstate(self):
+        """Snapshot the underlying generator state (checkpointable)."""
+        return self._rng.getstate()
+
+    def setstate(self, state) -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        self._rng.setstate(state)
+
     def fork(self, label: str) -> "DeterministicRandom":
         """Derive an independent, reproducible child RNG.
 

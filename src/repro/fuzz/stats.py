@@ -18,6 +18,7 @@ class CoverageSample:
     branch_edges: int  #: distinct branch-map slots covered
     queue_size: int
     images: int  #: distinct PM images generated (after dedup)
+    harness_faults: int = 0  #: cumulative harness faults absorbed so far
 
 
 @dataclass
@@ -39,6 +40,15 @@ class FuzzStats:
     #: site label -> (image_id, input data, vtime) of the first test case
     #: to reach it; used by the synthetic-bug confirmation step.
     site_witness: dict = field(default_factory=dict)
+
+    # Campaign-resilience counters (maintained by SupervisedExecutor).
+    harness_faults: int = 0  #: harness failures absorbed (not program bugs)
+    retries: int = 0  #: re-executions after transient harness faults
+    timeouts: int = 0  #: per-test-case virtual-time budget overruns
+    quarantined: int = 0  #: inputs quarantined for repeated harness kills
+    #: why the campaign loop ended: "budget" (virtual time exhausted) or
+    #: "exec-cap" (the MAX_EXECUTIONS safety valve) — "" while running.
+    stop_reason: str = ""
 
     # ------------------------------------------------------------------
     def record(self, sample: CoverageSample) -> None:

@@ -1,0 +1,43 @@
+"""Campaign resilience: the harness survives its own environment.
+
+The paper's 4-hour AFL++ campaigns ride on a fork server that tolerates
+target crashes, hangs and SSD pressure as a matter of course.  This
+package gives the reproduction's campaign loop the same properties, in
+three cooperating pieces:
+
+* :mod:`repro.resilience.faults` — :class:`EnvFaultInjector`, a seeded,
+  deterministic *environment*-fault source (distinct from the
+  workload-level synthetic-bug injector): storage I/O errors, truncated
+  or corrupted image bytes, transient decompression failures, executor
+  deaths and virtual-time hangs, driven by a ``(site, rate, burst,
+  seed)`` fault plan;
+* :mod:`repro.resilience.supervisor` — :class:`SupervisedExecutor`,
+  which classifies harness failures, retries transient ones with
+  bounded exponential backoff charged to the virtual clock, enforces a
+  per-test-case time budget, and quarantines inputs that repeatedly
+  kill the harness;
+* :mod:`repro.resilience.checkpoint` — atomic (write-tmp + fsync +
+  rename, checksummed) snapshot/restore of complete campaign state,
+  with the invariant that resume-after-kill reproduces the
+  uninterrupted campaign bit-for-bit.
+"""
+
+from repro.resilience.checkpoint import (read_checkpoint, resume_campaign,
+                                         write_checkpoint,
+                                         write_engine_checkpoint)
+from repro.resilience.faults import (FAULT_SITES, EnvFaultInjector,
+                                     FaultPlan, FaultSpec, as_fault_plan)
+from repro.resilience.supervisor import SupervisedExecutor
+
+__all__ = [
+    "EnvFaultInjector",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "SupervisedExecutor",
+    "as_fault_plan",
+    "read_checkpoint",
+    "resume_campaign",
+    "write_checkpoint",
+    "write_engine_checkpoint",
+]

@@ -1,0 +1,234 @@
+"""Crash-safe campaign checkpoint / resume.
+
+A 4-hour campaign whose state — queue, coverage maps, virtual clock,
+RNG, test-case tree, image store — lives only in memory is one fault
+away from losing everything.  This module snapshots *complete* campaign
+state atomically and restores it bit-for-bit:
+
+* **Atomicity** — the snapshot is written to a temp file in the target
+  directory, fsynced, then renamed over the destination (the classic
+  write-tmp + fsync + rename protocol, the same discipline the PM
+  programs under test are being fuzzed *for*).  A kill at any point
+  leaves either the old checkpoint or the new one, never a torn file.
+* **Integrity** — the payload carries a SHA-256 checksum verified on
+  read; a corrupt or truncated checkpoint raises
+  :class:`~repro.errors.CheckpointError` instead of resurrecting a
+  half-campaign.
+* **Determinism** — checkpoints are taken at fuzzing-round boundaries
+  and include the RNG and fault-injector streams, so a campaign killed
+  at *any* instant resumes from its last checkpoint and replays the
+  interrupted tail exactly: final stats, coverage bitmaps and queue
+  order are byte-identical to an uninterrupted run with the same seed
+  (the test-suite invariant).
+
+A checkpoint is self-describing: it embeds the ``campaign_meta``
+recorded by :func:`repro.core.pmfuzz.build_engine` (workload name,
+configuration, bug flags, seed inputs, fault plan, engine kwargs), so
+:func:`resume_campaign` can rebuild the right engine class from the
+registry without any caller-side bookkeeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import CheckpointError
+
+_MAGIC = b"PMFZCKPT1\n"
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# File format: MAGIC + sha256-hex + "\n" + pickle payload
+# ----------------------------------------------------------------------
+def write_checkpoint(path: str, payload: dict) -> None:
+    """Atomically persist ``payload`` (write-tmp + fsync + rename)."""
+    try:
+        blob = pickle.dumps(payload, protocol=4)
+    except Exception as exc:
+        raise CheckpointError(f"campaign state is not serializable: {exc}") \
+            from exc
+    digest = hashlib.sha256(blob).hexdigest().encode("ascii")
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path = os.path.join(directory, os.path.basename(path) + ".tmp")
+    with open(tmp_path, "wb") as fh:
+        fh.write(_MAGIC + digest + b"\n" + blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
+    # Persist the rename itself (directory entry) — best effort on
+    # platforms whose directories cannot be opened.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def read_checkpoint(path: str) -> dict:
+    """Load and verify a checkpoint; raises CheckpointError on damage."""
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") \
+            from exc
+    if not data.startswith(_MAGIC):
+        raise CheckpointError(f"{path!r} is not a campaign checkpoint")
+    body = data[len(_MAGIC):]
+    newline = body.find(b"\n")
+    if newline != 64:  # sha256 hex digest length
+        raise CheckpointError(f"checkpoint {path!r} header is damaged")
+    digest, blob = body[:newline], body[newline + 1:]
+    if hashlib.sha256(blob).hexdigest().encode("ascii") != digest:
+        raise CheckpointError(
+            f"checkpoint {path!r} failed checksum verification "
+            "(truncated or corrupted)")
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:
+        raise CheckpointError(f"checkpoint {path!r} does not deserialize: "
+                              f"{exc}") from exc
+    if payload.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has format version "
+            f"{payload.get('version')!r}, expected {FORMAT_VERSION}")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Engine state capture / restore
+# ----------------------------------------------------------------------
+def capture_state(engine) -> dict:
+    """Snapshot every mutable piece of one campaign's state.
+
+    The returned dict holds live references; callers must serialize it
+    before the engine advances (``write_engine_checkpoint`` pickles it
+    immediately).
+    """
+    storage = engine.storage
+    store = storage.store
+    state = {
+        "vclock": engine.vclock,
+        "next_sample": engine._next_sample,
+        "next_checkpoint": engine._next_checkpoint,
+        "set_up": engine._set_up,
+        "seed_image_id": engine._seed_image_id,
+        "seed_image_bytes": engine._seed_image_bytes,
+        "rng": engine.rng.getstate(),
+        "queue_entries": engine.queue.entries,
+        "queue_next_id": engine.queue._next_id,
+        "branch_virgin": engine.branch_cov.virgin,
+        "pm_virgin": engine.pm_cov.virgin,
+        "stats": engine.stats,
+        "tree_root": engine.tree.root_id if engine.tree else None,
+        "tree_nodes": engine.tree._nodes if engine.tree else None,
+        "store": {
+            "by_hash": store._by_hash,
+            "layouts": store._layouts,
+            "raw_bytes": store.raw_bytes,
+            "stored_bytes": store.stored_bytes,
+            "duplicates_rejected": store.duplicates_rejected,
+        },
+        "staging": storage._staging,
+        "staging_meta": (storage._staged_bytes, storage.decompressions,
+                         storage.evictions, storage.load_faults),
+        "supervisor": engine.supervisor.getstate(),
+        "env_faults": (engine.env_faults.getstate()
+                       if engine.env_faults is not None else None),
+    }
+    return state
+
+
+def restore_state(engine, state: dict) -> None:
+    """Restore a :func:`capture_state` snapshot onto a fresh engine.
+
+    The engine must have been constructed with the same campaign-shaping
+    arguments (workload, config, seed inputs, fault plan) as the one
+    that was captured — :func:`resume_campaign` guarantees this from the
+    checkpoint's embedded metadata.
+    """
+    from repro.core.testcase import TestCaseTree
+
+    engine.vclock = state["vclock"]
+    engine._next_sample = state["next_sample"]
+    engine._next_checkpoint = state["next_checkpoint"]
+    engine._set_up = state["set_up"]
+    engine._seed_image_id = state["seed_image_id"]
+    engine._seed_image_bytes = state["seed_image_bytes"]
+    engine.rng.setstate(state["rng"])
+    engine.queue.entries = list(state["queue_entries"])
+    engine.queue._next_id = state["queue_next_id"]
+    engine.branch_cov.virgin = dict(state["branch_virgin"])
+    engine.pm_cov.virgin = dict(state["pm_virgin"])
+    engine.stats = state["stats"]
+    # The supervisor holds the stats reference for its counters; rebind
+    # it to the restored object or its updates would vanish.
+    engine.supervisor.stats = engine.stats
+    engine.supervisor.setstate(state["supervisor"])
+    if state["tree_root"] is not None:
+        tree = TestCaseTree(state["tree_root"])
+        tree._nodes = dict(state["tree_nodes"])
+        engine.tree = tree
+    else:
+        engine.tree = None
+    store = engine.storage.store
+    store._by_hash = dict(state["store"]["by_hash"])
+    store._layouts = dict(state["store"]["layouts"])
+    store.raw_bytes = state["store"]["raw_bytes"]
+    store.stored_bytes = state["store"]["stored_bytes"]
+    store.duplicates_rejected = state["store"]["duplicates_rejected"]
+    engine.storage._staging = OrderedDict(state["staging"])
+    (engine.storage._staged_bytes, engine.storage.decompressions,
+     engine.storage.evictions, engine.storage.load_faults) = \
+        state["staging_meta"]
+    if engine.env_faults is not None and state["env_faults"] is not None:
+        engine.env_faults.setstate(state["env_faults"])
+
+
+def write_engine_checkpoint(path: str, engine) -> None:
+    """Snapshot ``engine`` and atomically persist it to ``path``."""
+    write_checkpoint(path, {
+        "version": FORMAT_VERSION,
+        "meta": dict(engine.campaign_meta),
+        "state": capture_state(engine),
+    })
+
+
+def resume_campaign(path: str, injector=None):
+    """Rebuild the checkpointed campaign, ready to continue running.
+
+    Returns the restored engine (a
+    :class:`~repro.core.pmfuzz.PMFuzzEngine` or plain
+    :class:`~repro.fuzz.engine.FuzzEngine`, per the checkpointed
+    configuration); call ``run(budget)`` on it to continue the campaign.
+    ``injector`` re-attaches a workload-level BugInjector, which is
+    process state a checkpoint cannot carry.
+    """
+    from repro.core.config import config_by_name
+    from repro.core.pmfuzz import build_engine
+
+    payload = read_checkpoint(path)
+    meta = payload["meta"]
+    if not meta.get("workload"):
+        raise CheckpointError(
+            f"checkpoint {path!r} carries no campaign metadata; it was "
+            "taken from a hand-built engine and cannot self-resume")
+    engine = build_engine(
+        meta["workload"],
+        config_by_name(meta["config"]),
+        bugs=frozenset(meta["bugs"]),
+        seed_inputs=[bytes(s) for s in meta["seed_inputs"]],
+        injector=injector,
+        fault_plan=meta["fault_plan"],
+        **meta["engine_kwargs"],
+    )
+    restore_state(engine, payload["state"])
+    return engine

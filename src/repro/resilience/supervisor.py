@@ -1,0 +1,226 @@
+"""Supervised execution: the campaign survives its own harness.
+
+:class:`SupervisedExecutor` wraps the raw
+:class:`~repro.fuzz.executor.Executor` the way AFL++'s top-level loop
+wraps its fork server: failures of the *harness* (not the program under
+test) are classified, transient ones are retried with bounded
+exponential backoff, hangs are charged one timeout budget and dropped,
+and inputs that repeatedly kill the harness are quarantined — the
+campaign degrades instead of dying.
+
+Every recovery action is charged to the virtual clock through
+:class:`~repro.fuzz.executor.CostModel`, so resilience has an honest
+price in the Figure-13 time axis: a campaign fuzzing through a 1 %
+fault rate finishes slightly behind a fault-free one, exactly as a real
+campaign on a flaky SSD would.
+
+Failure taxonomy (see :mod:`repro.errors`):
+
+* ``HarnessFaultError(transient=True)`` — retried up to ``max_retries``
+  times with exponential backoff;
+* ``ExecTimeoutError`` — a virtual hang; one per-test-case time budget
+  is charged, no retry (re-running a hang burns another full budget);
+* any other :class:`~repro.errors.ReproError` escaping the executor —
+  classified as a non-transient harness fault;
+* a result whose honest cost exceeds the per-test-case budget is
+  converted to a timeout after the fact.
+
+All of these produce a :class:`~repro.fuzz.executor.ExecResult` with
+``outcome=RunOutcome.HARNESS_FAULT`` and empty coverage (coverage from a
+dying harness is not trustworthy), so the engine's feedback loop treats
+them as uninteresting executions and moves on.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import ExecTimeoutError, HarnessFaultError, ReproError
+from repro.fuzz.executor import CostModel, ExecResult, Executor
+from repro.pmem.image import PMImage
+from repro.workloads.base import RunOutcome
+
+#: (input image id, input bytes): identifies one test case for quarantine.
+QuarantineKey = Tuple[str, bytes]
+
+
+class SupervisedExecutor:
+    """Failure-classifying, retrying, quarantining executor wrapper.
+
+    Args:
+        executor: the raw campaign executor.
+        stats: optional :class:`~repro.fuzz.stats.FuzzStats` whose
+            ``harness_faults`` / ``retries`` / ``timeouts`` /
+            ``quarantined`` counters are maintained here.
+        max_retries: bound on re-executions after transient faults.
+        exec_vtime_budget: per-test-case virtual-time budget (the
+            analogue of AFL++'s ``-t`` timeout; generous by default so
+            honest runs never trip it).
+        quarantine_threshold: consecutive harness kills by the same
+            (image, input) pair before it is quarantined.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        stats=None,
+        max_retries: int = 3,
+        exec_vtime_budget: float = 0.25,
+        quarantine_threshold: int = 3,
+    ) -> None:
+        self.executor = executor
+        self.cost_model: CostModel = executor.cost_model
+        self.stats = stats
+        self.max_retries = max_retries
+        self.exec_vtime_budget = exec_vtime_budget
+        self.quarantine_threshold = quarantine_threshold
+        #: consecutive harness-kill strikes per test case.
+        self._strikes: Dict[QuarantineKey, int] = {}
+        self.quarantined: Set[QuarantineKey] = set()
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def _count(self, attr: str, n: int = 1) -> None:
+        if self.stats is not None:
+            setattr(self.stats, attr, getattr(self.stats, attr) + n)
+
+    def _strike(self, key: Optional[QuarantineKey]) -> None:
+        if key is None:
+            return
+        strikes = self._strikes.get(key, 0) + 1
+        self._strikes[key] = strikes
+        if (strikes >= self.quarantine_threshold
+                and key not in self.quarantined):
+            self.quarantined.add(key)
+            self._count("quarantined")
+
+    def _clear_strikes(self, key: Optional[QuarantineKey]) -> None:
+        if key is not None:
+            self._strikes.pop(key, None)
+
+    def is_quarantined(self, image_id: str, data: bytes) -> bool:
+        return (image_id, bytes(data)) in self.quarantined
+
+    # ------------------------------------------------------------------
+    # Supervised execution
+    # ------------------------------------------------------------------
+    def run(self, image: PMImage, data: bytes, *, image_id: str = "",
+            **kwargs) -> ExecResult:
+        """Like :meth:`Executor.run`, but the campaign always gets a
+        result back — never an escaped harness exception."""
+        key: QuarantineKey = (image_id, bytes(data))
+        if key in self.quarantined:
+            return self._fault_result(
+                self.cost_model.fault_overhead,
+                "quarantined: input repeatedly killed the harness")
+        return self._supervised(
+            lambda: self.executor.run(image, data, **kwargs), key)
+
+    def run_raw_image(self, image_bytes: bytes, data: bytes) -> ExecResult:
+        """Supervised :meth:`Executor.run_raw_image` (direct ImgFuzz)."""
+        key: QuarantineKey = ("", bytes(image_bytes))
+        if key in self.quarantined:
+            return self._fault_result(
+                self.cost_model.fault_overhead,
+                "quarantined: input repeatedly killed the harness")
+        return self._supervised(
+            lambda: self.executor.run_raw_image(image_bytes, data), key)
+
+    def _supervised(self, attempt_fn, key: QuarantineKey) -> ExecResult:
+        recovery_cost = 0.0
+        attempt = 0
+        while True:
+            try:
+                result = attempt_fn()
+            except ExecTimeoutError as exc:
+                self._count("harness_faults")
+                self._count("timeouts")
+                self._strike(key)
+                return self._fault_result(
+                    recovery_cost + self.exec_vtime_budget, str(exc))
+            except HarnessFaultError as exc:
+                self._count("harness_faults")
+                if exc.transient and attempt < self.max_retries:
+                    attempt += 1
+                    self._count("retries")
+                    recovery_cost += (self.cost_model.fault_overhead
+                                      + self.cost_model.retry_backoff(attempt))
+                    continue
+                self._strike(key)
+                return self._fault_result(
+                    recovery_cost + self.cost_model.fault_overhead, str(exc))
+            except ReproError:
+                # Anything else escaping the executor is a harness bug;
+                # contain it like a non-transient fault.
+                self._count("harness_faults")
+                self._strike(key)
+                return self._fault_result(
+                    recovery_cost + self.cost_model.fault_overhead,
+                    traceback.format_exc())
+            if result.outcome is RunOutcome.HARNESS_FAULT:
+                # The executor classified an escaped workload exception.
+                self._count("harness_faults")
+                self._strike(key)
+            elif result.cost > self.exec_vtime_budget:
+                # Honest cost blew the per-test-case budget: a hang.
+                self._count("harness_faults")
+                self._count("timeouts")
+                self._strike(key)
+                return self._fault_result(
+                    recovery_cost + self.exec_vtime_budget,
+                    f"execution cost {result.cost:.4f}vs exceeded budget "
+                    f"{self.exec_vtime_budget:.4f}vs")
+            else:
+                self._clear_strikes(key)
+            result.cost += recovery_cost
+            return result
+
+    @staticmethod
+    def _fault_result(cost: float, error: str) -> ExecResult:
+        return ExecResult(outcome=RunOutcome.HARNESS_FAULT, cost=cost,
+                          error=error)
+
+    # ------------------------------------------------------------------
+    # Supervised storage
+    # ------------------------------------------------------------------
+    def load_image(self, storage, image_id: str):
+        """Supervised ``storage.load``; returns ``(image, vtime_cost)``.
+
+        Raises :class:`HarnessFaultError` (with ``.vcost`` set to the
+        virtual time already burned) once retries are exhausted.
+        """
+        return self._supervised_io(lambda: storage.load(image_id))
+
+    def save_image(self, storage, image: PMImage):
+        """Supervised ``storage.save``; returns ``((id, is_new), cost)``."""
+        return self._supervised_io(lambda: storage.save(image))
+
+    def _supervised_io(self, io_fn):
+        recovery_cost = 0.0
+        attempt = 0
+        while True:
+            try:
+                return io_fn(), recovery_cost
+            except HarnessFaultError as exc:
+                self._count("harness_faults")
+                if exc.transient and attempt < self.max_retries:
+                    attempt += 1
+                    self._count("retries")
+                    recovery_cost += (self.cost_model.fault_overhead
+                                      + self.cost_model.retry_backoff(attempt))
+                    continue
+                exc.vcost = recovery_cost + self.cost_model.fault_overhead
+                raise
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def getstate(self):
+        return (dict(self._strikes), set(self.quarantined))
+
+    def setstate(self, state) -> None:
+        strikes, quarantined = state
+        self._strikes = dict(strikes)
+        self.quarantined = set(quarantined)

@@ -56,6 +56,7 @@ class RunOutcome(enum.Enum):
     SEGFAULT = "segfault"  #: NULL/out-of-bounds persistent dereference
     INVALID_IMAGE = "invalid_image"  #: image failed validation at open
     ERROR = "error"  #: other program error (aborted transaction, OOM...)
+    HARNESS_FAULT = "harness_fault"  #: the harness itself died (env fault)
 
 
 @dataclass

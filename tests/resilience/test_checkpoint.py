@@ -1,0 +1,197 @@
+"""Checkpoint file format, atomicity, and resume determinism.
+
+The headline invariant (ISSUE acceptance criterion): a campaign killed
+at an arbitrary execution and resumed from its last checkpoint produces
+final stats, coverage bitmaps, and queue order byte-identical to the
+same campaign run uninterrupted.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import PMFUZZ
+from repro.core.pmfuzz import run_campaign
+from repro.errors import CheckpointError
+from repro.fuzz.engine import FuzzEngine
+from repro.fuzz.rng import DeterministicRandom
+from repro.resilience.checkpoint import (read_checkpoint, resume_campaign,
+                                         write_checkpoint)
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        payload = {"version": 1, "data": [1, 2, 3], "blob": b"\x00\xff"}
+        write_checkpoint(path, payload)
+        assert read_checkpoint(path) == payload
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        write_checkpoint(path, {"version": 1})
+        assert os.listdir(tmp_path) == ["c.ckpt"]
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        write_checkpoint(path, {"version": 1, "gen": 1})
+        write_checkpoint(path, {"version": 1, "gen": 2})
+        assert read_checkpoint(path)["gen"] == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint(str(tmp_path / "nope.ckpt"))
+
+    def test_non_checkpoint_file_raises(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"this is not a checkpoint at all")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(str(path))
+
+    def test_corruption_is_detected(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        write_checkpoint(path, {"version": 1, "data": list(range(100))})
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0x40  # flip one bit mid-payload
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(str(path))
+
+    def test_truncation_is_detected(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        write_checkpoint(path, {"version": 1, "data": list(range(100))})
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[:-7])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(str(path))
+
+    def test_unknown_version_raises(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        write_checkpoint(path, {"version": 999})
+        with pytest.raises(CheckpointError, match="version"):
+            read_checkpoint(str(path))
+
+    def test_unserializable_payload_raises(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        with pytest.raises(CheckpointError):
+            write_checkpoint(path, {"version": 1, "bad": lambda: None})
+        assert not os.path.exists(path)
+
+
+class Boom(Exception):
+    """Simulated hard kill (power loss / SIGKILL analogue)."""
+
+
+class TestResumeDeterminism:
+    def test_kill_and_resume_is_bit_identical(self, tmp_path, monkeypatch):
+        """Satellite (d): kill mid-campaign, resume, compare everything."""
+        path = str(tmp_path / "campaign.ckpt")
+        budget, seed = 1.0, 77
+
+        def fresh_engine(**ckpt):
+            from repro.core.pmfuzz import build_engine
+            return build_engine(
+                "hashmap_tx", PMFUZZ,
+                rng=DeterministicRandom(seed).fork("hashmap_tx/det"),
+                **ckpt)
+
+        baseline_engine = fresh_engine()  # no checkpointing
+        baseline = baseline_engine.run(budget)
+
+        # Same campaign, killed abruptly mid-round at the 70th execution
+        # (past at least one 0.2-vsecond checkpoint boundary).
+        victim = fresh_engine(checkpoint_every=0.2, checkpoint_path=path)
+        real_run_one = victim._run_one
+
+        def killing_run_one(entry, data):
+            if victim.stats.executions >= 70:
+                raise Boom()
+            real_run_one(entry, data)
+
+        monkeypatch.setattr(victim, "_run_one", killing_run_one)
+        with pytest.raises(Boom):
+            victim.run(budget)
+        assert os.path.exists(path)
+
+        resumed_engine = FuzzEngine.resume(path)
+        assert resumed_engine.stats.executions < 70  # rolled back
+        resumed = resumed_engine.run(budget)
+
+        assert resumed == baseline  # FuzzStats dataclass equality
+        assert resumed_engine.pm_cov.virgin == baseline_engine.pm_cov.virgin
+        assert resumed_engine.branch_cov.virgin == \
+            baseline_engine.branch_cov.virgin
+
+    def test_resume_preserves_coverage_and_queue(self, tmp_path):
+        path = str(tmp_path / "campaign.ckpt")
+        from repro.core.pmfuzz import build_engine
+
+        def fresh():
+            return build_engine(
+                "hashmap_tx", PMFUZZ,
+                rng=DeterministicRandom(5).fork("hashmap_tx/det"),
+                checkpoint_every=0.25, checkpoint_path=path)
+
+        baseline = fresh()
+        baseline.run(0.8)
+
+        interrupted = fresh()
+        interrupted.run(0.8)  # writes checkpoints along the way
+        resumed = FuzzEngine.resume(path)
+        resumed.run(0.8)
+
+        assert resumed.stats == baseline.stats
+        assert resumed.pm_cov.virgin == baseline.pm_cov.virgin
+        assert resumed.branch_cov.virgin == baseline.branch_cov.virgin
+        assert [e.data for e in resumed.queue.entries] == \
+            [e.data for e in baseline.queue.entries]
+        assert [e.image_id for e in resumed.queue.entries] == \
+            [e.image_id for e in baseline.queue.entries]
+
+    def test_faulted_campaign_resumes_identically(self, tmp_path):
+        """The injector RNG stream is part of the checkpoint."""
+        path = str(tmp_path / "faulted.ckpt")
+        baseline = run_campaign("hashmap_tx", "pmfuzz", 0.8, seed=13,
+                                fault_plan="all:0.02")
+        partial = run_campaign("hashmap_tx", "pmfuzz", 0.8, seed=13,
+                               fault_plan="all:0.02",
+                               checkpoint_every=0.2, checkpoint_path=path)
+        assert partial == baseline
+        resumed = run_campaign("hashmap_tx", "pmfuzz", 0.8,
+                               resume_from=path)
+        assert resumed == baseline
+
+    def test_resume_via_run_campaign_extends_budget(self, tmp_path):
+        path = str(tmp_path / "extend.ckpt")
+        run_campaign("hashmap_tx", "pmfuzz", 0.5, seed=21,
+                     checkpoint_every=0.1, checkpoint_path=path)
+        longer = run_campaign("hashmap_tx", "pmfuzz", 0.9,
+                              resume_from=path)
+        straight = run_campaign("hashmap_tx", "pmfuzz", 0.9, seed=21)
+        assert longer == straight
+
+    def test_resume_rebuilds_pmfuzz_engine_class(self, tmp_path):
+        from repro.core.pmfuzz import PMFuzzEngine
+        path = str(tmp_path / "cls.ckpt")
+        run_campaign("hashmap_tx", "pmfuzz", 0.6, seed=3,
+                     checkpoint_every=0.1, checkpoint_path=path)
+        assert isinstance(FuzzEngine.resume(path), PMFuzzEngine)
+
+    def test_hand_built_engine_cannot_self_resume(self, tmp_path):
+        """A checkpoint without campaign_meta refuses to resurrect."""
+        from repro.workloads.registry import get_workload
+        path = str(tmp_path / "meta-less.ckpt")
+        engine = FuzzEngine(lambda: get_workload("hashmap_tx"), PMFUZZ,
+                            rng=DeterministicRandom(1))
+        engine.setup()
+        engine.checkpoint(path)
+        with pytest.raises(CheckpointError, match="metadata"):
+            resume_campaign(path)
+
+    def test_checkpoint_every_requires_path(self):
+        from repro.errors import FuzzerError
+        from repro.workloads.registry import get_workload
+        with pytest.raises(FuzzerError):
+            FuzzEngine(lambda: get_workload("hashmap_tx"), PMFUZZ,
+                       checkpoint_every=0.5)

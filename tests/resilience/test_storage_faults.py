@@ -1,0 +1,118 @@
+"""Storage-tier behaviour under injected environment faults.
+
+The Section 4.7 accounting (decompressions, evictions, staged bytes)
+must stay consistent when loads fail mid-way: a faulted load mutates no
+tier state and is counted separately in ``load_faults``.
+"""
+
+import pytest
+
+from repro.core.dedup import ImageStore
+from repro.core.storage import TestCaseStorage
+from repro.errors import StorageFaultError
+from repro.resilience.faults import EnvFaultInjector, FaultPlan
+from repro.workloads.mapcli import parse_commands
+from repro.workloads.registry import get_workload
+
+
+def make_images(n):
+    """Build n distinct images by inserting different keys."""
+    workload = get_workload("hashmap_tx")
+    images = []
+    for i in range(n):
+        image = workload.create_image()
+        cmds = parse_commands(f"i {i + 1} {i + 7}\n".encode())
+        result = workload.run(image, cmds)
+        images.append(result.final_image)
+    return images
+
+
+class TestFaultedLoadAccounting:
+    def test_save_fault_raises_and_stores_nothing(self):
+        inj = EnvFaultInjector(FaultPlan.parse("storage-save:1.0"))
+        storage = TestCaseStorage(ImageStore(env_faults=inj))
+        with pytest.raises(StorageFaultError):
+            storage.save(make_images(1)[0])
+        assert len(storage.store) == 0
+        assert storage.store.stored_bytes == 0
+
+    def test_load_fault_mutates_no_tier_state(self):
+        inj = EnvFaultInjector(FaultPlan.parse("storage-load:1.0"))
+        storage = TestCaseStorage(ImageStore(env_faults=inj))
+        # Save succeeds (no storage-save spec); every load faults.
+        image_id, _ = storage.save(make_images(1)[0])
+        for _ in range(3):
+            with pytest.raises(StorageFaultError):
+                storage.load(image_id)
+        assert storage.load_faults == 3
+        assert storage.decompressions == 0
+        assert storage.staged_bytes == 0
+        assert len(storage._staging) == 0
+
+    def test_corrupt_read_is_transient(self):
+        """The stored bytes are intact; only the read observes garbage."""
+        inj = EnvFaultInjector(FaultPlan.parse("storage-corrupt:1.0"))
+        store = ImageStore(compress=True, env_faults=inj)
+        storage = TestCaseStorage(store)
+        image_id, _ = storage.save(make_images(1)[0])
+        with pytest.raises(StorageFaultError):
+            storage.load(image_id)
+        assert storage.load_faults == 1
+        # Disarm the injector: the same blob now loads fine (torn read,
+        # not torn write).
+        store.env_faults = None
+        image = storage.load(image_id)
+        assert image.content_hash() == image_id
+        assert storage.decompressions == 1
+        assert storage.staged_bytes == len(image)
+
+    def test_decompress_fault_site(self):
+        inj = EnvFaultInjector(FaultPlan.parse("decompress:1.0"))
+        store = ImageStore(compress=True, env_faults=inj)
+        storage = TestCaseStorage(store)
+        image_id, _ = storage.save(make_images(1)[0])
+        with pytest.raises(StorageFaultError) as err:
+            storage.load(image_id)
+        assert err.value.site == "decompress"
+        assert err.value.transient
+
+    def test_mixed_fault_rate_accounting_consistent(self):
+        """Partial fault rate: successes and failures tally exactly."""
+        inj = EnvFaultInjector(FaultPlan.parse("storage-load:0.3", seed=5))
+        storage = TestCaseStorage(ImageStore(env_faults=inj),
+                                  pm_budget_bytes=1)
+        ids = [storage.save(img)[0] for img in make_images(6)]
+        ok = failed = 0
+        for _ in range(10):
+            for image_id in ids:
+                try:
+                    storage.load(image_id)
+                    ok += 1
+                except StorageFaultError:
+                    failed += 1
+        assert ok > 0 and failed > 0
+        assert storage.load_faults == failed
+        # A 1-byte PM budget keeps exactly one image staged, and the load
+        # order never repeats an id back-to-back, so every successful
+        # load is a staging miss: one decompression each, evicting the
+        # previous resident.
+        assert storage.decompressions == ok
+        assert storage.evictions == storage.decompressions - 1
+        assert len(storage._staging) == 1
+
+    def test_eviction_under_faults_keeps_byte_accounting(self):
+        inj = EnvFaultInjector(FaultPlan.parse("storage-load:0.25", seed=9))
+        storage = TestCaseStorage(ImageStore(env_faults=inj),
+                                  pm_budget_bytes=1)
+        ids = [storage.save(img)[0] for img in make_images(5)]
+        for _ in range(8):
+            for image_id in ids:
+                try:
+                    storage.load(image_id)
+                except StorageFaultError:
+                    pass
+        # Invariant: the staged-bytes counter equals what the staging
+        # dict actually holds, faults or not.
+        assert storage.staged_bytes == sum(
+            len(img) for img in storage._staging.values())
+        assert storage.evictions == storage.decompressions - 1

@@ -1,0 +1,240 @@
+"""Tests for SupervisedExecutor: classification, retry, quarantine."""
+
+import pytest
+
+from repro.errors import ExecTimeoutError, HarnessFaultError, ReproError
+from repro.fuzz.executor import CostModel, ExecResult, Executor
+from repro.fuzz.stats import FuzzStats
+from repro.resilience.faults import EnvFaultInjector, FaultPlan
+from repro.resilience.supervisor import SupervisedExecutor
+from repro.workloads.base import RunOutcome
+from repro.workloads.registry import get_workload
+
+
+def make_executor(**kwargs):
+    return Executor(lambda: get_workload("hashmap_tx"), **kwargs)
+
+
+def seed_image():
+    return get_workload("hashmap_tx").create_image()
+
+
+class FlakyExecutor:
+    """Delegates to a real executor after raising ``failures`` faults."""
+
+    def __init__(self, inner, failures, exc_factory):
+        self.inner = inner
+        self.cost_model = inner.cost_model
+        self.failures = failures
+        self.exc_factory = exc_factory
+        self.calls = 0
+
+    def run(self, *args, **kwargs):
+        self.calls += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise self.exc_factory()
+        return self.inner.run(*args, **kwargs)
+
+
+class TestRetry:
+    def test_transient_fault_is_retried_and_charged(self):
+        stats = FuzzStats()
+        flaky = FlakyExecutor(
+            make_executor(), failures=2,
+            exc_factory=lambda: HarnessFaultError(
+                "flaky", site="exec-fault", transient=True))
+        sup = SupervisedExecutor(flaky, stats=stats)
+        honest = make_executor().run(seed_image(), b"i 1 2\n")
+        result = sup.run(seed_image(), b"i 1 2\n", image_id="img")
+        assert result.outcome is RunOutcome.OK
+        assert flaky.calls == 3
+        assert stats.retries == 2
+        assert stats.harness_faults == 2
+        # Backoff + fault overhead are charged on top of the honest cost.
+        cm = flaky.cost_model
+        expected_recovery = sum(
+            cm.fault_overhead + cm.retry_backoff(i) for i in (1, 2))
+        assert result.cost == pytest.approx(honest.cost + expected_recovery)
+
+    def test_retries_are_bounded(self):
+        stats = FuzzStats()
+        flaky = FlakyExecutor(
+            make_executor(), failures=100,
+            exc_factory=lambda: HarnessFaultError(
+                "always", site="exec-fault", transient=True))
+        sup = SupervisedExecutor(flaky, stats=stats, max_retries=3)
+        result = sup.run(seed_image(), b"i 1 2\n", image_id="img")
+        assert result.outcome is RunOutcome.HARNESS_FAULT
+        assert flaky.calls == 4  # initial + 3 retries
+        assert stats.retries == 3
+        assert stats.harness_faults == 4
+        assert result.pm_sparse == [] and result.branch_sparse == []
+
+    def test_non_transient_fault_not_retried(self):
+        stats = FuzzStats()
+        flaky = FlakyExecutor(
+            make_executor(), failures=1,
+            exc_factory=lambda: HarnessFaultError(
+                "dead", site="exec-fault", transient=False))
+        sup = SupervisedExecutor(flaky, stats=stats)
+        result = sup.run(seed_image(), b"i 1 2\n", image_id="img")
+        assert result.outcome is RunOutcome.HARNESS_FAULT
+        assert flaky.calls == 1
+        assert stats.retries == 0
+
+    def test_other_repro_error_contained(self):
+        flaky = FlakyExecutor(make_executor(), failures=1,
+                              exc_factory=lambda: ReproError("harness bug"))
+        stats = FuzzStats()
+        sup = SupervisedExecutor(flaky, stats=stats)
+        result = sup.run(seed_image(), b"i 1 2\n", image_id="img")
+        assert result.outcome is RunOutcome.HARNESS_FAULT
+        assert "harness bug" in result.error
+        assert stats.harness_faults == 1
+
+
+class TestTimeouts:
+    def test_hang_charges_one_budget_no_retry(self):
+        stats = FuzzStats()
+        flaky = FlakyExecutor(make_executor(), failures=1,
+                              exc_factory=lambda: ExecTimeoutError())
+        sup = SupervisedExecutor(flaky, stats=stats, exec_vtime_budget=0.25)
+        result = sup.run(seed_image(), b"i 1 2\n", image_id="img")
+        assert result.outcome is RunOutcome.HARNESS_FAULT
+        assert result.cost == pytest.approx(0.25)
+        assert flaky.calls == 1  # hangs are never retried
+        assert stats.timeouts == 1
+
+    def test_honest_cost_over_budget_becomes_timeout(self):
+        stats = FuzzStats()
+        sup = SupervisedExecutor(make_executor(), stats=stats,
+                                 exec_vtime_budget=1e-9)
+        result = sup.run(seed_image(), b"i 1 2\n", image_id="img")
+        assert result.outcome is RunOutcome.HARNESS_FAULT
+        assert result.cost == pytest.approx(1e-9)
+        assert stats.timeouts == 1
+
+
+class TestQuarantine:
+    def test_repeat_killer_is_quarantined(self):
+        stats = FuzzStats()
+        flaky = FlakyExecutor(
+            make_executor(), failures=1000,
+            exc_factory=lambda: HarnessFaultError(
+                "killer", site="exec-fault", transient=False))
+        sup = SupervisedExecutor(flaky, stats=stats, quarantine_threshold=3)
+        img = seed_image()
+        for _ in range(3):
+            sup.run(img, b"i 1 2\n", image_id="img")
+        assert sup.is_quarantined("img", b"i 1 2\n")
+        assert stats.quarantined == 1
+        calls_before = flaky.calls
+        result = sup.run(img, b"i 1 2\n", image_id="img")
+        assert result.outcome is RunOutcome.HARNESS_FAULT
+        assert "quarantined" in result.error
+        assert flaky.calls == calls_before  # never re-executed
+
+    def test_healthy_run_clears_strikes(self):
+        flaky = FlakyExecutor(
+            make_executor(), failures=2,
+            exc_factory=lambda: HarnessFaultError(
+                "killer", site="exec-fault", transient=False))
+        sup = SupervisedExecutor(flaky, quarantine_threshold=3,
+                                 max_retries=0)
+        img = seed_image()
+        sup.run(img, b"i 1 2\n", image_id="img")
+        sup.run(img, b"i 1 2\n", image_id="img")
+        sup.run(img, b"i 1 2\n", image_id="img")  # healthy: clears strikes
+        assert not sup.is_quarantined("img", b"i 1 2\n")
+
+    def test_state_roundtrip(self):
+        sup = SupervisedExecutor(make_executor())
+        sup._strikes[("a", b"x")] = 2
+        sup.quarantined.add(("b", b"y"))
+        other = SupervisedExecutor(make_executor())
+        other.setstate(sup.getstate())
+        assert other._strikes == sup._strikes
+        assert other.quarantined == sup.quarantined
+
+
+class ExplodingWorkload:
+    """A workload whose driver has a genuine harness bug."""
+
+    name = "exploding"
+
+    def run(self, image, commands, **kwargs):
+        raise ValueError("boom: harness bug, not a program outcome")
+
+
+class TestExecutorHarnessFaultClassification:
+    def test_unexpected_exception_becomes_harness_fault(self):
+        ex = Executor(lambda: ExplodingWorkload())
+        result = ex.run(seed_image(), b"i 1 2\n")
+        assert result.outcome is RunOutcome.HARNESS_FAULT
+        assert "ValueError" in result.error and "boom" in result.error
+        assert "Traceback" in result.error
+        assert result.cost > 0
+
+    def test_supervisor_counts_executor_classified_faults(self):
+        stats = FuzzStats()
+        sup = SupervisedExecutor(Executor(lambda: ExplodingWorkload()),
+                                 stats=stats)
+        result = sup.run(seed_image(), b"i 1 2\n", image_id="img")
+        assert result.outcome is RunOutcome.HARNESS_FAULT
+        assert stats.harness_faults == 1
+
+    def test_injected_fault_sites_fire_in_executor(self):
+        inj = EnvFaultInjector(FaultPlan.parse("exec-hang:1.0"))
+        ex = make_executor(env_faults=inj)
+        with pytest.raises(ExecTimeoutError):
+            ex.run(seed_image(), b"i 1 2\n")
+        inj = EnvFaultInjector(FaultPlan.parse("exec-fault:1.0"))
+        ex = make_executor(env_faults=inj)
+        with pytest.raises(HarnessFaultError):
+            ex.run(seed_image(), b"i 1 2\n")
+
+
+class TestSupervisedStorageIO:
+    def test_load_image_retries_then_raises_with_vcost(self):
+        from repro.core.dedup import ImageStore
+        from repro.core.storage import TestCaseStorage
+
+        inj = EnvFaultInjector(FaultPlan.parse("storage-load:1.0"))
+        storage = TestCaseStorage(ImageStore(env_faults=inj))
+        image_id, _ = storage.save(seed_image())
+        stats = FuzzStats()
+        sup = SupervisedExecutor(make_executor(), stats=stats, max_retries=2)
+        with pytest.raises(HarnessFaultError) as err:
+            sup.load_image(storage, image_id)
+        assert err.value.vcost > 0
+        assert stats.retries == 2
+        assert stats.harness_faults == 3
+
+    def test_save_image_returns_value_and_cost(self):
+        from repro.core.dedup import ImageStore
+        from repro.core.storage import TestCaseStorage
+
+        storage = TestCaseStorage(ImageStore())
+        sup = SupervisedExecutor(make_executor())
+        (image_id, is_new), cost = sup.save_image(storage, seed_image())
+        assert is_new and storage.store.contains(image_id)
+        assert cost == 0.0  # no faults, no recovery charge
+
+
+class TestStopReason:
+    def test_budget_stop_reason(self):
+        from repro.core.pmfuzz import run_campaign
+        stats = run_campaign("hashmap_tx", "pmfuzz", 0.3, seed=2)
+        assert stats.stop_reason == "budget"
+
+    def test_exec_cap_stop_reason(self, monkeypatch):
+        from repro.core.config import PMFUZZ
+        from repro.core.pmfuzz import build_engine
+        from repro.fuzz.rng import DeterministicRandom
+        monkeypatch.setattr("repro.fuzz.engine.MAX_EXECUTIONS", 20)
+        engine = build_engine("hashmap_tx", PMFUZZ,
+                              rng=DeterministicRandom(1))
+        stats = engine.run(100.0)
+        assert stats.stop_reason == "exec-cap"
+        assert stats.executions >= 20

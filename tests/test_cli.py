@@ -46,3 +46,50 @@ class TestExecution:
         assert "bug  8" in out
         assert code == 0
         assert "detected" in out
+
+
+class TestResilienceFlags:
+    def test_fuzz_reports_stop_reason(self, capsys):
+        assert main(["fuzz", "--workload", "skiplist", "--config",
+                     "aflpp_sysopt", "--budget", "0.3"]) == 0
+        assert "stopped" in capsys.readouterr().out
+
+    def test_fuzz_with_fault_plan_reports_faults(self, capsys):
+        code = main(["fuzz", "--workload", "hashmap_tx", "--budget", "0.6",
+                     "--seed", "42", "--fault-plan", "all:0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "harness faults" in out
+
+    def test_bad_fault_plan_is_clean_error(self, capsys):
+        assert main(["fuzz", "--workload", "hashmap_tx", "--budget", "0.1",
+                     "--fault-plan", "bogus-site:0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fault site" in err
+
+    def test_damaged_checkpoint_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"not a checkpoint")
+        assert main(["fuzz", "--resume", str(path), "--budget", "1"]) == 2
+        assert "not a campaign checkpoint" in capsys.readouterr().err
+
+    def test_fuzz_requires_workload_unless_resuming(self, capsys):
+        assert main(["fuzz", "--budget", "0.3"]) == 2
+        assert "--workload" in capsys.readouterr().err
+
+    def test_checkpoint_and_resume_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.ckpt")
+        assert main(["fuzz", "--workload", "hashmap_tx", "--budget", "0.6",
+                     "--seed", "21", "--checkpoint-every", "0.1",
+                     "--checkpoint-path", path]) == 0
+        capsys.readouterr()
+        assert main(["fuzz", "--resume", path, "--budget", "0.9"]) == 0
+        resumed_out = capsys.readouterr().out
+        assert "stopped           : budget" in resumed_out
+
+    def test_compare_accepts_fault_plan(self):
+        args = build_parser().parse_args(
+            ["compare", "--workload", "btree", "--fault-plan", "all:0.01",
+             "--checkpoint-every", "0.5"])
+        assert args.fault_plan == "all:0.01"
+        assert args.checkpoint_every == 0.5
