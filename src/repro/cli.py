@@ -18,6 +18,11 @@ The reproduction's equivalent of the artifact's driver scripts
     fuzz the buggy variant and report detection, optionally for a single
     bug number.
 
+``triage``
+    List the crash-triage bundles a fork-isolation campaign wrote, or
+    replay one (``--replay <bundle-dir>``) to reproduce the execution
+    that killed or hung a worker.
+
 ``workloads``
     List the available PM programs and their bug flags.
 """
@@ -53,6 +58,40 @@ def _checkpoint_kwargs(args: argparse.Namespace, config_name: str) -> dict:
             "checkpoint_path": path}
 
 
+def _isolation_kwargs(args: argparse.Namespace) -> dict:
+    """Execution-backend engine kwargs from the CLI flags."""
+    if getattr(args, "isolation", "none") == "none":
+        return {}
+    rss = getattr(args, "worker_rss_limit", None)
+    return {
+        "isolation": args.isolation,
+        "isolation_workers": args.workers,
+        "exec_wall_timeout": args.exec_wall_timeout,
+        "worker_rss_limit": rss * 1024 * 1024 if rss else None,
+        "triage_dir": args.triage_dir,
+    }
+
+
+def _summary_line(stats) -> str:
+    """The one-line end-of-campaign summary: why it stopped, and every
+    fault/timeout/quarantine counter an operator would otherwise have to
+    dig out of the checkpoint."""
+    parts = [f"stopped={stats.stop_reason or 'running'}",
+             f"execs={stats.executions}",
+             f"faults={stats.harness_faults}",
+             f"retries={stats.retries}",
+             f"timeouts={stats.timeouts}",
+             f"quarantined={stats.quarantined}"]
+    if stats.isolation_backend == "fork":
+        parts += ["backend=fork",
+                  f"watchdog-kills={stats.watchdog_kills}",
+                  f"worker-crashes={stats.worker_crashes}",
+                  f"triage-bundles={stats.triage_bundles}"]
+    elif stats.isolation_fallback:
+        parts.append("backend=none(fallback)")
+    return " ".join(parts)
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     if not args.resume and not args.workload:
         print("fuzz: --workload is required (unless resuming with "
@@ -64,7 +103,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     else:
         stats = run_campaign(args.workload, args.config, args.budget,
                              seed=args.seed, fault_plan=args.fault_plan,
-                             **_checkpoint_kwargs(args, args.config))
+                             **_checkpoint_kwargs(args, args.config),
+                             **_isolation_kwargs(args))
+    if stats.isolation_fallback:
+        print(f"warning: fork isolation unavailable "
+              f"({stats.isolation_fallback}); ran in-process",
+              file=sys.stderr)
     print(f"configuration     : {stats.config_name}")
     print(f"workload          : {stats.workload_name}")
     print(f"executions        : {stats.executions}")
@@ -78,6 +122,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"harness faults    : {stats.harness_faults} "
               f"({stats.retries} retries, {stats.timeouts} timeouts, "
               f"{stats.quarantined} quarantined)")
+    print(f"summary           : {_summary_line(stats)}")
     return 0
 
 
@@ -122,6 +167,66 @@ def _cmd_real_bugs(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_triage(args: argparse.Namespace) -> int:
+    from repro.core.storage import TriageStore
+
+    store = TriageStore(args.dir)
+    if not args.replay:
+        bundles = store.list_bundles()
+        if not bundles:
+            print(f"no triage bundles under {args.dir!r}")
+            return 0
+        for path in bundles:
+            meta = TriageStore.load_bundle(path).meta
+            print(f"{path}: {meta.get('reason', '?')} "
+                  f"[{meta.get('workload') or 'unknown workload'}] "
+                  f"{meta.get('exit_detail', '')}".rstrip())
+        return 0
+
+    from repro.errors import ExecTimeoutError, HarnessFaultError
+    from repro.fuzz.executor import Executor
+    from repro.isolation.backend import create_backend
+    from repro.workloads.registry import get_workload
+
+    try:
+        bundle = TriageStore.load_bundle(args.replay)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load bundle {args.replay!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    workload = bundle.meta.get("workload")
+    if not workload:
+        print("error: bundle carries no workload name (hand-built "
+              "campaign?); cannot rebuild the target", file=sys.stderr)
+        return 2
+    bugs = frozenset(bundle.meta.get("bugs") or ())
+    executor = Executor(lambda: get_workload(workload, bugs=bugs))
+    backend, fallback = create_backend(
+        args.isolation, executor, wall_timeout=args.exec_wall_timeout)
+    if fallback:
+        print(f"warning: replaying in-process ({fallback}); a true hang "
+              "will wedge this command", file=sys.stderr)
+    print(f"replaying {bundle.path} "
+          f"(reason: {bundle.meta.get('reason', '?')}, "
+          f"workload: {workload})")
+    try:
+        result = backend.run_raw_image(bundle.image_bytes, bundle.data)
+    except ExecTimeoutError as exc:
+        print(f"reproduced: hang ({exc})")
+        return 1
+    except HarnessFaultError as exc:
+        print(f"reproduced: worker death ({exc})")
+        return 1
+    finally:
+        backend.close()
+    print(f"outcome           : {result.outcome.value}")
+    print(f"commands run      : {result.commands_run}")
+    print(f"sites hit         : {len(result.sites_hit)}")
+    if result.error:
+        print(f"error             : {result.error.strip().splitlines()[-1]}")
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     for name in workload_names():
         flags = sorted(b.flag for b in ALL_REAL_BUGS if b.workload == name)
@@ -156,6 +261,26 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--resume", default=None, metavar="CHECKPOINT",
                       help="resume a killed campaign from its checkpoint "
                            "and fuzz to --budget")
+    fuzz.add_argument("--isolation", choices=["fork", "none"],
+                      default="none",
+                      help="execution backend: 'fork' sandboxes every "
+                           "test case in a worker subprocess with a "
+                           "wall-clock watchdog and RSS ceiling "
+                           "(degrades to 'none' where fork is "
+                           "unavailable)")
+    fuzz.add_argument("--workers", type=int, default=1,
+                      help="fork-server worker pool size")
+    fuzz.add_argument("--exec-wall-timeout", type=float, default=10.0,
+                      metavar="SECONDS",
+                      help="real-time deadline per execution before the "
+                           "watchdog SIGKILLs the worker (fork only)")
+    fuzz.add_argument("--worker-rss-limit", type=int, default=None,
+                      metavar="MIB",
+                      help="address-space ceiling per worker in MiB "
+                           "(fork only)")
+    fuzz.add_argument("--triage-dir", default="triage",
+                      help="directory for on-death crash-triage bundles "
+                           "(fork only; default: ./triage)")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     compare = sub.add_parser("compare",
@@ -180,6 +305,21 @@ def build_parser() -> argparse.ArgumentParser:
     bugs.add_argument("--budget", type=float, default=3.0)
     bugs.add_argument("--seed", type=int, default=0x504D465A)
     bugs.set_defaults(func=_cmd_real_bugs)
+
+    tri = sub.add_parser("triage",
+                         help="list or replay crash-triage bundles")
+    tri.add_argument("dir", nargs="?", default="triage",
+                     help="triage directory (default: ./triage)")
+    tri.add_argument("--replay", default=None, metavar="BUNDLE",
+                     help="replay one bundle directory; exit 0 if it "
+                          "runs to completion, 1 if the kill reproduces")
+    tri.add_argument("--isolation", choices=["fork", "none"],
+                     default="fork",
+                     help="replay backend (default fork, so a "
+                          "reproduced hang is reaped, not wedged)")
+    tri.add_argument("--exec-wall-timeout", type=float, default=10.0,
+                     metavar="SECONDS")
+    tri.set_defaults(func=_cmd_triage)
 
     wl = sub.add_parser("workloads", help="list PM programs")
     wl.set_defaults(func=_cmd_workloads)

@@ -15,8 +15,12 @@ holds — the numbers the Section 4.7 ablation bench reports.
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from collections import OrderedDict
-from typing import Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.dedup import ImageStore
 from repro.pmem.image import PMImage
@@ -105,3 +109,95 @@ class TestCaseStorage:
                 f"(x{self.store.compression_ratio:.1f} compression), "
                 f"pm staging {self.staged_bytes / 1e6:.1f} MB, "
                 f"{self.evictions} evictions")
+
+
+# ----------------------------------------------------------------------
+# Crash-triage bundles (the fork server's crashes/ directory analogue)
+# ----------------------------------------------------------------------
+_TRIAGE_INPUT = "input.bin"
+_TRIAGE_IMAGE = "image.pmimg"
+_TRIAGE_META = "meta.json"
+
+
+@dataclass
+class TriageBundle:
+    """One on-disk reproduction kit for a worker death.
+
+    Everything needed to replay the execution that killed (or hung) an
+    isolation worker: the raw input bytes, the serialized input PM
+    image, and a JSON metadata record (reason, decoded exit status,
+    campaign provenance, execution kwargs).
+    """
+
+    path: str
+    data: bytes
+    image_bytes: bytes
+    meta: dict
+
+
+class TriageStore:
+    """Directory of crash-triage bundles written by the fork backend.
+
+    Each bundle is one subdirectory ``NNNN-<reason>/`` holding the test
+    case (``input.bin``), its input image (``image.pmimg``), and
+    ``meta.json``.  Bundles are append-only and self-describing, so
+    ``python -m repro triage --replay <bundle>`` can rebuild the
+    workload and re-execute the kill without the original checkpoint.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        best = -1
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            head = name.split("-", 1)[0]
+            if head.isdigit():
+                best = max(best, int(head))
+        return best + 1
+
+    def write_bundle(self, reason: str, data: bytes, image_bytes: bytes,
+                     meta: Optional[dict] = None) -> str:
+        """Persist one bundle; returns its directory path."""
+        os.makedirs(self.root, exist_ok=True)
+        slug = "".join(c if c.isalnum() else "-" for c in reason) or "unknown"
+        path = os.path.join(self.root, f"{self._next_seq():04d}-{slug}")
+        os.makedirs(path, exist_ok=True)
+        record = dict(meta or {})
+        record.setdefault("reason", reason)
+        record.setdefault("written_at", time.time())
+        with open(os.path.join(path, _TRIAGE_INPUT), "wb") as fh:
+            fh.write(bytes(data))
+        with open(os.path.join(path, _TRIAGE_IMAGE), "wb") as fh:
+            fh.write(bytes(image_bytes))
+        with open(os.path.join(path, _TRIAGE_META), "w",
+                  encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        return path
+
+    def list_bundles(self) -> List[str]:
+        """Bundle directories, oldest first."""
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        return [os.path.join(self.root, n) for n in names
+                if os.path.isfile(os.path.join(self.root, n, _TRIAGE_META))]
+
+    @staticmethod
+    def load_bundle(path: str) -> TriageBundle:
+        """Read one bundle back for replay."""
+        with open(os.path.join(path, _TRIAGE_META), encoding="utf-8") as fh:
+            meta = json.load(fh)
+        with open(os.path.join(path, _TRIAGE_INPUT), "rb") as fh:
+            data = fh.read()
+        with open(os.path.join(path, _TRIAGE_IMAGE), "rb") as fh:
+            image_bytes = fh.read()
+        return TriageBundle(path=path, data=data, image_bytes=image_bytes,
+                            meta=meta)

@@ -108,6 +108,28 @@ class StorageFaultError(HarnessFaultError):
     Section 4.7 under pressure)."""
 
 
+class WorkerCrashError(HarnessFaultError):
+    """An isolation worker died abnormally (signal, OOM kill, hard exit).
+
+    The fork-server analogue of AFL++ losing a forked child to SIGSEGV
+    or the OOM killer: the worker process backing one execution vanished
+    without reporting a result.  Treated as transient — the pool spawns
+    a fresh worker and the supervisor retries; an input that *keeps*
+    killing workers is quarantined through the normal strike path.
+
+    Args:
+        message: human-readable description.
+        exit_detail: decoded ``waitpid`` status ("killed by signal 9",
+            "exited with status 1", ...).
+    """
+
+    def __init__(self, message: str = "", exit_detail: str = "",
+                 transient: bool = True) -> None:
+        super().__init__(message or "isolation worker died abnormally",
+                         site="exec-fault", transient=transient)
+        self.exit_detail = exit_detail
+
+
 class ExecTimeoutError(HarnessFaultError):
     """An execution exceeded its virtual-time budget (a hung target).
 

@@ -32,6 +32,7 @@ from repro.fuzz.mutators import MutationEngine
 from repro.fuzz.queue import FuzzQueue, QueueEntry
 from repro.fuzz.rng import DeterministicRandom
 from repro.fuzz.stats import CoverageSample, FuzzStats
+from repro.isolation.backend import create_backend
 from repro.resilience.supervisor import SupervisedExecutor
 from repro.workloads.base import RunOutcome, Workload
 
@@ -65,6 +66,12 @@ class FuzzEngine:
         max_retries: int = 3,
         checkpoint_every: Optional[float] = None,
         checkpoint_path: Optional[str] = None,
+        isolation: str = "none",
+        isolation_workers: int = 1,
+        exec_wall_timeout: float = 10.0,
+        worker_rss_limit: Optional[int] = None,
+        worker_max_execs: int = 256,
+        triage_dir: Optional[str] = None,
     ) -> None:
         self.workload_factory = workload_factory
         self.config = config
@@ -86,12 +93,28 @@ class FuzzEngine:
         self.storage = TestCaseStorage(ImageStore(compress=config.sys_opt,
                                                   env_faults=env_faults))
         self.stats = FuzzStats(config_name=config.name)
+        #: Execution backend: in-process, or the fork-server worker pool
+        #: (real wall-clock watchdogs + RSS ceilings + crash triage).
+        #: Falls back to in-process where fork is unavailable, recording
+        #: why, so a checkpointed fork campaign still resumes anywhere.
+        self.backend, self._isolation_fallback = create_backend(
+            isolation, self.executor,
+            workers=isolation_workers,
+            wall_timeout=exec_wall_timeout,
+            rss_limit_bytes=worker_rss_limit,
+            max_execs_per_worker=worker_max_execs,
+            triage_dir=triage_dir,
+            stats=self.stats,
+            campaign_info=lambda: self.campaign_meta)
+        self.stats.isolation_backend = self.backend.name
+        self.stats.isolation_fallback = self._isolation_fallback
         #: Resilience layer: retries transient harness faults, enforces
         #: the per-test-case time budget, quarantines harness killers.
         self.supervisor = SupervisedExecutor(
             self.executor, stats=self.stats,
             max_retries=max_retries,
-            exec_vtime_budget=exec_vtime_budget)
+            exec_vtime_budget=exec_vtime_budget,
+            backend=self.backend)
         self.vclock = 0.0
         self.tree: Optional[TestCaseTree] = None
         self._seed_image_id = ""
@@ -152,24 +175,33 @@ class FuzzEngine:
         tail bit-for-bit, ending in the same final state as an
         uninterrupted run.
         """
-        self.setup()
-        while (self.vclock < budget_vseconds
-               and self.stats.executions < MAX_EXECUTIONS):
-            self._maybe_checkpoint()
-            entry = self.queue.select(self.rng)
-            entry.fuzz_rounds += 1
-            for data in self._children_of(entry):
-                if (self.vclock >= budget_vseconds
-                        or self.stats.executions >= MAX_EXECUTIONS):
-                    break
-                self._run_one(entry, data)
-            if self.stats.executions % 64 == 0:
-                self.queue.cull()
+        try:
+            self.setup()
+            while (self.vclock < budget_vseconds
+                   and self.stats.executions < MAX_EXECUTIONS):
+                self._maybe_checkpoint()
+                entry = self.queue.select(self.rng)
+                entry.fuzz_rounds += 1
+                for data in self._children_of(entry):
+                    if (self.vclock >= budget_vseconds
+                            or self.stats.executions >= MAX_EXECUTIONS):
+                        break
+                    self._run_one(entry, data)
+                if self.stats.executions % 64 == 0:
+                    self.queue.cull()
+        finally:
+            # Reap fork-server workers even on an abrupt exit; the pool
+            # respawns lazily if the engine runs again (resume).
+            self.backend.close()
         self.stats.stop_reason = (
             "exec-cap" if self.stats.executions >= MAX_EXECUTIONS
             else "budget")
         self._sample(force=True)
         return self.stats
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; run() also does this)."""
+        self.backend.close()
 
     # ------------------------------------------------------------------
     # Checkpoint / resume (crash-safe campaign state)

@@ -119,6 +119,18 @@ class Executor:
         self._branch_cov = BranchCoverage()
 
     # ------------------------------------------------------------------
+    def _env_check(self) -> None:
+        """Consult the exec-layer fault sites (fork server losing the
+        child, target hanging) in their canonical order.
+
+        The fork-server backend calls this in the *parent* before
+        dispatching a job, so the injected-fault RNG stream is identical
+        whether executions run in-process or in a worker subprocess.
+        """
+        if self.env_faults is not None:
+            self.env_faults.check("exec-hang")
+            self.env_faults.check("exec-fault")
+
     def run(
         self,
         image: PMImage,
@@ -127,6 +139,7 @@ class Executor:
         crash_at_store: Optional[int] = None,
         weak_states: bool = False,
         commands: Optional[Sequence[Command]] = None,
+        _env_checked: bool = False,
     ) -> ExecResult:
         """Execute command bytes (or pre-parsed commands) on an image.
 
@@ -141,9 +154,8 @@ class Executor:
         with the traceback in ``ExecResult.error`` instead of killing
         the whole campaign.
         """
-        if self.env_faults is not None:
-            self.env_faults.check("exec-hang")
-            self.env_faults.check("exec-fault")
+        if not _env_checked:
+            self._env_check()
         cmds = (list(commands) if commands is not None
                 else parse_commands(data, max_commands=self.max_commands))
         workload: Workload = self.workload_factory()
@@ -198,7 +210,16 @@ class Executor:
 
         A directly mutated image almost always fails header validation and
         the execution aborts before reaching any useful path (Figure 5a).
+
+        This path gets the same containment as :meth:`run`: the
+        ``exec-hang`` / ``exec-fault`` sites are consulted before the
+        image bytes are touched (the fork server can die before ever
+        validating its input), and a deserializer crash on hostile bytes
+        — anything other than the modeled :class:`InvalidImageError` —
+        is contained as ``RunOutcome.HARNESS_FAULT`` instead of escaping
+        into the campaign loop.
         """
+        self._env_check()
         try:
             image = PMImage.from_bytes(image_bytes)
         except InvalidImageError as exc:
@@ -207,4 +228,12 @@ class Executor:
                 cost=self.cost_model.aborted_execution(len(image_bytes)),
                 error=str(exc),
             )
-        return self.run(image, data)
+        except ReproError:
+            raise  # harness-level signal; the supervisor classifies it
+        except Exception:
+            return ExecResult(
+                outcome=RunOutcome.HARNESS_FAULT,
+                cost=self.cost_model.aborted_execution(len(image_bytes)),
+                error=traceback.format_exc(),
+            )
+        return self.run(image, data, _env_checked=True)

@@ -50,9 +50,35 @@ class FuzzStats:
     #: "exec-cap" (the MAX_EXECUTIONS safety valve) — "" while running.
     stop_reason: str = ""
 
+    # Isolation-layer counters (maintained by the execution backend).
+    isolation_backend: str = ""  #: resolved backend name ("fork"/"none")
+    isolation_fallback: str = ""  #: why fork degraded to in-process
+    watchdog_kills: int = 0  #: workers SIGKILLed at the wall deadline
+    worker_crashes: int = 0  #: workers that died abnormally mid-execution
+    worker_recycles: int = 0  #: planned retirements (max-execs policy)
+    triage_bundles: int = 0  #: crash-triage bundles written to disk
+
     # ------------------------------------------------------------------
     def record(self, sample: CoverageSample) -> None:
         self.samples.append(sample)
+
+    def comparable(self) -> dict:
+        """Backend-independent view of the campaign statistics.
+
+        Everything the fork/none equivalence contract promises to be
+        bit-identical: the isolation-layer fields (which backend ran,
+        how its workers were managed) are excluded; every fuzzing-side
+        number — executions, samples, coverage, witnesses, fault
+        accounting — is included.
+        """
+        from dataclasses import asdict
+
+        full = asdict(self)
+        for key in ("isolation_backend", "isolation_fallback",
+                    "watchdog_kills", "worker_crashes", "worker_recycles",
+                    "triage_bundles"):
+            full.pop(key)
+        return full
 
     @property
     def final_pm_paths(self) -> int:

@@ -1,0 +1,244 @@
+"""Execution backends: *where* a test case runs, behind one seam.
+
+The campaign loop (engine → supervisor) never calls the raw
+:class:`~repro.fuzz.executor.Executor` directly any more; it calls an
+:class:`ExecutionBackend`.  Two implementations exist:
+
+* :class:`InProcessBackend` — the historical behavior: the executor
+  runs in the campaign process.  Zero overhead, but a genuinely runaway
+  target (true infinite loop, unbounded allocation) wedges the whole
+  campaign, because virtual time cannot interrupt real execution.
+* :class:`ForkServerBackend` — the paper's Section-4.7 / AFL++ fork
+  server made literal: every execution happens in a forked worker
+  subprocess behind a length-prefixed pipe, guarded by a wall-clock
+  watchdog (SIGKILL + reap on deadline) and an RSS ceiling.  Results
+  are bit-identical to in-process execution for well-behaved targets;
+  misbehaving ones are converted into the campaign's existing failure
+  taxonomy (:class:`~repro.errors.ExecTimeoutError`,
+  :class:`~repro.errors.WorkerCrashError`) with a crash-triage bundle
+  on disk, so the supervisor's retry/quarantine/timeout accounting
+  applies unchanged.
+
+:func:`create_backend` is the selection point, with graceful
+degradation: asking for ``fork`` on a platform without ``os.fork``
+falls back to in-process execution and *reports why*, instead of
+failing the campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable, Optional, Tuple
+
+from repro.core.storage import TriageStore
+from repro.errors import ExecTimeoutError, FuzzerError, WorkerCrashError
+from repro.fuzz.executor import ExecResult, Executor
+from repro.isolation.pool import ForkWorkerPool, WatchdogExpired, WorkerDeath
+from repro.pmem.image import PMImage
+
+#: Backend names accepted by ``--isolation`` / ``create_backend``.
+ISOLATION_MODES = ("fork", "none")
+
+
+class ExecutionBackend:
+    """Interface between the supervisor and test-case execution."""
+
+    name = "?"
+    stats = None  #: optional FuzzStats for backend-level counters
+
+    def run(self, image: PMImage, data: bytes, **kwargs) -> ExecResult:
+        raise NotImplementedError
+
+    def run_raw_image(self, image_bytes: bytes, data: bytes) -> ExecResult:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (workers respawn lazily on reuse)."""
+
+    def describe(self) -> dict:
+        """Backend configuration for checkpoints and triage metadata."""
+        return {"backend": self.name}
+
+
+class InProcessBackend(ExecutionBackend):
+    """Run test cases in the campaign process (no isolation)."""
+
+    name = "none"
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+
+    def run(self, image: PMImage, data: bytes, **kwargs) -> ExecResult:
+        return self.executor.run(image, data, **kwargs)
+
+    def run_raw_image(self, image_bytes: bytes, data: bytes) -> ExecResult:
+        return self.executor.run_raw_image(image_bytes, data)
+
+
+class ForkServerBackend(ExecutionBackend):
+    """Run every test case in a forked, watchdogged worker subprocess."""
+
+    name = "fork"
+
+    def __init__(
+        self,
+        executor: Executor,
+        workers: int = 1,
+        wall_timeout: float = 10.0,
+        rss_limit_bytes: Optional[int] = None,
+        max_execs_per_worker: int = 256,
+        triage: Optional[TriageStore] = None,
+        stats=None,
+        campaign_info: Optional[Callable[[], dict]] = None,
+    ) -> None:
+        self.executor = executor
+        self.pool = ForkWorkerPool(
+            executor, workers=workers, wall_timeout=wall_timeout,
+            rss_limit_bytes=rss_limit_bytes,
+            max_execs_per_worker=max_execs_per_worker)
+        self.wall_timeout = wall_timeout
+        self.triage = triage
+        self.stats = stats
+        self.campaign_info = campaign_info or (lambda: {})
+
+    # ------------------------------------------------------------------
+    def run(self, image: PMImage, data: bytes, **kwargs) -> ExecResult:
+        # The parent draws the injected-fault stream (identical order to
+        # in-process execution); the child's injector is disarmed.
+        self.executor._env_check()
+        return self._dispatch("run", image.to_bytes(), bytes(data), kwargs)
+
+    def run_raw_image(self, image_bytes: bytes, data: bytes) -> ExecResult:
+        self.executor._env_check()
+        return self._dispatch("raw", bytes(image_bytes), bytes(data), {})
+
+    def _dispatch(self, job_kind: str, image_bytes: bytes, data: bytes,
+                  kwargs: dict) -> ExecResult:
+        try:
+            reply = self.pool.submit(job_kind, image_bytes, data, kwargs)
+        except WatchdogExpired as exc:
+            self._count("watchdog_kills")
+            self._write_triage("watchdog-timeout", image_bytes, data, kwargs,
+                               exit_detail=exc.exit_detail,
+                               error=str(exc))
+            raise ExecTimeoutError(
+                f"wall-clock watchdog SIGKILLed the worker after "
+                f"{exc.deadline_s:.3f}s ({exc.exit_detail})",
+                site="exec-hang") from exc
+        except WorkerDeath as exc:
+            self._count("worker_crashes")
+            self._write_triage("worker-death", image_bytes, data, kwargs,
+                               exit_detail=exc.exit_detail,
+                               error=str(exc))
+            raise WorkerCrashError(
+                f"isolation worker died mid-execution ({exc.exit_detail})",
+                exit_detail=exc.exit_detail) from exc
+        finally:
+            self._sync_pool_counters()
+        tag, payload, aux = reply
+        self._merge_aux(aux)
+        if tag == "err":
+            raise payload  # a ReproError raised inside the worker
+        return payload
+
+    # ------------------------------------------------------------------
+    def _merge_aux(self, aux: dict) -> None:
+        triggered = aux.get("triggered")
+        injector = self.executor.injector
+        if triggered and injector is not None \
+                and hasattr(injector, "triggered"):
+            injector.triggered |= triggered
+
+    def _count(self, attr: str, n: int = 1) -> None:
+        if self.stats is not None:
+            setattr(self.stats, attr, getattr(self.stats, attr) + n)
+
+    def _sync_pool_counters(self) -> None:
+        if self.stats is not None:
+            self.stats.worker_recycles = self.pool.recycled
+
+    def _write_triage(self, reason: str, image_bytes: bytes, data: bytes,
+                      kwargs: dict, exit_detail: str = "",
+                      error: str = "") -> Optional[str]:
+        if self.triage is None:
+            return None
+        info = self.campaign_info() or {}
+        meta = {
+            "reason": reason,
+            "exit_detail": exit_detail,
+            "error": error,
+            "wall_timeout": self.wall_timeout,
+            "exec_kwargs": {k: v for k, v in kwargs.items()
+                            if isinstance(v, (int, float, str, bool,
+                                              type(None)))},
+            "workload": info.get("workload", ""),
+            "config": info.get("config", ""),
+            "bugs": list(info.get("bugs", [])),
+        }
+        path = self.triage.write_bundle(reason, data, image_bytes, meta)
+        self._count("triage_bundles")
+        return path
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.pool.close()
+
+    def describe(self) -> dict:
+        return {
+            "backend": self.name,
+            "workers": len(self.pool._workers),
+            "wall_timeout": self.wall_timeout,
+            "rss_limit_bytes": self.pool.rss_limit_bytes,
+            "max_execs_per_worker": self.pool.max_execs_per_worker,
+            "triage_dir": self.triage.root if self.triage else None,
+        }
+
+
+# ----------------------------------------------------------------------
+# Selection with graceful degradation
+# ----------------------------------------------------------------------
+def fork_unavailable_reason() -> str:
+    """Why fork isolation cannot work here ('' = it can)."""
+    if not hasattr(os, "fork"):
+        return "os.fork is unavailable on this platform"
+    if sys.platform in ("win32", "emscripten", "wasi"):
+        return f"fork isolation is unsupported on {sys.platform}"
+    return ""
+
+
+def create_backend(
+    isolation: Optional[str],
+    executor: Executor,
+    *,
+    workers: int = 1,
+    wall_timeout: float = 10.0,
+    rss_limit_bytes: Optional[int] = None,
+    max_execs_per_worker: int = 256,
+    triage_dir: Optional[str] = None,
+    stats=None,
+    campaign_info: Optional[Callable[[], dict]] = None,
+) -> Tuple[ExecutionBackend, str]:
+    """Build the requested backend; returns ``(backend, fallback_reason)``.
+
+    ``fallback_reason`` is non-empty when ``fork`` was requested but the
+    platform cannot provide it — the returned backend is then the
+    in-process one and the campaign *runs anyway* (graceful
+    degradation), with the reason surfaced through
+    ``FuzzStats.isolation_fallback``.
+    """
+    if isolation in (None, "", "none"):
+        return InProcessBackend(executor), ""
+    if isolation != "fork":
+        raise FuzzerError(f"unknown isolation backend {isolation!r}; "
+                          f"known: {', '.join(ISOLATION_MODES)}")
+    reason = fork_unavailable_reason()
+    if reason:
+        return InProcessBackend(executor), reason
+    triage = TriageStore(triage_dir) if triage_dir else None
+    backend = ForkServerBackend(
+        executor, workers=workers, wall_timeout=wall_timeout,
+        rss_limit_bytes=rss_limit_bytes,
+        max_execs_per_worker=max_execs_per_worker,
+        triage=triage, stats=stats, campaign_info=campaign_info)
+    return backend, ""

@@ -1,0 +1,100 @@
+"""The child side of the fork server: one worker's job loop.
+
+A worker is forked from the campaign process, inherits the fully
+constructed :class:`~repro.fuzz.executor.Executor` (workload factory,
+cost model, bug injector — no pickling of campaign state, exactly like
+AFL++'s fork server inheriting the initialized target), applies its
+resource ceiling, and then services ``job`` frames until the parent
+closes the pipe or sends ``shutdown``.
+
+Two deliberate asymmetries with in-process execution:
+
+* ``executor.env_faults`` is cleared in the child — the *parent* draws
+  the injected-fault stream before dispatching (see
+  ``Executor._env_check``), so the fault RNG never diverges between
+  backends.
+* after every job the worker reports the bug injector's cumulative
+  ``triggered`` set, because that is the one piece of cross-run process
+  state the campaign reads back after fuzzing; the parent merges it so
+  the real-bugs pipeline sees identical trigger records under either
+  backend.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import traceback
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.isolation.protocol import PipeClosed, read_frame, write_frame
+from repro.pmem.image import PMImage
+
+
+def apply_rss_limit(limit_bytes: Optional[int]) -> None:
+    """Cap the worker's address space (``RLIMIT_AS``).
+
+    Linux does not enforce ``RLIMIT_RSS``, so the address-space limit is
+    the practical ceiling: an unbounded allocation inside the target
+    turns into a ``MemoryError`` (contained by the executor as a harness
+    fault) or, for allocations the interpreter cannot survive, a worker
+    death the pool triages.  Silently skipped where unsupported.
+    """
+    if not limit_bytes:
+        return
+    try:
+        import resource
+        resource.setrlimit(resource.RLIMIT_AS, (limit_bytes, limit_bytes))
+    except (ImportError, ValueError, OSError):
+        pass
+
+
+def _aux(executor) -> dict:
+    """Per-job sideband data the parent folds back into its own state."""
+    injector = executor.injector
+    triggered = getattr(injector, "triggered", None)
+    return {"triggered": set(triggered) if triggered else None}
+
+
+def worker_loop(executor, job_fd: int, result_fd: int) -> None:
+    """Service jobs until EOF or an explicit shutdown frame."""
+    executor.env_faults = None  # the parent draws the fault stream
+    while True:
+        try:
+            msg = read_frame(job_fd)
+        except PipeClosed:
+            return
+        if msg[0] == "shutdown":
+            return
+        _, job_kind, image_bytes, data, kwargs = msg
+        try:
+            if job_kind == "raw":
+                result = executor.run_raw_image(image_bytes, data)
+            else:
+                image = PMImage.from_bytes(image_bytes)
+                result = executor.run(image, data, **kwargs)
+            reply = ("ok", result, _aux(executor))
+        except ReproError as exc:
+            # Harness-level signal; re-raised verbatim in the parent so
+            # the supervisor classifies it exactly as it would in-process.
+            reply = ("err", exc, _aux(executor))
+        write_frame(result_fd, reply)
+
+
+def worker_main(executor, job_fd: int, result_fd: int,
+                rss_limit_bytes: Optional[int] = None) -> "NoReturn":  # noqa: F821
+    """Post-fork entry point; never returns into the parent's code."""
+    exit_code = 0
+    try:
+        apply_rss_limit(rss_limit_bytes)
+        worker_loop(executor, job_fd, result_fd)
+    except BaseException:  # noqa: BLE001 — a dying worker must not re-enter
+        exit_code = 1
+        try:
+            sys.stderr.write(traceback.format_exc())
+            sys.stderr.flush()
+        except Exception:
+            pass
+    finally:
+        os._exit(exit_code)

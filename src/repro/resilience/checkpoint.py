@@ -169,10 +169,19 @@ def restore_state(engine, state: dict) -> None:
     engine.branch_cov.virgin = dict(state["branch_virgin"])
     engine.pm_cov.virgin = dict(state["pm_virgin"])
     engine.stats = state["stats"]
-    # The supervisor holds the stats reference for its counters; rebind
-    # it to the restored object or its updates would vanish.
+    # The supervisor and execution backend hold the stats reference for
+    # their counters; rebind them to the restored object or their
+    # updates would vanish.
     engine.supervisor.stats = engine.stats
     engine.supervisor.setstate(state["supervisor"])
+    engine.backend.stats = engine.stats
+    # The backend is process state, not campaign state: the checkpoint
+    # records its *configuration* (via campaign_meta's engine kwargs),
+    # and the resumed engine re-resolved it at construction — possibly
+    # degrading to in-process on a platform without fork.  The restored
+    # stats must reflect the backend actually running *now*.
+    engine.stats.isolation_backend = engine.backend.name
+    engine.stats.isolation_fallback = engine._isolation_fallback
     if state["tree_root"] is not None:
         tree = TestCaseTree(state["tree_root"])
         tree._nodes = dict(state["tree_nodes"])
@@ -194,10 +203,19 @@ def restore_state(engine, state: dict) -> None:
 
 
 def write_engine_checkpoint(path: str, engine) -> None:
-    """Snapshot ``engine`` and atomically persist it to ``path``."""
+    """Snapshot ``engine`` and atomically persist it to ``path``.
+
+    The execution backend itself is process state (pipes, worker PIDs)
+    and is never captured; its *configuration* rides along twice — in
+    ``campaign_meta``'s engine kwargs (which is what resume rebuilds
+    from) and, purely descriptively, as the resolved ``backend`` record
+    so an operator inspecting a checkpoint can see how the campaign was
+    actually executing.
+    """
     write_checkpoint(path, {
         "version": FORMAT_VERSION,
         "meta": dict(engine.campaign_meta),
+        "backend": engine.backend.describe(),
         "state": capture_state(engine),
     })
 

@@ -59,6 +59,14 @@ class SupervisedExecutor:
             honest runs never trip it).
         quarantine_threshold: consecutive harness kills by the same
             (image, input) pair before it is quarantined.
+        backend: the :class:`~repro.isolation.backend.ExecutionBackend`
+            executions are dispatched through (default: in-process).
+            The fork-server backend converts real runaway targets into
+            :class:`~repro.errors.ExecTimeoutError` /
+            :class:`~repro.errors.WorkerCrashError`, which land in the
+            same classification paths as the virtual faults below —
+            wall-clock watchdog kills share the timeout accounting, and
+            worker deaths share the retry/quarantine machinery.
     """
 
     def __init__(
@@ -68,8 +76,13 @@ class SupervisedExecutor:
         max_retries: int = 3,
         exec_vtime_budget: float = 0.25,
         quarantine_threshold: int = 3,
+        backend=None,
     ) -> None:
+        from repro.isolation.backend import InProcessBackend
+
         self.executor = executor
+        self.backend = (backend if backend is not None
+                        else InProcessBackend(executor))
         self.cost_model: CostModel = executor.cost_model
         self.stats = stats
         self.max_retries = max_retries
@@ -116,7 +129,7 @@ class SupervisedExecutor:
                 self.cost_model.fault_overhead,
                 "quarantined: input repeatedly killed the harness")
         return self._supervised(
-            lambda: self.executor.run(image, data, **kwargs), key)
+            lambda: self.backend.run(image, data, **kwargs), key)
 
     def run_raw_image(self, image_bytes: bytes, data: bytes) -> ExecResult:
         """Supervised :meth:`Executor.run_raw_image` (direct ImgFuzz)."""
@@ -126,7 +139,7 @@ class SupervisedExecutor:
                 self.cost_model.fault_overhead,
                 "quarantined: input repeatedly killed the harness")
         return self._supervised(
-            lambda: self.executor.run_raw_image(image_bytes, data), key)
+            lambda: self.backend.run_raw_image(image_bytes, data), key)
 
     def _supervised(self, attempt_fn, key: QuarantineKey) -> ExecResult:
         recovery_cost = 0.0

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.errors import ExecTimeoutError, HarnessFaultError
 from repro.fuzz.executor import CostModel, Executor
+from repro.resilience.faults import EnvFaultInjector, FaultPlan
 from repro.workloads import get_workload
 from repro.workloads.base import RunOutcome
 
@@ -55,6 +57,63 @@ class TestExecution:
         image = get_workload("hashmap_tx").create_image()
         result = ex.run_raw_image(image.to_bytes(), b"i 5 1\n")
         assert result.outcome is RunOutcome.OK
+
+
+class _CountingFaults:
+    """Records which fault sites are consulted, never fires."""
+
+    def __init__(self):
+        self.checks = []
+
+    def check(self, site):
+        self.checks.append(site)
+
+
+class TestRawImageContainment:
+    """Hostile image bytes must never escape as raw exceptions."""
+
+    def test_deserializer_crash_is_contained(self, monkeypatch):
+        def hostile(_image_bytes):
+            raise RuntimeError("deserializer blew up on attacker bytes")
+
+        monkeypatch.setattr("repro.fuzz.executor.PMImage.from_bytes",
+                            hostile)
+        ex = make_executor()
+        result = ex.run_raw_image(b"\xff" * 64, b"g 1\n")
+        assert result.outcome is RunOutcome.HARNESS_FAULT
+        assert "RuntimeError" in result.error
+        assert result.cost > 0  # the aborted execution is still charged
+
+    def test_injected_hang_guards_raw_image_path(self):
+        ex = make_executor(
+            env_faults=EnvFaultInjector(FaultPlan.parse("exec-hang:1.0")))
+        with pytest.raises(ExecTimeoutError):
+            ex.run_raw_image(b"\x00" * 300, b"g 1\n")
+
+    def test_injected_fault_guards_raw_image_path(self):
+        ex = make_executor(
+            env_faults=EnvFaultInjector(FaultPlan.parse("exec-fault:1.0")))
+        with pytest.raises(HarnessFaultError):
+            ex.run_raw_image(b"\x00" * 300, b"g 1\n")
+
+    def test_fault_sites_drawn_exactly_once_per_raw_run(self):
+        # run_raw_image delegates to run() after validating the image;
+        # the exec fault sites must not be consulted a second time, or
+        # the injected-fault RNG stream would diverge from plain run().
+        ex = make_executor()
+        ex.env_faults = _CountingFaults()
+        image = get_workload("hashmap_tx").create_image()
+        result = ex.run_raw_image(image.to_bytes(), b"i 5 1\n")
+        assert result.outcome is RunOutcome.OK
+        assert ex.env_faults.checks == ["exec-hang", "exec-fault"]
+
+    def test_fault_sites_consulted_before_image_validation(self):
+        ex = make_executor(
+            env_faults=EnvFaultInjector(FaultPlan.parse("exec-hang:1.0")))
+        # Even garbage bytes raise the env fault first: the fork server
+        # can die before ever looking at its input.
+        with pytest.raises(ExecTimeoutError):
+            ex.run_raw_image(b"", b"")
 
 
 class TestCostModel:

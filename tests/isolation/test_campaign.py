@@ -1,0 +1,132 @@
+"""Campaign-level isolation guarantees (the ISSUE acceptance criteria).
+
+* **Equivalence** — a seeded campaign run under ``--isolation=fork``
+  produces coverage, queue contents, and statistics bit-identical to the
+  same campaign in-process (``FuzzStats.comparable()`` is the contract).
+* **Watchdog** — a genuinely runaway target (a true infinite loop that
+  virtual time can never interrupt) is SIGKILLed at the wall deadline,
+  triaged to disk, charged as a timeout, and the campaign *continues*.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import PMFUZZ
+from repro.core.pmfuzz import build_engine, run_campaign
+from repro.core.storage import TriageStore
+from repro.fuzz.engine import FuzzEngine
+from repro.fuzz.rng import DeterministicRandom
+from repro.workloads import get_workload
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="requires os.fork")
+
+
+def _engine(isolation, seed=9, **kwargs):
+    return build_engine(
+        "hashmap_tx", PMFUZZ,
+        rng=DeterministicRandom(seed).fork("hashmap_tx/det"),
+        isolation=isolation, **kwargs)
+
+
+class TestBackendEquivalence:
+    def test_fork_campaign_is_bit_identical_to_in_process(self, tmp_path):
+        baseline = _engine("none")
+        base_stats = baseline.run(0.4)
+
+        forked = _engine("fork", triage_dir=str(tmp_path / "triage"))
+        fork_stats = forked.run(0.4)
+
+        assert base_stats.isolation_backend == "none"
+        assert fork_stats.isolation_backend == "fork"
+        assert fork_stats.comparable() == base_stats.comparable()
+        assert forked.pm_cov.virgin == baseline.pm_cov.virgin
+        assert forked.branch_cov.virgin == baseline.branch_cov.virgin
+        assert [e.data for e in forked.queue.entries] == \
+            [e.data for e in baseline.queue.entries]
+        assert [e.image_id for e in forked.queue.entries] == \
+            [e.image_id for e in baseline.queue.entries]
+        # A clean campaign never trips the isolation machinery.
+        assert fork_stats.watchdog_kills == 0
+        assert fork_stats.worker_crashes == 0
+
+    def test_fault_injected_campaigns_agree_across_backends(self, tmp_path):
+        base = run_campaign("hashmap_tx", "pmfuzz", 0.4, seed=42,
+                            fault_plan="all:0.02")
+        fork = run_campaign("hashmap_tx", "pmfuzz", 0.4, seed=42,
+                            fault_plan="all:0.02", isolation="fork",
+                            triage_dir=str(tmp_path / "triage"))
+        assert fork.comparable() == base.comparable()
+        assert base.harness_faults > 0  # the plan actually fired
+
+    def test_worker_recycling_does_not_change_results(self, tmp_path):
+        churning = _engine("fork", worker_max_execs=5,
+                           triage_dir=str(tmp_path / "t1"))
+        churn_stats = churning.run(0.4)
+        steady = _engine("fork", triage_dir=str(tmp_path / "t2"))
+        steady_stats = steady.run(0.4)
+        assert churn_stats.worker_recycles > 0
+        assert churn_stats.comparable() == steady_stats.comparable()
+
+    def test_checkpointed_fork_campaign_resumes_identically(self, tmp_path):
+        path = str(tmp_path / "fork.ckpt")
+        baseline = run_campaign("hashmap_tx", "pmfuzz", 0.6, seed=17,
+                                isolation="fork",
+                                triage_dir=str(tmp_path / "t1"))
+        partial = run_campaign("hashmap_tx", "pmfuzz", 0.6, seed=17,
+                               isolation="fork",
+                               triage_dir=str(tmp_path / "t2"),
+                               checkpoint_every=0.2, checkpoint_path=path)
+        assert partial == baseline
+        resumed = run_campaign("hashmap_tx", "pmfuzz", 0.6,
+                               resume_from=path)
+        # The checkpoint carries the backend config; the resumed engine
+        # re-resolved it (fork is available here, so it stays fork).
+        assert resumed.isolation_backend == "fork"
+        assert resumed == baseline
+
+
+class HangOnKey4(type(get_workload("hashmap_tx"))):
+    """hashmap_tx, except inserting key 4 never returns.
+
+    Key 4 appears in the first default seed input, so every campaign
+    hits the hang immediately — the in-process backend would wedge
+    forever, which is precisely what the fork watchdog exists for.
+    """
+
+    def exec_command(self, pool, cmd):
+        if cmd.op == "i" and cmd.key == 4:
+            while True:
+                pass
+        return super().exec_command(pool, cmd)
+
+
+class TestWatchdogInCampaign:
+    def test_runaway_target_is_reaped_and_campaign_continues(self, tmp_path):
+        triage_dir = str(tmp_path / "triage")
+        engine = FuzzEngine(
+            lambda: HangOnKey4(), PMFUZZ,
+            rng=DeterministicRandom(3).fork("hang/det"),
+            isolation="fork", exec_wall_timeout=0.4,
+            triage_dir=triage_dir)
+        stats = engine.run(0.4)
+
+        # The infinite loop was killed at the wall deadline...
+        assert stats.watchdog_kills >= 1
+        # ...charged through the existing timeout accounting...
+        assert stats.timeouts >= 1
+        assert stats.harness_faults >= 1
+        # ...triaged to disk...
+        bundles = TriageStore(triage_dir).list_bundles()
+        assert len(bundles) >= 1
+        bundle = TriageStore.load_bundle(bundles[0])
+        assert bundle.meta["reason"] == "watchdog-timeout"
+        assert b"i 4" in bundle.data
+        # ...and the campaign kept going: the second seed (no key 4)
+        # and its mutants executed normally to budget exhaustion.
+        assert stats.executions > stats.watchdog_kills
+        assert stats.final_pm_paths > 0
+        assert stats.stop_reason == "budget"
+        # run() shut the pool down on exit; no workers leaked.
+        assert engine.backend.pool.live_workers == 0

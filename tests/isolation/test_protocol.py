@@ -1,0 +1,98 @@
+"""Length-prefixed frame protocol: framing, EOF, deadlines."""
+
+import os
+import struct
+import time
+
+import pytest
+
+from repro.isolation.protocol import (FrameDeadline, PipeClosed,
+                                      ProtocolError, read_frame, write_frame)
+
+
+@pytest.fixture
+def pipe():
+    r, w = os.pipe()
+    yield r, w
+    for fd in (r, w):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+
+
+class TestFraming:
+    def test_roundtrip(self, pipe):
+        r, w = pipe
+        payload = {"kind": "job", "data": b"\x00\xff" * 100, "n": 42}
+        write_frame(w, payload)
+        assert read_frame(r) == payload
+
+    def test_multiple_frames_in_order(self, pipe):
+        r, w = pipe
+        for i in range(5):
+            write_frame(w, ("frame", i))
+        assert [read_frame(r) for _ in range(5)] == \
+            [("frame", i) for i in range(5)]
+
+    def test_large_frame(self, pipe):
+        r, w = pipe
+        blob = os.urandom(256 * 1024)  # well past the 64 KiB pipe buffer
+        import threading
+        writer = threading.Thread(target=write_frame, args=(w, blob))
+        writer.start()
+        assert read_frame(r) == blob
+        writer.join()
+
+
+class TestFailureModes:
+    def test_eof_on_empty_pipe_raises_pipe_closed(self, pipe):
+        r, w = pipe
+        os.close(w)
+        with pytest.raises(PipeClosed):
+            read_frame(r)
+
+    def test_eof_mid_frame_raises_pipe_closed(self, pipe):
+        r, w = pipe
+        os.write(w, struct.pack("<I", 100) + b"only a few bytes")
+        os.close(w)
+        with pytest.raises(PipeClosed):
+            read_frame(r)
+
+    def test_absurd_length_prefix_rejected(self, pipe):
+        r, w = pipe
+        os.write(w, struct.pack("<I", 0xFFFFFFFF))
+        with pytest.raises(ProtocolError, match="announces"):
+            read_frame(r)
+
+    def test_garbage_payload_rejected(self, pipe):
+        r, w = pipe
+        os.write(w, struct.pack("<I", 4) + b"\x01\x02\x03\x04")
+        with pytest.raises(ProtocolError, match="unpickle"):
+            read_frame(r)
+
+    def test_deadline_expires_on_silent_pipe(self, pipe):
+        r, w = pipe
+        start = time.monotonic()
+        with pytest.raises(FrameDeadline):
+            read_frame(r, deadline=time.monotonic() + 0.2)
+        elapsed = time.monotonic() - start
+        assert 0.1 <= elapsed < 5.0
+
+    def test_deadline_expires_mid_frame(self, pipe):
+        r, w = pipe
+        os.write(w, struct.pack("<I", 1000) + b"partial")
+        with pytest.raises(FrameDeadline):
+            read_frame(r, deadline=time.monotonic() + 0.2)
+
+    def test_deadline_in_the_past_is_immediate(self, pipe):
+        r, w = pipe
+        start = time.monotonic()
+        with pytest.raises(FrameDeadline):
+            read_frame(r, deadline=time.monotonic() - 1.0)
+        assert time.monotonic() - start < 0.5
+
+    def test_frame_arriving_before_deadline_is_delivered(self, pipe):
+        r, w = pipe
+        write_frame(w, "made it")
+        assert read_frame(r, deadline=time.monotonic() + 5.0) == "made it"

@@ -1,0 +1,58 @@
+"""Worker-side resource ceilings (RLIMIT_AS)."""
+
+import os
+import sys
+
+import pytest
+
+from repro.isolation.worker import apply_rss_limit
+
+pytestmark = pytest.mark.skipif(
+    not (hasattr(os, "fork") and sys.platform.startswith("linux")),
+    reason="RLIMIT_AS enforcement is tested on Linux only")
+
+
+def _run_in_child(fn) -> int:
+    """Fork, run ``fn`` in the child, return the child's exit status."""
+    pid = os.fork()
+    if pid == 0:
+        try:
+            os._exit(fn())
+        except BaseException:
+            os._exit(99)
+    _, status = os.waitpid(pid, 0)
+    assert os.WIFEXITED(status)
+    return os.WEXITSTATUS(status)
+
+
+def test_rss_limit_turns_runaway_allocation_into_memory_error():
+    def child() -> int:
+        apply_rss_limit(2 << 30)  # 2 GiB address-space ceiling
+        try:
+            blob = bytearray(8 << 30)  # far beyond the ceiling
+        except MemoryError:
+            return 42
+        blob[0] = 1
+        return 0  # allocation unexpectedly succeeded
+
+    assert _run_in_child(child) == 42
+
+
+def test_no_limit_leaves_allocation_alone():
+    def child() -> int:
+        apply_rss_limit(None)
+        blob = bytearray(16 << 20)  # 16 MiB: trivially fine
+        blob[-1] = 1
+        return 7
+
+    assert _run_in_child(child) == 7
+
+
+def test_unreasonable_limit_is_silently_skipped():
+    # A nonsensical limit must never raise — it is skipped (in a child,
+    # in case a platform applies it anyway).
+    def child() -> int:
+        apply_rss_limit(-5)
+        return 0
+
+    assert _run_in_child(child) == 0

@@ -178,6 +178,41 @@ class TestResumeDeterminism:
                      checkpoint_every=0.1, checkpoint_path=path)
         assert isinstance(FuzzEngine.resume(path), PMFuzzEngine)
 
+    def test_quarantine_state_survives_resume(self, tmp_path):
+        """Strikes and quarantined inputs are part of the checkpoint: a
+        resumed campaign must keep refusing a harness-killing input
+        without re-executing it."""
+        from repro.core.pmfuzz import build_engine
+        from repro.workloads.registry import get_workload
+        from repro.workloads.base import RunOutcome
+
+        path = str(tmp_path / "quarantine.ckpt")
+        engine = build_engine(
+            "hashmap_tx", PMFUZZ,
+            rng=DeterministicRandom(11).fork("hashmap_tx/det"))
+        engine.setup()
+        poison = ("img-dead", b"kill the harness")
+        engine.supervisor.quarantined.add(poison)
+        engine.supervisor._strikes[("img-weak", b"two strikes")] = 2
+        engine.stats.quarantined += 1
+        engine.checkpoint(path)
+
+        resumed = FuzzEngine.resume(path)
+        assert resumed.supervisor.is_quarantined(*poison)
+        assert resumed.supervisor._strikes[("img-weak", b"two strikes")] == 2
+        assert resumed.stats.quarantined == 1
+        # The quarantined input is refused with a fault result, without
+        # ever reaching the executor.
+        image = get_workload("hashmap_tx").create_image()
+        result = resumed.supervisor.run(image, poison[1],
+                                        image_id=poison[0])
+        assert result.outcome is RunOutcome.HARNESS_FAULT
+        assert "quarantined" in result.error
+        # One more strike on the partially-struck input tips it over.
+        resumed.supervisor._strike(("img-weak", b"two strikes"))
+        assert resumed.supervisor.is_quarantined("img-weak",
+                                                 b"two strikes")
+
     def test_hand_built_engine_cannot_self_resume(self, tmp_path):
         """A checkpoint without campaign_meta refuses to resurrect."""
         from repro.workloads.registry import get_workload

@@ -93,3 +93,91 @@ class TestResilienceFlags:
              "--checkpoint-every", "0.5"])
         assert args.fault_plan == "all:0.01"
         assert args.checkpoint_every == 0.5
+
+
+class TestIsolationFlags:
+    def test_isolation_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--workload", "btree", "--budget", "1",
+             "--isolation", "fork", "--workers", "2",
+             "--exec-wall-timeout", "5", "--worker-rss-limit", "512",
+             "--triage-dir", "t"])
+        assert args.isolation == "fork"
+        assert args.workers == 2
+        assert args.exec_wall_timeout == 5.0
+        assert args.worker_rss_limit == 512
+        assert args.triage_dir == "t"
+
+    def test_isolation_defaults_to_none(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--workload", "btree", "--budget", "1"])
+        assert args.isolation == "none"
+
+    def test_bogus_isolation_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fuzz", "--workload", "btree", "--isolation", "docker"])
+
+    def test_summary_line_reports_stop_reason_and_counters(self, capsys):
+        assert main(["fuzz", "--workload", "skiplist", "--config",
+                     "aflpp_sysopt", "--budget", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "summary" in out
+        assert "stopped=budget" in out
+        assert "faults=" in out and "timeouts=" in out \
+            and "quarantined=" in out
+
+    def test_fork_campaign_via_cli(self, tmp_path, capsys):
+        import os
+        if not hasattr(os, "fork"):
+            pytest.skip("requires os.fork")
+        code = main(["fuzz", "--workload", "hashmap_tx", "--budget", "0.3",
+                     "--isolation", "fork", "--workers", "1",
+                     "--triage-dir", str(tmp_path / "triage")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=fork" in out
+        assert "watchdog-kills=0" in out
+
+
+class TestTriageCommand:
+    def test_empty_triage_dir_lists_nothing(self, tmp_path, capsys):
+        assert main(["triage", str(tmp_path / "missing")]) == 0
+        assert "no triage bundles" in capsys.readouterr().out
+
+    def test_listing_shows_reason_and_workload(self, tmp_path, capsys):
+        from repro.core.storage import TriageStore
+        store = TriageStore(str(tmp_path))
+        store.write_bundle("watchdog-timeout", b"i 1 2\n", b"\x00" * 16,
+                           {"workload": "hashmap_tx",
+                            "exit_detail": "killed by SIGKILL"})
+        assert main(["triage", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "watchdog-timeout" in out
+        assert "hashmap_tx" in out
+
+    def test_replay_reexecutes_the_bundle(self, tmp_path, capsys):
+        from repro.core.storage import TriageStore
+        from repro.workloads import get_workload
+        image = get_workload("hashmap_tx").create_image()
+        store = TriageStore(str(tmp_path))
+        path = store.write_bundle(
+            "worker-death", b"i 5 1\ng 5\n", image.to_bytes(),
+            {"workload": "hashmap_tx", "config": "pmfuzz", "bugs": []})
+        assert main(["triage", "--replay", path,
+                     "--isolation", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "replaying" in out
+        assert "outcome           : ok" in out
+
+    def test_replay_without_workload_is_clean_error(self, tmp_path, capsys):
+        from repro.core.storage import TriageStore
+        path = TriageStore(str(tmp_path)).write_bundle(
+            "worker-death", b"x", b"y", {})
+        assert main(["triage", "--replay", path]) == 2
+        assert "workload" in capsys.readouterr().err
+
+    def test_replay_missing_bundle_is_clean_error(self, tmp_path, capsys):
+        assert main(["triage", "--replay",
+                     str(tmp_path / "nope")]) == 2
+        assert "cannot load bundle" in capsys.readouterr().err
