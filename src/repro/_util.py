@@ -9,6 +9,7 @@ here is deterministic.
 from __future__ import annotations
 
 import hashlib
+import os
 import zlib
 
 
@@ -50,3 +51,71 @@ def format_duration(virtual_seconds: float) -> str:
     """Format virtual seconds as the paper's H:MM axis labels."""
     total_minutes = int(virtual_seconds // 60)
     return f"{total_minutes // 60}:{total_minutes % 60:02d}"
+
+
+# ----------------------------------------------------------------------
+# Crash-safe on-disk blobs
+#
+# Every durable artifact the fuzzer writes — campaign checkpoints,
+# shared-corpus sync entries, fleet-member result files — uses the same
+# two disciplines: a checksummed container (magic + SHA-256 + payload)
+# so damage is *detected*, and write-tmp + fsync + rename so damage from
+# a kill mid-write is *impossible* (the classic protocol the PM programs
+# under test are being fuzzed for).
+# ----------------------------------------------------------------------
+_DIGEST_LEN = 64  # sha256 hex digest length
+
+
+def pack_checksummed(magic: bytes, blob: bytes) -> bytes:
+    """Wrap ``blob`` as ``magic + sha256hex + "\\n" + blob``."""
+    digest = hashlib.sha256(blob).hexdigest().encode("ascii")
+    return magic + digest + b"\n" + blob
+
+
+def unpack_checksummed(magic: bytes, data: bytes, what: str = "blob") -> bytes:
+    """Verify and unwrap a :func:`pack_checksummed` container.
+
+    Raises :class:`ValueError` (with a human-readable reason) on a bad
+    magic, a damaged header, or a checksum mismatch — the caller decides
+    whether that means "quarantine the file" or "abort the resume".
+    """
+    if not data.startswith(magic):
+        raise ValueError(f"{what} has wrong magic (not this container type)")
+    body = data[len(magic):]
+    newline = body.find(b"\n")
+    if newline != _DIGEST_LEN:
+        raise ValueError(f"{what} header is damaged")
+    digest, blob = body[:newline], body[newline + 1:]
+    if hashlib.sha256(blob).hexdigest().encode("ascii") != digest:
+        raise ValueError(
+            f"{what} failed checksum verification (truncated or corrupted)")
+    return blob
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
+    """Atomically publish ``data`` at ``path`` (write-tmp+fsync+rename).
+
+    A kill at any point leaves either the old file or the new one, never
+    a torn file.  The temp file lives in the target directory so the
+    rename never crosses filesystems.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path = os.path.join(directory, os.path.basename(path) + ".tmp")
+    with open(tmp_path, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
+    if not fsync:
+        return
+    # Persist the rename itself (directory entry) — best effort on
+    # platforms whose directories cannot be opened.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)

@@ -89,7 +89,69 @@ def _summary_line(stats) -> str:
                   f"triage-bundles={stats.triage_bundles}"]
     elif stats.isolation_fallback:
         parts.append("backend=none(fallback)")
+    if stats.fleet_size:
+        parts += [f"fleet={stats.fleet_size}",
+                  f"restarts={stats.member_restarts}",
+                  f"sync={stats.sync_published}p/{stats.sync_imported}i/"
+                  f"{stats.sync_import_rejected}r",
+                  f"corpus-quarantined={stats.corpus_quarantined}"]
+        if stats.members_retired:
+            parts.append(
+                "retired=" + ",".join(str(i) for i in stats.members_retired))
     return " ".join(parts)
+
+
+def _parse_kill_plan(specs) -> dict:
+    """``M:E`` chaos specs → {member index: epoch to SIGKILL it after}."""
+    plan = {}
+    for spec in specs or ():
+        member, sep, epoch = spec.partition(":")
+        try:
+            if not sep:
+                raise ValueError
+            plan[int(member)] = int(epoch)
+        except ValueError:
+            raise FuzzerError(
+                f"bad --fleet-kill spec {spec!r} (expected MEMBER:EPOCH)")
+    return plan
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """The ``fuzz --fleet N`` branch: run a supervised member fleet."""
+    from repro.orchestrate import run_fleet
+
+    fleet_dir = args.fleet_dir or \
+        f"fleet-{args.workload}-{_slug(args.config)}"
+    stats = run_fleet(
+        args.workload, args.config, args.budget,
+        fleet=args.fleet, fleet_dir=fleet_dir,
+        seed=args.seed, sync_every=args.sync_every,
+        heartbeat_lease=args.member_lease,
+        fault_plan=args.fault_plan,
+        engine_kwargs=_isolation_kwargs(args),
+        kill_plan=_parse_kill_plan(args.fleet_kill),
+    )
+    print(f"configuration     : {stats.config_name}")
+    print(f"workload          : {stats.workload_name}")
+    print(f"fleet             : {stats.fleet_size} members "
+          f"({stats.member_restarts} restarts, "
+          f"{len(stats.members_retired)} retired)")
+    print(f"executions        : {stats.executions}")
+    print(f"stopped           : {stats.stop_reason}")
+    print(f"PM paths covered  : {stats.final_pm_paths}")
+    print(f"branch edges      : {stats.final_branch_edges}")
+    print(f"corpus sync       : {stats.sync_published} published, "
+          f"{stats.sync_imported} imported, "
+          f"{stats.sync_import_rejected} rejected")
+    if stats.corpus_quarantined:
+        print(f"quarantined       : {stats.corpus_quarantined} corrupt "
+              "corpus entries")
+    if stats.members_retired:
+        print(f"members retired   : "
+              f"{', '.join(str(i) for i in stats.members_retired)} "
+              "(fleet degraded)")
+    print(f"summary           : {_summary_line(stats)}")
+    return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -97,12 +159,25 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print("fuzz: --workload is required (unless resuming with "
               "--resume)", file=sys.stderr)
         return 2
+    if args.fleet > 1:
+        if args.resume:
+            print("fuzz: --resume is for solo campaigns; a fleet resumes "
+                  "by re-running with the same --fleet-dir",
+                  file=sys.stderr)
+            return 2
+        return _cmd_fleet(args)
+    # Solo campaign: first SIGINT/SIGTERM stops cleanly (final
+    # checkpoint + summary with stop_reason=signal), the second
+    # hard-exits.
+    from repro.orchestrate.signals import install_graceful_stop
+    hook = lambda engine: install_graceful_stop(engine)  # noqa: E731
     if args.resume:
         stats = run_campaign(args.workload, args.config, args.budget,
-                             resume_from=args.resume)
+                             resume_from=args.resume, engine_hook=hook)
     else:
         stats = run_campaign(args.workload, args.config, args.budget,
                              seed=args.seed, fault_plan=args.fault_plan,
+                             engine_hook=hook,
                              **_checkpoint_kwargs(args, args.config),
                              **_isolation_kwargs(args))
     if stats.isolation_fallback:
@@ -281,6 +356,29 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--triage-dir", default="triage",
                       help="directory for on-death crash-triage bundles "
                            "(fork only; default: ./triage)")
+    fuzz.add_argument("--fleet", type=int, default=1, metavar="N",
+                      help="shard the campaign across N supervised "
+                           "fuzzer processes sharing one corpus "
+                           "(heartbeats, automatic restarts, merged "
+                           "report); 1 = solo")
+    fuzz.add_argument("--fleet-dir", default=None,
+                      help="shared fleet directory (default: "
+                           "fleet-<workload>-<config>); re-running with "
+                           "the same directory resumes the fleet from "
+                           "its member checkpoints")
+    fuzz.add_argument("--sync-every", type=float, default=0.5,
+                      metavar="VSECONDS",
+                      help="corpus sync epoch length in virtual seconds "
+                           "(fleet only)")
+    fuzz.add_argument("--member-lease", type=float, default=5.0,
+                      metavar="SECONDS",
+                      help="heartbeat lease; a member silent this long "
+                           "is SIGKILLed and restarted (fleet only)")
+    fuzz.add_argument("--fleet-kill", action="append", default=None,
+                      metavar="MEMBER:EPOCH",
+                      help="chaos testing: SIGKILL the given member once "
+                           "it publishes the given epoch (repeatable); "
+                           "the fleet must self-heal around it")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     compare = sub.add_parser("compare",

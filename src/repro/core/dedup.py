@@ -15,7 +15,8 @@ from __future__ import annotations
 import zlib
 from typing import Dict, Optional, Tuple
 
-from repro.errors import InvalidImageError, StorageFaultError
+from repro.errors import (CorpusCorruptionError, InvalidImageError,
+                          StorageFaultError)
 from repro.pmem.image import PMImage
 
 
@@ -41,6 +42,10 @@ class ImageStore:
         self.raw_bytes = 0
         self.stored_bytes = 0
         self.duplicates_rejected = 0
+        #: image_id -> reason, for entries whose *stored* bytes turned
+        #: out damaged (removed from the live store, never served again).
+        self._quarantined: Dict[str, str] = {}
+        self.corrupt_quarantined = 0
 
     def __len__(self) -> int:
         return len(self._by_hash)
@@ -71,34 +76,81 @@ class ImageStore:
     def get(self, image_id: str) -> PMImage:
         """Materialize an image by ID (decompressing if needed).
 
-        Every stored blob was valid when :meth:`put` accepted it, so any
-        materialization failure here — a failed read, bytes that come
-        back truncated or corrupted, a decompression error — is an
-        *environment* fault, raised as transient
-        :class:`~repro.errors.StorageFaultError` for the supervisor to
-        retry.  The stored bytes themselves are never modified.
+        Failure classification is two-tier:
+
+        * a *torn read* — the injected read-path corruption of
+          :meth:`EnvFaultInjector.filter_bytes`, where the stored bytes
+          are intact and only this read observed garbage — raises a
+          transient :class:`~repro.errors.StorageFaultError` for the
+          supervisor to retry;
+        * *genuine damage* — the stored bytes themselves fail to
+          decompress or validate, which no retry can fix — quarantines
+          the entry (removed from the live store, counted) and raises
+          the non-transient :class:`~repro.errors.CorpusCorruptionError`
+          so a single bad file costs one test case, never the campaign.
         """
         faults = self.env_faults
         if faults is not None:
             faults.check("storage-load")
-        stored = self._by_hash[image_id]
+        stored = self._by_hash.get(image_id)
+        if stored is None:
+            reason = self._quarantined.get(image_id)
+            raise CorpusCorruptionError(
+                f"image {image_id[:12]}... is "
+                + (f"quarantined ({reason})" if reason else "not in the store"),
+                entry=image_id)
+        read_back = stored
         if faults is not None:
-            stored = faults.filter_bytes("storage-corrupt", stored)
+            read_back = faults.filter_bytes("storage-corrupt", stored)
+        torn_read = read_back is not stored
         if self.compress:
             if faults is not None:
                 faults.check("decompress")
             try:
-                stored = zlib.decompress(stored)
+                read_back = zlib.decompress(read_back)
             except zlib.error as exc:
-                raise StorageFaultError(
-                    f"decompression failed for {image_id[:12]}...: {exc}",
-                    site="decompress", transient=True) from exc
+                if torn_read:
+                    raise StorageFaultError(
+                        f"decompression failed for {image_id[:12]}...: {exc}",
+                        site="decompress", transient=True) from exc
+                raise self._quarantine(
+                    image_id, f"stored bytes do not decompress: {exc}") \
+                    from exc
         try:
-            return PMImage.from_bytes(stored)
+            return PMImage.from_bytes(read_back)
         except InvalidImageError as exc:
-            raise StorageFaultError(
-                f"stored image {image_id[:12]}... read back corrupt: {exc}",
-                site="storage-corrupt", transient=True) from exc
+            if torn_read:
+                raise StorageFaultError(
+                    f"stored image {image_id[:12]}... read back corrupt: "
+                    f"{exc}", site="storage-corrupt", transient=True) from exc
+            raise self._quarantine(
+                image_id, f"stored bytes fail validation: {exc}") from exc
+
+    def _quarantine(self, image_id: str, reason: str) -> CorpusCorruptionError:
+        """Retire a genuinely-damaged entry; returns the error to raise.
+
+        The byte counters are cumulative-ingest accounting (what the
+        campaign generated) and deliberately stay untouched.
+        """
+        if self._by_hash.pop(image_id, None) is not None:
+            self._layouts.pop(image_id, None)
+            self._quarantined[image_id] = reason
+            self.corrupt_quarantined += 1
+        return CorpusCorruptionError(
+            f"image {image_id[:12]}... quarantined: {reason}",
+            entry=image_id)
+
+    def raw_serialized(self, image_id: str) -> Optional[bytes]:
+        """Serialized (decompressed) bytes of a stored image, or None.
+
+        Bypasses the environment-fault sites: this is the fleet-publish
+        read of the process's *own in-memory* store, not a modeled SSD
+        access, so it must not perturb the deterministic fault stream.
+        """
+        stored = self._by_hash.get(image_id)
+        if stored is None:
+            return None
+        return zlib.decompress(stored) if self.compress else stored
 
     def contains(self, image_id: str) -> bool:
         return image_id in self._by_hash

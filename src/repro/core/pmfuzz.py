@@ -202,6 +202,7 @@ def run_campaign(
     injector=None,
     fault_plan=None,
     resume_from: Optional[str] = None,
+    engine_hook=None,
     **engine_kwargs,
 ) -> FuzzStats:
     """Run one complete campaign and return its statistics.
@@ -213,15 +214,23 @@ def run_campaign(
     checkpoint instead of starting fresh (the other campaign-shaping
     arguments are taken from the checkpoint) and fuzzes until the total
     ``budget_vseconds`` is exhausted.
+
+    ``engine_hook(engine)`` runs after construction and before the
+    campaign starts, on both the fresh and resume paths — the CLI uses
+    it to wire graceful SIGINT/SIGTERM handling to the live engine.
     """
     if resume_from is not None:
         engine = FuzzEngine.resume(resume_from, injector=injector)
+        if engine_hook is not None:
+            engine_hook(engine)
         return engine.run(budget_vseconds)
     config = config_by_name(config_name)
     rng = DeterministicRandom(seed).fork(f"{workload_name}/{config.name}")
     engine = build_engine(workload_name, config, rng=rng, bugs=bugs,
                           injector=injector, fault_plan=fault_plan,
                           **engine_kwargs)
+    if engine_hook is not None:
+        engine_hook(engine)
     return engine.run(budget_vseconds)
 
 

@@ -19,11 +19,20 @@ import json
 import os
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
+from repro._util import unpack_checksummed
 from repro.core.dedup import ImageStore
 from repro.pmem.image import PMImage
+
+#: Container magic for shared-corpus sync entries (see
+#: :mod:`repro.orchestrate.sync`); defined here so the scrubber can
+#: verify entries without importing the orchestration layer.
+CORPUS_ENTRY_MAGIC = b"PMFZSYNC1\n"
+
+#: Shared-corpus entry file suffix.
+CORPUS_ENTRY_SUFFIX = ".entry"
 
 
 class TestCaseStorage:
@@ -102,6 +111,12 @@ class TestCaseStorage:
         """Bytes all images would occupy uncompressed."""
         return self.store.raw_bytes
 
+    @property
+    def corrupt_quarantined(self) -> int:
+        """Genuinely-damaged images retired by the store (see
+        :meth:`~repro.core.dedup.ImageStore.get`)."""
+        return self.store.corrupt_quarantined
+
     def summary(self) -> str:
         """One-line storage report for the benches."""
         return (f"{len(self.store)} images: raw {self.raw_bytes / 1e6:.1f} MB, "
@@ -109,6 +124,115 @@ class TestCaseStorage:
                 f"(x{self.store.compression_ratio:.1f} compression), "
                 f"pm staging {self.staged_bytes / 1e6:.1f} MB, "
                 f"{self.evictions} evictions")
+
+
+# ----------------------------------------------------------------------
+# Corpus scrubbing (self-healing shared storage)
+# ----------------------------------------------------------------------
+@dataclass
+class ScrubReport:
+    """What one scrub pass found and did."""
+
+    scanned: int = 0  #: entry files examined
+    healthy: int = 0  #: entries that passed verification
+    quarantined: int = 0  #: corrupt/truncated entries moved aside
+    claimed_elsewhere: int = 0  #: bad entries another scrubber moved first
+    cleaned_tmp: int = 0  #: orphaned atomic-write temp files removed
+    reasons: Dict[str, str] = field(default_factory=dict)  #: name -> why
+
+
+class CorpusScrubber:
+    """Self-healing pass over a shared corpus directory.
+
+    Walks every ``*.entry`` file, verifies its checksummed container
+    (magic, header, SHA-256 over the full payload — which covers both
+    truncation and bit-flips), and *quarantines* damaged files instead
+    of letting them kill an importer: a bad entry is claimed by an
+    atomic ``os.rename`` into the quarantine directory (claim-by-rename
+    — when several fleet members scrub concurrently, exactly one wins
+    the rename and counts the entry; the losers observe ``ENOENT`` and
+    move on).  Orphaned ``*.tmp`` files older than ``tmp_grace`` seconds
+    (leftovers of a member killed mid-``atomic_write_bytes``; younger
+    ones may be in-flight writes) are deleted.
+
+    Runs at fleet start-up and on every member resume, so corruption
+    introduced while the campaign was down is swept before any importer
+    touches it.
+    """
+
+    def __init__(self, corpus_dir: str, quarantine_dir: str,
+                 magic: bytes = CORPUS_ENTRY_MAGIC,
+                 suffix: str = CORPUS_ENTRY_SUFFIX,
+                 tmp_grace: float = 60.0) -> None:
+        self.corpus_dir = corpus_dir
+        self.quarantine_dir = quarantine_dir
+        self.magic = magic
+        self.suffix = suffix
+        self.tmp_grace = tmp_grace
+
+    # ------------------------------------------------------------------
+    def verify_file(self, path: str) -> Optional[str]:
+        """None if the entry is healthy, else the damage reason."""
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError as exc:
+            return f"unreadable: {exc}"
+        try:
+            unpack_checksummed(self.magic, data,
+                               what=os.path.basename(path))
+        except ValueError as exc:
+            return str(exc)
+        return None
+
+    def quarantine(self, path: str, reason: str) -> bool:
+        """Claim a damaged entry by rename; False if claimed elsewhere."""
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        target = os.path.join(self.quarantine_dir, os.path.basename(path))
+        if os.path.exists(target):  # same name quarantined before
+            target += f".{int(time.time() * 1000):x}"
+        try:
+            os.rename(path, target)
+        except FileNotFoundError:
+            return False
+        try:
+            with open(target + ".reason", "w", encoding="utf-8") as fh:
+                fh.write(reason + "\n")
+        except OSError:
+            pass  # the quarantined entry itself is what matters
+        return True
+
+    def scrub(self) -> ScrubReport:
+        """One full pass; never raises on damaged files."""
+        report = ScrubReport()
+        try:
+            names = sorted(os.listdir(self.corpus_dir))
+        except OSError:
+            return report
+        now = time.time()
+        for name in names:
+            path = os.path.join(self.corpus_dir, name)
+            if name.endswith(".tmp"):
+                try:
+                    if now - os.path.getmtime(path) > self.tmp_grace:
+                        os.remove(path)
+                        report.cleaned_tmp += 1
+                except OSError:
+                    pass  # in-flight write or already gone
+                continue
+            if not name.endswith(self.suffix):
+                continue
+            report.scanned += 1
+            reason = self.verify_file(path)
+            if reason is None:
+                report.healthy += 1
+                continue
+            report.reasons[name] = reason
+            if self.quarantine(path, reason):
+                report.quarantined += 1
+            else:
+                report.claimed_elsewhere += 1
+        return report
 
 
 # ----------------------------------------------------------------------

@@ -108,6 +108,28 @@ class StorageFaultError(HarnessFaultError):
     Section 4.7 under pressure)."""
 
 
+class CorpusCorruptionError(StorageFaultError):
+    """A stored corpus entry is *genuinely* damaged — not a torn read.
+
+    Raised when an image or shared-corpus entry fails checksum/length
+    verification against its own stored bytes (a bit-flip or truncation
+    that a retry cannot fix), as opposed to the transient read-path
+    corruption :class:`StorageFaultError` models.  The entry is
+    quarantined by the raiser, so the campaign loses one test case, not
+    the resume: the supervisor treats this as a non-transient harness
+    fault, charges the recovery cost, and moves on.
+
+    Args:
+        message: human-readable description.
+        entry: identifier of the damaged entry (image id or file name).
+    """
+
+    def __init__(self, message: str = "", entry: str = "") -> None:
+        super().__init__(message or f"corpus entry {entry!r} is corrupt",
+                         site="storage-corrupt", transient=False)
+        self.entry = entry
+
+
 class WorkerCrashError(HarnessFaultError):
     """An isolation worker died abnormally (signal, OOM kill, hard exit).
 

@@ -121,6 +121,15 @@ class FuzzEngine:
         self._seed_image_bytes = b""
         self._next_sample = 0.0
         self._set_up = False
+        #: Fleet hook points (attached by repro.orchestrate, else inert):
+        #: a shared-corpus syncer whose record_saved() sees every saved
+        #: test case, and a per-round callback for heartbeat writes.
+        self.fleet_sync = None
+        self.round_hook = None
+        self._fleet_sync_state = None  # stashed by checkpoint restore
+        #: Graceful-stop flag (first SIGINT/SIGTERM sets it; the loop
+        #: finishes the in-flight execution and stops cleanly).
+        self._stop_requested = False
         if checkpoint_every is not None and not checkpoint_path:
             raise FuzzerError("checkpoint_every requires checkpoint_path")
         self.checkpoint_every = checkpoint_every
@@ -177,27 +186,75 @@ class FuzzEngine:
         """
         try:
             self.setup()
-            while (self.vclock < budget_vseconds
-                   and self.stats.executions < MAX_EXECUTIONS):
-                self._maybe_checkpoint()
-                entry = self.queue.select(self.rng)
-                entry.fuzz_rounds += 1
-                for data in self._children_of(entry):
-                    if (self.vclock >= budget_vseconds
-                            or self.stats.executions >= MAX_EXECUTIONS):
-                        break
-                    self._run_one(entry, data)
-                if self.stats.executions % 64 == 0:
-                    self.queue.cull()
+            self.run_slice(budget_vseconds)
         finally:
             # Reap fork-server workers even on an abrupt exit; the pool
             # respawns lazily if the engine runs again (resume).
             self.backend.close()
-        self.stats.stop_reason = (
-            "exec-cap" if self.stats.executions >= MAX_EXECUTIONS
-            else "budget")
+        return self.finish()
+
+    def run_slice(self, until_vtime: float) -> None:
+        """Fuzz until the virtual clock reaches ``until_vtime``.
+
+        The epoch-sized unit of the fleet orchestrator: no finalization
+        happens here (no stop_reason, no final sample, no backend
+        teardown), so a member can interleave slices with corpus sync
+        and checkpoints, then call :meth:`finish` once.  Solo campaigns
+        get the same loop via :meth:`run`.
+        """
+        self.setup()
+        while (self.vclock < until_vtime
+               and self.stats.executions < MAX_EXECUTIONS
+               and not self._stop_requested):
+            if self.round_hook is not None:
+                self.round_hook(self)
+            self._maybe_checkpoint()
+            entry = self.queue.select(self.rng)
+            entry.fuzz_rounds += 1
+            for data in self._children_of(entry):
+                if (self.vclock >= until_vtime
+                        or self.stats.executions >= MAX_EXECUTIONS
+                        or self._stop_requested):
+                    break
+                self._run_one(entry, data)
+            if self.stats.executions % 64 == 0:
+                self.queue.cull()
+
+    def finish(self) -> FuzzStats:
+        """Finalize the campaign: stop reason, coverage sets, last sample.
+
+        On a signal-requested stop the complete campaign state is
+        checkpointed one final time (when a checkpoint path is
+        configured), so a Ctrl-C'd campaign can resume without losing
+        its tail.
+        """
+        self.backend.close()
+        if self._stop_requested:
+            self.stats.stop_reason = "signal"
+        elif self.stats.executions >= MAX_EXECUTIONS:
+            self.stats.stop_reason = "exec-cap"
+        else:
+            self.stats.stop_reason = "budget"
+        self.stats.pm_covered_slots = set(self.pm_cov.covered_slots())
+        self.stats.branch_covered_slots = set(self.branch_cov.covered_slots())
         self._sample(force=True)
+        if self._stop_requested and self.checkpoint_path:
+            self.checkpoint()
         return self.stats
+
+    def request_stop(self) -> None:
+        """Ask the loop to stop cleanly after the in-flight execution.
+
+        Safe to call from a signal handler: it only sets a flag; the
+        fuzzing loop observes it at the next round boundary and
+        :meth:`finish` records ``stop_reason="signal"`` plus a final
+        checkpoint.
+        """
+        self._stop_requested = True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_requested
 
     def close(self) -> None:
         """Release backend resources (idempotent; run() also does this)."""
@@ -316,6 +373,11 @@ class FuzzEngine:
                 parent=parent.entry_id,
                 created_at=self.vclock,
             )
+            if self.fleet_sync is not None:
+                # Fleet sync hook: every coverage-interesting test case
+                # is a candidate for publication to the shared corpus at
+                # the next epoch boundary.
+                self.fleet_sync.record_saved(saved, result)
         if saved is not None or pm_new_path or pm_new_bucket:
             # Every *saved* test case contributes its output image back
             # into the corpus (this is where the paper's 1.5 TB of test

@@ -58,25 +58,53 @@ class FuzzStats:
     worker_recycles: int = 0  #: planned retirements (max-execs policy)
     triage_bundles: int = 0  #: crash-triage bundles written to disk
 
+    # Fleet / shared-corpus fields (maintained by repro.orchestrate).
+    fleet_size: int = 0  #: members in the fleet (0 = solo campaign)
+    member_index: int = -1  #: this campaign's fleet shard (-1 = solo)
+    sync_published: int = 0  #: interesting entries published to the corpus
+    sync_imported: int = 0  #: foreign entries imported (coverage-gated in)
+    sync_import_rejected: int = 0  #: foreign entries gated out / unusable
+    sync_barrier_timeouts: int = 0  #: epoch barriers abandoned (wall clock)
+    corpus_quarantined: int = 0  #: corrupt corpus entries quarantined
+    #: distinct coverage-map slots covered, filled at campaign end so
+    #: fleet merges can take exact unions (not just final counts).
+    pm_covered_slots: set = field(default_factory=set)
+    branch_covered_slots: set = field(default_factory=set)
+    # Merged-report-only fields (set by repro.orchestrate.merge).
+    member_summaries: list = field(default_factory=list)
+    members_retired: list = field(default_factory=list)  #: circuit-broken
+    member_restarts: int = 0  #: supervised restarts across the fleet
+
     # ------------------------------------------------------------------
     def record(self, sample: CoverageSample) -> None:
         self.samples.append(sample)
 
-    def comparable(self) -> dict:
-        """Backend-independent view of the campaign statistics.
+    #: Fields excluded from :meth:`comparable`: how the campaign was
+    #: *hosted* (isolation backend, worker management) and the wall-clock
+    #: artifacts of fleet supervision (restarts, barrier timeouts), none
+    #: of which the determinism contracts cover.  Everything else —
+    #: executions, samples, coverage, witnesses, fault accounting, sync
+    #: and quarantine counters — is promised to be bit-identical across
+    #: fork/none backends and across kill/restart fleet runs.
+    _HOST_DEPENDENT_FIELDS = (
+        "isolation_backend", "isolation_fallback", "watchdog_kills",
+        "worker_crashes", "worker_recycles", "triage_bundles",
+        "member_restarts", "sync_barrier_timeouts",
+    )
 
-        Everything the fork/none equivalence contract promises to be
-        bit-identical: the isolation-layer fields (which backend ran,
-        how its workers were managed) are excluded; every fuzzing-side
-        number — executions, samples, coverage, witnesses, fault
-        accounting — is included.
+    def comparable(self) -> dict:
+        """Host-independent view of the campaign statistics.
+
+        For a solo campaign this is the fork/none equivalence contract;
+        for a fleet-merged report it is additionally the kill/restart
+        contract: a member SIGKILLed mid-campaign and restarted from its
+        checkpoint yields a merged report equal to the no-kill run's on
+        every field this returns.
         """
         from dataclasses import asdict
 
         full = asdict(self)
-        for key in ("isolation_backend", "isolation_fallback",
-                    "watchdog_kills", "worker_crashes", "worker_recycles",
-                    "triage_bundles"):
+        for key in self._HOST_DEPENDENT_FIELDS:
             full.pop(key)
         return full
 

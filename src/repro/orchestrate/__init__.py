@@ -1,0 +1,35 @@
+"""Parallel campaign orchestration: the self-healing fuzzer fleet.
+
+One campaign, ``N`` fuzzer processes: each fleet member is a complete
+engine with a deterministic per-member seed, synchronizing through a
+crash-safe shared corpus at epoch barriers (:mod:`.sync`), publishing
+heartbeat leases (:mod:`.heartbeat`) under a supervisor that restarts
+the dead, SIGKILLs the wedged, retires the hopeless (:mod:`.supervisor`)
+and merges whatever survives into one deterministic report
+(:mod:`.merge`).
+"""
+
+from repro.orchestrate.heartbeat import (Heartbeat, HeartbeatWriter,
+                                         read_heartbeat)
+from repro.orchestrate.member import member_main, read_member_stats
+from repro.orchestrate.merge import merge_fleet_stats
+from repro.orchestrate.signals import GracefulStop, install_graceful_stop
+from repro.orchestrate.supervisor import (FleetSpec, FleetSupervisor,
+                                          run_fleet)
+from repro.orchestrate.sync import CorpusSyncer, FleetPaths
+
+__all__ = [
+    "CorpusSyncer",
+    "FleetPaths",
+    "FleetSpec",
+    "FleetSupervisor",
+    "GracefulStop",
+    "Heartbeat",
+    "HeartbeatWriter",
+    "install_graceful_stop",
+    "member_main",
+    "merge_fleet_stats",
+    "read_heartbeat",
+    "read_member_stats",
+    "run_fleet",
+]

@@ -1,0 +1,95 @@
+"""Heartbeat files with monotonic lease expiry.
+
+Each fleet member periodically publishes a tiny JSON heartbeat file —
+atomically, via write-tmp+rename, so the supervisor never reads a torn
+record.  The record carries a *lease*: an expiry instant on the shared
+``time.monotonic()`` clock (system-wide on Linux, immune to wall-clock
+steps).  A member whose lease has expired is *stale* — wedged, dead, or
+livelocked — and the supervisor is entitled to SIGKILL and restart it
+from its last checkpoint.  The wall-clock timestamp rides along purely
+for humans reading the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._util import atomic_write_bytes
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One decoded heartbeat record."""
+
+    pid: int
+    epoch: int  #: the sync epoch the member is currently working on
+    expires_at: float  #: lease expiry on the monotonic clock
+    lease_s: float
+    wall_time: float  #: time.time() at write, for humans only
+
+    def is_stale(self, now: Optional[float] = None) -> bool:
+        return (time.monotonic() if now is None else now) > self.expires_at
+
+
+class HeartbeatWriter:
+    """Member-side: publish leases, throttled to a fraction of the lease.
+
+    ``beat`` is called from the engine's per-round hook, so a member that
+    stops making fuzzing rounds (a true wedge) stops renewing its lease
+    — exactly the failure the supervisor's staleness check exists for.
+    """
+
+    def __init__(self, path: str, lease_s: float = 5.0) -> None:
+        self.path = path
+        self.lease_s = lease_s
+        self._min_interval = lease_s / 4.0
+        self._last_beat = float("-inf")
+        self.beats = 0
+
+    def beat(self, epoch: int) -> None:
+        """Unconditionally renew the lease."""
+        now = time.monotonic()
+        record = {
+            "pid": os.getpid(),
+            "epoch": epoch,
+            "expires_at": now + self.lease_s,
+            "lease_s": self.lease_s,
+            "wall_time": time.time(),
+        }
+        blob = json.dumps(record, sort_keys=True).encode("utf-8")
+        # No fsync: a lost heartbeat costs one early restart, not data.
+        atomic_write_bytes(self.path, blob, fsync=False)
+        self._last_beat = now
+        self.beats += 1
+
+    def maybe_beat(self, epoch: int) -> bool:
+        """Renew only if at least a quarter-lease has elapsed."""
+        if time.monotonic() - self._last_beat < self._min_interval:
+            return False
+        self.beat(epoch)
+        return True
+
+
+def read_heartbeat(path: str) -> Optional[Heartbeat]:
+    """Supervisor-side: decode one heartbeat; None if absent/unreadable.
+
+    A missing or undecodable file is reported as None — the supervisor
+    applies its own spawn-grace policy rather than crashing on a record
+    that a dying member may never have finished publishing.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+        return Heartbeat(
+            pid=int(record["pid"]),
+            epoch=int(record["epoch"]),
+            expires_at=float(record["expires_at"]),
+            lease_s=float(record["lease_s"]),
+            wall_time=float(record["wall_time"]),
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        return None

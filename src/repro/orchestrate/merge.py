@@ -1,0 +1,110 @@
+"""Deterministic fleet-report merge.
+
+The supervisor collects each member's final :class:`FuzzStats` and folds
+them into one campaign report.  The merge is a pure function of the
+member stats (sorted by member index) plus the retired-member list —
+never of wall-clock completion order — so a fleet run that suffered
+kills and restarts merges to the same report as an undisturbed run,
+field for field on everything :meth:`FuzzStats.comparable` covers.
+
+Merge rules:
+
+* **Counters** sum (executions, images, faults, sync traffic, ...).
+* **Coverage** takes exact set unions of the members' covered-slot sets
+  (``pm_covered_slots`` / ``branch_covered_slots``), not sums of counts
+  — members overlap, and the union is the fleet's true coverage.
+* **Site witnesses** merge lowest-member-index-wins, so the winning
+  witness never depends on who finished first.
+* **Samples** collapse to one synthesized end-of-campaign sample (the
+  per-member curves remain available in ``member_summaries``).
+* **stop_reason** is ``"degraded"`` if any member was retired by the
+  circuit breaker, else ``"signal"`` if any member was signal-stopped,
+  else the members' common reason (or ``"mixed"``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import FuzzerError
+from repro.fuzz.stats import CoverageSample, FuzzStats
+
+#: Counter fields that simply sum across members.
+_SUMMED_FIELDS = (
+    "executions", "invalid_image_runs", "segfault_runs",
+    "crash_images_generated", "normal_images_generated",
+    "images_deduplicated", "raw_image_bytes", "compressed_image_bytes",
+    "harness_faults", "retries", "timeouts", "quarantined",
+    "watchdog_kills", "worker_crashes", "worker_recycles", "triage_bundles",
+    "sync_published", "sync_imported", "sync_import_rejected",
+    "sync_barrier_timeouts", "corpus_quarantined",
+)
+
+
+def merge_fleet_stats(member_stats: Iterable[FuzzStats],
+                      fleet_size: int,
+                      retired: Iterable[int] = (),
+                      restarts: int = 0,
+                      scrub_quarantined: int = 0) -> FuzzStats:
+    """Fold member reports into one deterministic campaign report."""
+    members: List[FuzzStats] = sorted(member_stats,
+                                      key=lambda s: s.member_index)
+    if not members:
+        raise FuzzerError("cannot merge an empty fleet")
+
+    merged = FuzzStats(config_name=members[0].config_name,
+                       workload_name=members[0].workload_name)
+    merged.fleet_size = fleet_size
+    merged.member_index = -1
+    merged.isolation_backend = members[0].isolation_backend
+    merged.isolation_fallback = members[0].isolation_fallback
+    merged.members_retired = sorted(set(retired))
+    merged.member_restarts = restarts
+
+    for name in _SUMMED_FIELDS:
+        setattr(merged, name,
+                sum(getattr(m, name) for m in members))
+    merged.corpus_quarantined += scrub_quarantined
+
+    for m in members:
+        merged.sites_hit |= set(m.sites_hit)
+        merged.pm_covered_slots |= set(m.pm_covered_slots)
+        merged.branch_covered_slots |= set(m.branch_covered_slots)
+        # Lowest member index wins a contested site (members are sorted,
+        # setdefault keeps the first claim).
+        for site, witnesses in m.site_witness.items():
+            merged.site_witness.setdefault(site, witnesses)
+
+    reasons = sorted({m.stop_reason for m in members})
+    if merged.members_retired:
+        merged.stop_reason = "degraded"
+    elif "signal" in reasons:
+        merged.stop_reason = "signal"
+    elif len(reasons) == 1:
+        merged.stop_reason = reasons[0]
+    else:
+        merged.stop_reason = "mixed"
+
+    final = [m.samples[-1] for m in members if m.samples]
+    merged.record(CoverageSample(
+        vtime=max((s.vtime for s in final), default=0.0),
+        executions=merged.executions,
+        pm_paths=len(merged.pm_covered_slots),
+        branch_edges=len(merged.branch_covered_slots),
+        queue_size=sum(s.queue_size for s in final),
+        images=sum(s.images for s in final),
+        harness_faults=merged.harness_faults,
+    ))
+    merged.member_summaries = [
+        {
+            "member": m.member_index,
+            "stop_reason": m.stop_reason,
+            "executions": m.executions,
+            "pm_paths": m.final_pm_paths,
+            "branch_edges": m.final_branch_edges,
+            "sync_published": m.sync_published,
+            "sync_imported": m.sync_imported,
+        }
+        for m in members
+    ]
+    return merged

@@ -1,0 +1,326 @@
+"""Self-healing fleet supervision: spawn, watch, restart, retire, merge.
+
+The supervisor shards one campaign across ``fleet`` member processes
+(:mod:`repro.orchestrate.member`), each forked with a deterministic
+per-member seed, and then runs a watch loop with four duties:
+
+* **Reap** — collect exit statuses; status 0 is completion, anything
+  else is a death.
+* **Staleness** — a member whose heartbeat lease has expired is wedged;
+  it is SIGKILLed and the kill counts as a death.
+* **Restart** — a dead member is relaunched from its last epoch
+  checkpoint after an exponentially growing backoff; the resumed
+  member replays its interrupted epoch bit-for-bit.
+* **Circuit breaker** — ``max_deaths`` deaths inside ``death_window``
+  wall seconds retire the member: a ``retired`` marker releases the
+  peers' barriers and the fleet degrades gracefully (the merged report
+  says ``stop_reason="degraded"`` and lists who was lost).
+
+Shutdown is drain-then-merge: the first SIGINT/SIGTERM forwards a
+graceful stop to every member (each takes a final checkpoint and
+publishes its stats), and the merged report is produced from whatever
+completed — deterministically, independent of completion order.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.storage import CorpusScrubber, ScrubReport
+from repro.errors import FuzzerError
+from repro.fuzz.stats import FuzzStats
+from repro.isolation.pool import describe_wait_status
+from repro.orchestrate.heartbeat import read_heartbeat
+from repro.orchestrate.member import member_main, read_member_stats
+from repro.orchestrate.merge import merge_fleet_stats
+from repro.orchestrate.signals import GracefulStop
+from repro.orchestrate.sync import FleetPaths
+
+
+@dataclass
+class FleetSpec:
+    """Everything one fleet campaign needs, in one picklable record."""
+
+    workload: str
+    config_name: str
+    budget: float
+    fleet: int
+    fleet_dir: str
+    seed: int = 0x504D465A
+    sync_every: float = 0.5  #: virtual seconds per epoch
+    bugs: Tuple[str, ...] = ()
+    fault_plan: Optional[object] = None
+    engine_kwargs: dict = field(default_factory=dict)
+    heartbeat_lease: float = 5.0
+    poll_interval: float = 0.02
+    restart_backoff: float = 0.25  #: first-restart delay; doubles per death
+    max_deaths: int = 3  #: circuit breaker: deaths in window before retiring
+    death_window: float = 30.0  #: wall seconds the breaker looks back over
+    barrier_timeout: float = 120.0
+    spawn_grace: float = 10.0  #: wall seconds before a silent member is stale
+    #: Chaos hooks, used by the test-suite's self-healing scenarios.
+    kill_plan: Dict[int, int] = field(default_factory=dict)  # member → epoch
+    fail_plan: Tuple[int, ...] = ()  # members that exit(3) after epoch 0
+    wedge_plan: Tuple[int, ...] = ()  # members that hang once at startup
+
+    def __post_init__(self) -> None:
+        if self.fleet < 1:
+            raise FuzzerError(f"fleet size must be >= 1, got {self.fleet}")
+        if self.sync_every <= 0:
+            raise FuzzerError("sync_every must be positive")
+
+
+class _Member:
+    """Supervisor-side lifecycle state for one fleet member."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.pid: Optional[int] = None
+        self.completed = False
+        self.retired = False
+        self.restarts = 0
+        self.deaths: deque = deque()  # monotonic death instants
+        self.backoff = 0.0
+        self.restart_at = 0.0  # monotonic instant of the pending restart
+        self.spawned_at = 0.0
+        self.kill_fired = False
+        self.last_exit = ""
+
+    @property
+    def running(self) -> bool:
+        return self.pid is not None
+
+    @property
+    def finished(self) -> bool:
+        return self.completed or self.retired
+
+
+class FleetSupervisor:
+    """Drive one :class:`FleetSpec` to a merged campaign report."""
+
+    def __init__(self, spec: FleetSpec) -> None:
+        self.spec = spec
+        self.paths = FleetPaths(spec.fleet_dir)
+        self.members = [_Member(i) for i in range(spec.fleet)]
+        self.scrub_report: Optional[ScrubReport] = None
+        self._drain = False
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def run(self) -> FuzzStats:
+        """Run the fleet to completion and return the merged stats."""
+        self.paths.make_dirs()
+        # Startup scrub: quarantine anything damaged in the shared
+        # corpus (a previous fleet may have died mid-write) before any
+        # member can import it.
+        self.scrub_report = CorpusScrubber(self.paths.corpus,
+                                           self.paths.quarantine).scrub()
+        stop = GracefulStop(self._request_drain, label="fleet")
+        stop.install()
+        try:
+            for member in self.members:
+                # A pre-existing member checkpoint means this fleet dir
+                # hosted an interrupted campaign: resume it.
+                self._spawn(member, resume=os.path.exists(
+                    self.paths.checkpoint(member.index)))
+            while not all(m.finished for m in self.members):
+                self._tick()
+                time.sleep(self.spec.poll_interval)
+        finally:
+            stop.uninstall()
+            self._kill_all()
+        return self._merge()
+
+    # ------------------------------------------------------------------
+    # Member lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, member: _Member, resume: bool) -> None:
+        sys.stdout.flush()
+        sys.stderr.flush()
+        pid = os.fork()
+        if pid == 0:
+            # Child: become the member and never return into the
+            # supervisor's stack (no atexit, no finally-blocks).
+            status = 1
+            try:
+                status = member_main(self.spec, member.index, resume)
+            finally:
+                os._exit(status)
+        member.pid = pid
+        member.spawned_at = time.monotonic()
+
+    def _tick(self) -> None:
+        now = time.monotonic()
+        for member in self.members:
+            if member.finished:
+                continue
+            if member.running:
+                self._fire_kill_plan(member)
+                self._reap(member, now)
+                if member.finished:
+                    continue
+            if member.running:
+                self._check_stale(member, now)
+            elif self._drain:
+                # Draining: a member that is dead right now is not
+                # restarted; it is recorded as lost.
+                member.retired = True
+                self._write_retired_marker(member)
+            elif now >= member.restart_at:
+                member.restarts += 1
+                self._spawn(member, resume=True)
+
+    def _fire_kill_plan(self, member: _Member) -> None:
+        """Chaos hook: SIGKILL the member once its planned epoch lands."""
+        epoch = self.spec.kill_plan.get(member.index)
+        if epoch is None or member.kill_fired:
+            return
+        if os.path.exists(self.paths.epoch_marker(member.index, epoch)):
+            member.kill_fired = True
+            self._kill(member)
+
+    def _reap(self, member: _Member, now: float) -> None:
+        try:
+            pid, status = os.waitpid(member.pid, os.WNOHANG)
+        except ChildProcessError:
+            pid, status = member.pid, 1 << 8  # lost child counts as a death
+        if pid == 0:
+            return
+        member.pid = None
+        if os.WIFEXITED(status) and os.WEXITSTATUS(status) == 0:
+            member.completed = True
+            return
+        member.last_exit = describe_wait_status(status)
+        self._record_death(member, now)
+
+    def _check_stale(self, member: _Member, now: float) -> None:
+        """SIGKILL a member whose heartbeat lease has expired."""
+        beat = read_heartbeat(self.paths.heartbeat(member.index))
+        if beat is None:
+            # No readable heartbeat yet: allow the spawn grace, then
+            # treat the silence itself as a wedge.
+            if now - member.spawned_at < self.spec.spawn_grace:
+                return
+        elif not beat.is_stale(now):
+            return
+        elif now - member.spawned_at < min(self.spec.heartbeat_lease,
+                                           self.spec.spawn_grace):
+            return  # stale file predates this (re)spawn
+        self._kill(member)
+        self._reap_blocking(member)
+        self._record_death(member, time.monotonic())
+
+    def _record_death(self, member: _Member, now: float) -> None:
+        member.deaths.append(now)
+        window = self.spec.death_window
+        while member.deaths and now - member.deaths[0] > window:
+            member.deaths.popleft()
+        if len(member.deaths) >= self.spec.max_deaths:
+            self._retire(member)
+            return
+        member.backoff = (self.spec.restart_backoff if member.backoff == 0
+                          else member.backoff * 2)
+        member.restart_at = now + member.backoff
+        if self._drain:
+            # No restarts during drain; an already-dead member simply
+            # contributes nothing further.
+            member.retired = True
+            self._write_retired_marker(member)
+
+    def _retire(self, member: _Member) -> None:
+        """Circuit breaker: give up on a repeatedly dying member.
+
+        The ``retired`` marker is what lets the surviving peers' epoch
+        barriers proceed without it — the fleet degrades instead of
+        deadlocking.
+        """
+        member.retired = True
+        self._write_retired_marker(member)
+        print(f"[fleet] member {member.index} retired after "
+              f"{len(member.deaths)} deaths "
+              f"(last: {member.last_exit or 'unknown'}); "
+              "fleet continues degraded", file=sys.stderr)
+
+    def _write_retired_marker(self, member: _Member) -> None:
+        from repro._util import atomic_write_bytes
+        # The member may have died before ever creating its directory.
+        os.makedirs(self.paths.member_dir(member.index), exist_ok=True)
+        atomic_write_bytes(self.paths.retired_marker(member.index),
+                           b"", fsync=False)
+
+    # ------------------------------------------------------------------
+    # Kill / drain plumbing
+    # ------------------------------------------------------------------
+    def _kill(self, member: _Member) -> None:
+        if member.pid is None:
+            return
+        try:
+            os.kill(member.pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+
+    def _reap_blocking(self, member: _Member) -> None:
+        if member.pid is None:
+            return
+        try:
+            _, status = os.waitpid(member.pid, 0)
+            member.last_exit = describe_wait_status(status)
+        except ChildProcessError:
+            member.last_exit = "already reaped"
+        member.pid = None
+
+    def _kill_all(self) -> None:
+        for member in self.members:
+            self._kill(member)
+            self._reap_blocking(member)
+
+    def _request_drain(self) -> None:
+        """First supervisor signal: forward a graceful stop to everyone."""
+        self._drain = True
+        for member in self.members:
+            if member.pid is not None:
+                try:
+                    os.kill(member.pid, signal.SIGTERM)
+                except ProcessLookupError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+    def _merge(self) -> FuzzStats:
+        collected: List[FuzzStats] = []
+        for member in self.members:
+            stats = read_member_stats(self.paths.stats_file(member.index))
+            if stats is not None:
+                collected.append(stats)
+            elif not member.retired:
+                # Completed without a stats file (or torn mid-drain):
+                # count it as lost rather than crash the merge.
+                member.retired = True
+        if not collected:
+            raise FuzzerError(
+                "every fleet member was retired; no campaign stats to merge")
+        return merge_fleet_stats(
+            collected,
+            fleet_size=self.spec.fleet,
+            retired=[m.index for m in self.members if m.retired],
+            restarts=sum(m.restarts for m in self.members),
+            scrub_quarantined=(self.scrub_report.quarantined
+                               if self.scrub_report else 0),
+        )
+
+
+def run_fleet(workload: str, config_name: str, budget: float, fleet: int,
+              fleet_dir: str, **spec_kwargs) -> FuzzStats:
+    """Convenience wrapper: build the spec, run the fleet, merge."""
+    spec = FleetSpec(workload=workload, config_name=config_name,
+                     budget=budget, fleet=fleet, fleet_dir=fleet_dir,
+                     **spec_kwargs)
+    return FleetSupervisor(spec).run()

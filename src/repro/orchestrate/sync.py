@@ -1,0 +1,279 @@
+"""Shared-corpus synchronization (the AFL ``-M``/``-S`` sync analogue).
+
+Fleet members fuzz independently and meet at *epoch barriers*: after
+every ``sync_every`` virtual seconds a member (1) publishes the
+coverage-interesting test cases it saved during the epoch to the shared
+corpus directory, (2) waits until every non-retired peer has published
+the same epoch, then (3) imports the peers' entries, gated by its *own*
+coverage map — only an entry whose recorded coverage is novel to this
+member enters its queue.
+
+The barrier is what makes the fleet deterministic: the set of entries
+visible at epoch *k* is exactly the fleet's publications from epochs
+``<= k``, regardless of wall-clock interleaving, member kills, or
+restarts.  Combined with each member's bit-identical checkpoint/resume,
+a SIGKILLed-and-restarted member republishes byte-identical entries
+(publication is idempotent — existing files are skipped), so the merged
+fleet report is independent of who died when.
+
+Durability uses the same two disciplines as checkpoints: every entry is
+a checksummed container (magic + SHA-256 + payload) published via
+write-tmp+fsync+rename, and damaged entries are *quarantined by rename*
+(see :class:`~repro.core.storage.CorpusScrubber`), never re-served.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import time
+from typing import Dict, List, Optional
+
+from repro._util import atomic_write_bytes, pack_checksummed, \
+    unpack_checksummed
+from repro.core.storage import (CORPUS_ENTRY_MAGIC, CORPUS_ENTRY_SUFFIX,
+                                CorpusScrubber)
+from repro.errors import HarnessFaultError
+from repro.pmem.image import PMImage
+
+_ENTRY_RE = re.compile(r"^m(\d+)-e(\d+)-s(\d+)\.entry$")
+_MARKER_RE = re.compile(r"^m(\d+)-e(\d+)\.done$")
+
+
+class FleetPaths:
+    """The on-disk layout one fleet campaign lives in."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.corpus = os.path.join(root, "corpus")
+        self.quarantine = os.path.join(root, "quarantine")
+        self.heartbeats = os.path.join(root, "heartbeats")
+        self.members = os.path.join(root, "members")
+
+    def make_dirs(self) -> None:
+        for path in (self.corpus, self.quarantine, self.heartbeats,
+                     self.members):
+            os.makedirs(path, exist_ok=True)
+
+    def member_dir(self, index: int) -> str:
+        return os.path.join(self.members, str(index))
+
+    def heartbeat(self, index: int) -> str:
+        return os.path.join(self.heartbeats, f"member-{index}.json")
+
+    def checkpoint(self, index: int) -> str:
+        return os.path.join(self.member_dir(index), "campaign.ckpt")
+
+    def stats_file(self, index: int) -> str:
+        return os.path.join(self.member_dir(index), "stats.bin")
+
+    def retired_marker(self, index: int) -> str:
+        return os.path.join(self.member_dir(index), "retired")
+
+    def entry_file(self, member: int, epoch: int, seq: int) -> str:
+        return os.path.join(self.corpus,
+                            f"m{member:02d}-e{epoch:04d}-s{seq:04d}"
+                            f"{CORPUS_ENTRY_SUFFIX}")
+
+    def epoch_marker(self, member: int, epoch: int) -> str:
+        return os.path.join(self.corpus, f"m{member:02d}-e{epoch:04d}.done")
+
+
+class CorpusSyncer:
+    """One member's view of the shared corpus.
+
+    Attach to a :class:`~repro.fuzz.engine.FuzzEngine` with
+    :meth:`attach`; the engine then feeds every coverage-interesting
+    save through :meth:`record_saved`, and the fleet member drives
+    :meth:`end_epoch` at each slice boundary.  All progress state
+    (next epoch, imported entries, pending publications) is
+    checkpointable, so a restarted member resumes sync exactly where its
+    engine resumes fuzzing.
+    """
+
+    def __init__(self, member: int, fleet: int, paths: FleetPaths,
+                 barrier_timeout: float = 120.0, poll_interval: float = 0.02,
+                 heartbeat=None) -> None:
+        self.member = member
+        self.fleet = fleet
+        self.paths = paths
+        self.barrier_timeout = barrier_timeout
+        self.poll_interval = poll_interval
+        self.heartbeat = heartbeat
+        self.engine = None
+        self.next_epoch = 0
+        self._pending: List[dict] = []
+        self._imported: set = set()  #: entry file names already consumed
+        self._scrubber = CorpusScrubber(paths.corpus, paths.quarantine)
+
+    # ------------------------------------------------------------------
+    def attach(self, engine) -> "CorpusSyncer":
+        """Bind to an engine (consuming any checkpoint-restored state)."""
+        self.engine = engine
+        engine.fleet_sync = self
+        saved = getattr(engine, "_fleet_sync_state", None)
+        if saved is not None:
+            self.setstate(saved)
+            engine._fleet_sync_state = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Engine-side hook
+    # ------------------------------------------------------------------
+    def record_saved(self, entry, result) -> None:
+        """Queue one coverage-interesting save for the next publish.
+
+        The input image bytes are resolved *now*, from the member's own
+        in-memory store (no environment-fault sites, no RNG draws), so
+        a later publish — or a replay after a kill — serializes exactly
+        the same entry.
+        """
+        image_id = entry.image_id or self.engine._seed_image_id
+        image_bytes = self.engine.storage.store.raw_serialized(image_id)
+        self._pending.append({
+            "data": bytes(entry.data),
+            "image_id": image_id,
+            "image": image_bytes,
+            "branch": list(result.branch_sparse),
+            "pm": list(result.pm_sparse),
+        })
+
+    # ------------------------------------------------------------------
+    # Epoch boundary
+    # ------------------------------------------------------------------
+    def end_epoch(self, epoch: int, final: bool = False) -> None:
+        """Publish this epoch, meet the barrier, import the peers'.
+
+        On the final epoch the publish still happens (peers may be
+        behind and owed the entries) but the barrier and import are
+        skipped — there is no further fuzzing to feed.
+        """
+        self._publish(epoch)
+        self._write_marker(epoch)
+        self.next_epoch = epoch + 1
+        if final or self.fleet <= 1:
+            return
+        if self._barrier(epoch):
+            self._import(epoch)
+
+    def _publish(self, epoch: int) -> None:
+        stats = self.engine.stats
+        for seq, record in enumerate(self._pending):
+            path = self.paths.entry_file(self.member, epoch, seq)
+            if os.path.exists(path):
+                continue  # idempotent republish after a kill+resume
+            payload = dict(record, member=self.member, epoch=epoch, seq=seq)
+            blob = pack_checksummed(CORPUS_ENTRY_MAGIC,
+                                    pickle.dumps(payload, protocol=4))
+            atomic_write_bytes(path, blob)
+        stats.sync_published += len(self._pending)
+        self._pending = []
+
+    def _write_marker(self, epoch: int) -> None:
+        atomic_write_bytes(self.paths.epoch_marker(self.member, epoch),
+                           b"{}\n", fsync=False)
+
+    def _barrier(self, epoch: int) -> bool:
+        """Wait for every live peer's epoch marker; False on abandon.
+
+        A peer is excused when its *retired* marker exists (the circuit
+        breaker gave up on it — degraded-fleet semantics).  The wait is
+        also abandoned on a stop request or after ``barrier_timeout``
+        wall seconds (supervisor gone), so a member can always finish.
+        """
+        deadline = time.monotonic() + self.barrier_timeout
+        for other in range(self.fleet):
+            if other == self.member:
+                continue
+            marker = self.paths.epoch_marker(other, epoch)
+            retired = self.paths.retired_marker(other)
+            while not (os.path.exists(marker) or os.path.exists(retired)):
+                if self.engine.stop_requested:
+                    return False
+                if time.monotonic() > deadline:
+                    self.engine.stats.sync_barrier_timeouts += 1
+                    return False
+                if self.heartbeat is not None:
+                    self.heartbeat.maybe_beat(self.next_epoch)
+                time.sleep(self.poll_interval)
+        return True
+
+    def _import(self, upto_epoch: int) -> None:
+        """Consume every not-yet-imported peer entry up to this epoch."""
+        engine = self.engine
+        stats = engine.stats
+        try:
+            names = sorted(os.listdir(self.paths.corpus))
+        except OSError:
+            return
+        for name in names:
+            match = _ENTRY_RE.match(name)
+            if match is None:
+                continue
+            member, epoch = int(match.group(1)), int(match.group(2))
+            if member == self.member or epoch > upto_epoch:
+                continue
+            if name in self._imported:
+                continue
+            self._imported.add(name)
+            self._import_one(name, stats)
+
+    def _import_one(self, name: str, stats) -> None:
+        path = os.path.join(self.paths.corpus, name)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+            payload = pickle.loads(
+                unpack_checksummed(CORPUS_ENTRY_MAGIC, data, what=name))
+        except (OSError, ValueError, pickle.UnpicklingError, EOFError) as exc:
+            # Self-healing import: a damaged entry is quarantined (claim
+            # by rename), counted, and never retried — not fatal.
+            if self._scrubber.quarantine(path, f"import failed: {exc}"):
+                stats.corpus_quarantined += 1
+            return
+        engine = self.engine
+        branch = payload.get("branch") or []
+        pm = payload.get("pm") or []
+        b_new_slot, b_new_bucket, _ = engine.branch_cov.classify(branch)
+        p_new_slot, p_new_bucket, _ = engine.pm_cov.classify(pm)
+        if not (b_new_slot or b_new_bucket or p_new_slot or p_new_bucket):
+            stats.sync_import_rejected += 1
+            return
+        image_id = payload.get("image_id") or ""
+        image_bytes = payload.get("image")
+        if image_bytes:
+            try:
+                engine.storage.store.put(PMImage.from_bytes(image_bytes))
+            except HarnessFaultError:
+                # An injected storage fault on the import path costs the
+                # campaign this one entry; the fault stream stays
+                # deterministic because the draw happened.
+                stats.sync_import_rejected += 1
+                return
+            except Exception as exc:
+                if self._scrubber.quarantine(path, f"bad image: {exc}"):
+                    stats.corpus_quarantined += 1
+                self._imported.discard(name)
+                return
+        # Trust the publisher's recorded coverage (derandomization makes
+        # it exact) instead of re-executing: merge it into this member's
+        # maps and queue the test case for mutation.
+        engine.branch_cov.update(branch)
+        engine.pm_cov.update(pm)
+        engine.queue.add(payload["data"], image_id=image_id, favored=1,
+                         created_at=engine.vclock)
+        stats.sync_imported += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def getstate(self):
+        return (self.next_epoch, set(self._imported),
+                [dict(r) for r in self._pending])
+
+    def setstate(self, state) -> None:
+        next_epoch, imported, pending = state
+        self.next_epoch = next_epoch
+        self._imported = set(imported)
+        self._pending = [dict(r) for r in pending]

@@ -30,12 +30,12 @@ registry without any caller-side bookkeeping.
 
 from __future__ import annotations
 
-import hashlib
-import os
 import pickle
 from collections import OrderedDict
 from typing import Optional
 
+from repro._util import (atomic_write_bytes, pack_checksummed,
+                         unpack_checksummed)
 from repro.errors import CheckpointError
 
 _MAGIC = b"PMFZCKPT1\n"
@@ -52,24 +52,7 @@ def write_checkpoint(path: str, payload: dict) -> None:
     except Exception as exc:
         raise CheckpointError(f"campaign state is not serializable: {exc}") \
             from exc
-    digest = hashlib.sha256(blob).hexdigest().encode("ascii")
-    directory = os.path.dirname(os.path.abspath(path))
-    tmp_path = os.path.join(directory, os.path.basename(path) + ".tmp")
-    with open(tmp_path, "wb") as fh:
-        fh.write(_MAGIC + digest + b"\n" + blob)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp_path, path)
-    # Persist the rename itself (directory entry) — best effort on
-    # platforms whose directories cannot be opened.
-    try:
-        dir_fd = os.open(directory, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
+    atomic_write_bytes(path, pack_checksummed(_MAGIC, blob))
 
 
 def read_checkpoint(path: str) -> dict:
@@ -80,17 +63,13 @@ def read_checkpoint(path: str) -> dict:
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") \
             from exc
-    if not data.startswith(_MAGIC):
-        raise CheckpointError(f"{path!r} is not a campaign checkpoint")
-    body = data[len(_MAGIC):]
-    newline = body.find(b"\n")
-    if newline != 64:  # sha256 hex digest length
-        raise CheckpointError(f"checkpoint {path!r} header is damaged")
-    digest, blob = body[:newline], body[newline + 1:]
-    if hashlib.sha256(blob).hexdigest().encode("ascii") != digest:
-        raise CheckpointError(
-            f"checkpoint {path!r} failed checksum verification "
-            "(truncated or corrupted)")
+    try:
+        blob = unpack_checksummed(_MAGIC, data, what=f"checkpoint {path!r}")
+    except ValueError as exc:
+        if "wrong magic" in str(exc):
+            raise CheckpointError(
+                f"{path!r} is not a campaign checkpoint") from exc
+        raise CheckpointError(str(exc)) from exc
     try:
         payload = pickle.loads(blob)
     except Exception as exc:
@@ -136,6 +115,8 @@ def capture_state(engine) -> dict:
             "raw_bytes": store.raw_bytes,
             "stored_bytes": store.stored_bytes,
             "duplicates_rejected": store.duplicates_rejected,
+            "quarantined": store._quarantined,
+            "corrupt_quarantined": store.corrupt_quarantined,
         },
         "staging": storage._staging,
         "staging_meta": (storage._staged_bytes, storage.decompressions,
@@ -143,6 +124,13 @@ def capture_state(engine) -> dict:
         "supervisor": engine.supervisor.getstate(),
         "env_faults": (engine.env_faults.getstate()
                        if engine.env_faults is not None else None),
+        # Fleet shared-corpus sync state (None for solo campaigns).  The
+        # syncer itself is rebuilt by the fleet member on restart (it
+        # holds directory paths, which are process configuration); only
+        # its progress — next epoch, imported entries, pending
+        # publications — is campaign state.
+        "fleet": (engine.fleet_sync.getstate()
+                  if engine.fleet_sync is not None else None),
     }
     return state
 
@@ -194,12 +182,20 @@ def restore_state(engine, state: dict) -> None:
     store.raw_bytes = state["store"]["raw_bytes"]
     store.stored_bytes = state["store"]["stored_bytes"]
     store.duplicates_rejected = state["store"]["duplicates_rejected"]
+    store._quarantined = dict(state["store"].get("quarantined", {}))
+    store.corrupt_quarantined = state["store"].get("corrupt_quarantined", 0)
     engine.storage._staging = OrderedDict(state["staging"])
     (engine.storage._staged_bytes, engine.storage.decompressions,
      engine.storage.evictions, engine.storage.load_faults) = \
         state["staging_meta"]
     if engine.env_faults is not None and state["env_faults"] is not None:
         engine.env_faults.setstate(state["env_faults"])
+    # A fleet member attaches its CorpusSyncer *after* resume; the
+    # stashed state is consumed by CorpusSyncer.attach().
+    engine._fleet_sync_state = state.get("fleet")
+    if engine.fleet_sync is not None and engine._fleet_sync_state is not None:
+        engine.fleet_sync.setstate(engine._fleet_sync_state)
+        engine._fleet_sync_state = None
 
 
 def write_engine_checkpoint(path: str, engine) -> None:

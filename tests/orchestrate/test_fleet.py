@@ -1,0 +1,160 @@
+"""Self-healing fleet end-to-end: the ISSUE acceptance scenarios.
+
+The headline invariant: a seeded 2-member fleet in which one member is
+SIGKILLed mid-campaign restarts that member from its last epoch
+checkpoint, completes the campaign, and produces a merged report equal —
+on every :meth:`FuzzStats.comparable` field — to the same fleet run
+without the kill.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import FuzzerError
+from repro.fuzz.stats import FuzzStats
+from repro.orchestrate import FleetSpec, run_fleet
+from repro.orchestrate.merge import merge_fleet_stats
+
+
+def _fleet(tmp_path, name, budget=1.0, **kwargs):
+    defaults = dict(sync_every=0.25, poll_interval=0.01,
+                    restart_backoff=0.05)
+    defaults.update(kwargs)
+    return run_fleet("btree", "pmfuzz", budget, 2,
+                     str(tmp_path / name), **defaults)
+
+
+class TestFleetRuns:
+    def test_two_member_fleet_completes_and_syncs(self, tmp_path):
+        stats = _fleet(tmp_path, "f", budget=0.6)
+        assert stats.stop_reason == "budget"
+        assert stats.fleet_size == 2
+        assert stats.member_index == -1
+        assert stats.executions > 0
+        assert stats.sync_published > 0
+        assert stats.members_retired == []
+        assert stats.member_restarts == 0
+        assert [s["member"] for s in stats.member_summaries] == [0, 1]
+        assert stats.final_pm_paths == len(stats.pm_covered_slots)
+
+    def test_fleet_dir_is_crash_safe_layout(self, tmp_path):
+        _fleet(tmp_path, "f", budget=0.5)
+        root = tmp_path / "f"
+        assert (root / "corpus").is_dir()
+        assert (root / "members" / "0" / "campaign.ckpt").exists()
+        assert (root / "members" / "1" / "stats.bin").exists()
+        assert (root / "heartbeats" / "member-0.json").exists()
+
+    def test_fleet_spec_validation(self, tmp_path):
+        with pytest.raises(FuzzerError):
+            FleetSpec(workload="btree", config_name="pmfuzz", budget=1.0,
+                      fleet=0, fleet_dir=str(tmp_path))
+        with pytest.raises(FuzzerError):
+            FleetSpec(workload="btree", config_name="pmfuzz", budget=1.0,
+                      fleet=2, fleet_dir=str(tmp_path), sync_every=0.0)
+
+
+class TestKillRestartDeterminism:
+    def test_sigkilled_member_restarts_and_merge_matches_no_kill(
+            self, tmp_path):
+        baseline = _fleet(tmp_path, "no-kill", budget=1.0)
+        killed = _fleet(tmp_path, "kill", budget=1.0,
+                        kill_plan={0: 1})
+        # The chaos kill really happened and really was healed.
+        assert killed.member_restarts >= 1
+        assert killed.members_retired == []
+        assert killed.stop_reason == "budget"
+        # The determinism contract: merged reports are equal on every
+        # host-independent field.
+        assert killed.comparable() == baseline.comparable()
+
+
+class TestCircuitBreaker:
+    def test_repeatedly_dying_member_is_retired_fleet_degrades(
+            self, tmp_path):
+        stats = _fleet(tmp_path, "f", budget=0.6,
+                       fail_plan=(1,), max_deaths=2, death_window=30.0)
+        assert stats.stop_reason == "degraded"
+        assert stats.members_retired == [1]
+        # The survivor's campaign still completed and was merged.
+        assert len(stats.member_summaries) == 1
+        assert stats.member_summaries[0]["member"] == 0
+        assert stats.executions > 0
+        # The retired marker released the survivor's barriers.
+        assert os.path.exists(
+            str(tmp_path / "f" / "members" / "1" / "retired"))
+
+
+class TestWedgeRecovery:
+    def test_wedged_member_is_sigkilled_and_restarted(self, tmp_path):
+        stats = _fleet(tmp_path, "f", budget=0.5,
+                       wedge_plan=(0,), heartbeat_lease=1.0,
+                       spawn_grace=1.0)
+        assert stats.stop_reason == "budget"
+        assert stats.members_retired == []
+        assert stats.member_restarts >= 1
+
+
+class TestMerge:
+    def _member(self, index, **overrides):
+        stats = FuzzStats(config_name="pmfuzz", workload_name="btree")
+        stats.member_index = index
+        stats.fleet_size = 2
+        stats.executions = 10 * (index + 1)
+        stats.stop_reason = "budget"
+        stats.sites_hit = {f"site-{index}"}
+        stats.pm_covered_slots = {index, 100}
+        stats.branch_covered_slots = {index * 2}
+        stats.site_witness = {"shared": [(f"img{index}", b"x", 1.0)]}
+        for key, value in overrides.items():
+            setattr(stats, key, value)
+        return stats
+
+    def test_counters_sum_and_coverage_unions(self):
+        merged = merge_fleet_stats([self._member(0), self._member(1)],
+                                   fleet_size=2)
+        assert merged.executions == 30
+        assert merged.pm_covered_slots == {0, 1, 100}
+        assert merged.branch_covered_slots == {0, 2}
+        assert merged.sites_hit == {"site-0", "site-1"}
+        assert merged.stop_reason == "budget"
+        assert merged.samples[-1].pm_paths == 3
+
+    def test_merge_is_order_independent(self):
+        a = merge_fleet_stats([self._member(0), self._member(1)],
+                              fleet_size=2)
+        b = merge_fleet_stats([self._member(1), self._member(0)],
+                              fleet_size=2)
+        assert a.comparable() == b.comparable()
+
+    def test_site_witness_lowest_member_wins(self):
+        merged = merge_fleet_stats([self._member(1), self._member(0)],
+                                   fleet_size=2)
+        assert merged.site_witness["shared"][0][0] == "img0"
+
+    def test_retired_members_force_degraded(self):
+        merged = merge_fleet_stats([self._member(0)], fleet_size=2,
+                                   retired=[1], restarts=5)
+        assert merged.stop_reason == "degraded"
+        assert merged.members_retired == [1]
+        assert merged.member_restarts == 5
+
+    def test_signal_dominates_mixed_reasons(self):
+        merged = merge_fleet_stats(
+            [self._member(0), self._member(1, stop_reason="signal")],
+            fleet_size=2)
+        assert merged.stop_reason == "signal"
+
+    def test_empty_merge_raises(self):
+        with pytest.raises(FuzzerError):
+            merge_fleet_stats([], fleet_size=2)
+
+    def test_host_dependent_fields_excluded_from_comparable(self):
+        merged = merge_fleet_stats([self._member(0)], fleet_size=2,
+                                   restarts=3)
+        view = merged.comparable()
+        assert "member_restarts" not in view
+        assert "sync_barrier_timeouts" not in view
+        assert "isolation_backend" not in view
+        assert "executions" in view

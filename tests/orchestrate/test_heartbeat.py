@@ -1,0 +1,81 @@
+"""Heartbeat files: atomic publication, lease expiry, stale detection."""
+
+import json
+import os
+import time
+
+from repro.orchestrate.heartbeat import (Heartbeat, HeartbeatWriter,
+                                         read_heartbeat)
+
+
+class TestHeartbeatWriter:
+    def test_beat_roundtrips(self, tmp_path):
+        path = str(tmp_path / "member-0.json")
+        writer = HeartbeatWriter(path, lease_s=5.0)
+        writer.beat(epoch=3)
+        beat = read_heartbeat(path)
+        assert beat is not None
+        assert beat.pid == os.getpid()
+        assert beat.epoch == 3
+        assert beat.lease_s == 5.0
+        assert not beat.is_stale()
+
+    def test_lease_expiry_is_monotonic_and_in_the_future(self, tmp_path):
+        path = str(tmp_path / "hb.json")
+        HeartbeatWriter(path, lease_s=2.0).beat(0)
+        beat = read_heartbeat(path)
+        now = time.monotonic()
+        assert now < beat.expires_at <= now + 2.0 + 0.1
+
+    def test_maybe_beat_throttles_to_quarter_lease(self, tmp_path):
+        path = str(tmp_path / "hb.json")
+        writer = HeartbeatWriter(path, lease_s=100.0)
+        assert writer.maybe_beat(0) is True
+        # Immediately after a beat, a quarter-lease has not elapsed.
+        assert writer.maybe_beat(0) is False
+        assert writer.beats == 1
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "hb.json")
+        HeartbeatWriter(path, lease_s=1.0).beat(0)
+        assert sorted(os.listdir(tmp_path)) == ["hb.json"]
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        path = str(tmp_path / "hb.json")
+        writer = HeartbeatWriter(path, lease_s=1.0)
+        writer.beat(0)
+        writer.beat(7)
+        assert read_heartbeat(path).epoch == 7
+
+
+class TestStaleness:
+    def test_expired_lease_is_stale(self):
+        beat = Heartbeat(pid=1, epoch=0, expires_at=time.monotonic() - 1.0,
+                         lease_s=0.5, wall_time=time.time())
+        assert beat.is_stale()
+
+    def test_fresh_lease_is_not_stale(self):
+        beat = Heartbeat(pid=1, epoch=0, expires_at=time.monotonic() + 60.0,
+                         lease_s=60.0, wall_time=time.time())
+        assert not beat.is_stale()
+
+    def test_explicit_now_parameter(self):
+        beat = Heartbeat(pid=1, epoch=0, expires_at=100.0, lease_s=1.0,
+                         wall_time=0.0)
+        assert beat.is_stale(now=100.5)
+        assert not beat.is_stale(now=99.5)
+
+
+class TestReadHeartbeat:
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_heartbeat(str(tmp_path / "absent.json")) is None
+
+    def test_torn_or_garbage_file_is_none(self, tmp_path):
+        path = tmp_path / "hb.json"
+        path.write_text("{not json")
+        assert read_heartbeat(str(path)) is None
+
+    def test_missing_fields_are_none(self, tmp_path):
+        path = tmp_path / "hb.json"
+        path.write_text(json.dumps({"pid": 1}))
+        assert read_heartbeat(str(path)) is None

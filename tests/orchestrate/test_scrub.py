@@ -1,0 +1,180 @@
+"""Corpus scrubbing and corruption quarantine.
+
+Acceptance criterion: a corpus with one truncated and one bit-flipped
+entry is scrubbed — both quarantined, counted, and reported — without
+raising; and a damaged image inside the store costs one test case (typed
+``CorpusCorruptionError`` + quarantine counter), never the resume.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro._util import atomic_write_bytes, pack_checksummed
+from repro.core.config import config_by_name
+from repro.core.dedup import ImageStore
+from repro.core.pmfuzz import build_engine
+from repro.core.storage import (CORPUS_ENTRY_MAGIC, CorpusScrubber,
+                                TestCaseStorage)
+from repro.errors import CorpusCorruptionError
+from repro.fuzz.engine import FuzzEngine
+from repro.workloads.registry import get_workload
+
+
+def _write_entry(corpus, name, blob=b"x" * 200):
+    path = os.path.join(corpus, name)
+    atomic_write_bytes(path, pack_checksummed(CORPUS_ENTRY_MAGIC, blob))
+    return path
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    corpus = str(tmp_path / "corpus")
+    quarantine = str(tmp_path / "quarantine")
+    os.makedirs(corpus)
+    return corpus, quarantine
+
+
+class TestCorpusScrubber:
+    def test_truncated_and_bitflipped_are_quarantined_not_fatal(self, dirs):
+        corpus, quarantine = dirs
+        _write_entry(corpus, "m00-e0000-s0000.entry")  # healthy
+        truncated = _write_entry(corpus, "m00-e0000-s0001.entry")
+        with open(truncated, "rb") as fh:
+            blob = fh.read()
+        with open(truncated, "wb") as fh:
+            fh.write(blob[:len(blob) // 2])
+        flipped = _write_entry(corpus, "m01-e0000-s0000.entry")
+        with open(flipped, "rb") as fh:
+            blob = bytearray(fh.read())
+        blob[-3] ^= 0x10
+        with open(flipped, "wb") as fh:
+            fh.write(bytes(blob))
+
+        report = CorpusScrubber(corpus, quarantine).scrub()
+
+        assert report.scanned == 3
+        assert report.healthy == 1
+        assert report.quarantined == 2
+        assert set(report.reasons) == {"m00-e0000-s0001.entry",
+                                       "m01-e0000-s0000.entry"}
+        # The healthy entry is untouched; the damaged ones moved aside
+        # with a recorded reason each.
+        assert sorted(os.listdir(corpus)) == ["m00-e0000-s0000.entry"]
+        moved = sorted(os.listdir(quarantine))
+        assert "m00-e0000-s0001.entry" in moved
+        assert "m01-e0000-s0000.entry" in moved
+        assert "m00-e0000-s0001.entry.reason" in moved
+
+    def test_wrong_magic_is_quarantined(self, dirs):
+        corpus, quarantine = dirs
+        with open(os.path.join(corpus, "m00-e0000-s0000.entry"), "wb") as fh:
+            fh.write(b"garbage, not a sync entry at all")
+        report = CorpusScrubber(corpus, quarantine).scrub()
+        assert report.quarantined == 1
+        assert "wrong magic" in next(iter(report.reasons.values()))
+
+    def test_scrub_of_clean_corpus_is_a_noop(self, dirs):
+        corpus, quarantine = dirs
+        _write_entry(corpus, "m00-e0000-s0000.entry")
+        report = CorpusScrubber(corpus, quarantine).scrub()
+        assert (report.scanned, report.healthy, report.quarantined) \
+            == (1, 1, 0)
+        assert not os.path.exists(quarantine)
+
+    def test_orphaned_tmp_files_are_age_gated(self, dirs):
+        corpus, quarantine = dirs
+        stale = os.path.join(corpus, "m00-e0000-s0000.entry.tmp")
+        fresh = os.path.join(corpus, "m01-e0000-s0000.entry.tmp")
+        for path in (stale, fresh):
+            with open(path, "wb") as fh:
+                fh.write(b"partial write")
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        report = CorpusScrubber(corpus, quarantine, tmp_grace=60.0).scrub()
+        assert report.cleaned_tmp == 1
+        assert not os.path.exists(stale)
+        assert os.path.exists(fresh)  # may be an in-flight writer
+
+    def test_quarantine_claim_by_rename(self, dirs):
+        corpus, quarantine = dirs
+        path = _write_entry(corpus, "m00-e0000-s0000.entry")
+        scrubber = CorpusScrubber(corpus, quarantine)
+        assert scrubber.quarantine(path, "test") is True
+        # A second claimant observes ENOENT and reports defeat.
+        assert scrubber.quarantine(path, "test") is False
+
+    def test_missing_corpus_dir_is_empty_report(self, tmp_path):
+        report = CorpusScrubber(str(tmp_path / "nope"),
+                                str(tmp_path / "q")).scrub()
+        assert report.scanned == 0
+
+
+class TestImageStoreQuarantine:
+    def _store_with_image(self, compress=True):
+        store = ImageStore(compress=compress)
+        image = get_workload("btree").create_image()
+        image_id, is_new = store.put(image)
+        assert is_new
+        return store, image_id
+
+    def test_bitflipped_stored_bytes_raise_typed_error(self):
+        store, image_id = self._store_with_image()
+        blob = bytearray(store._by_hash[image_id])
+        blob[len(blob) // 2] ^= 0xFF
+        store._by_hash[image_id] = bytes(blob)
+        with pytest.raises(CorpusCorruptionError):
+            store.get(image_id)
+        assert store.corrupt_quarantined == 1
+        assert image_id not in store._by_hash
+
+    def test_truncated_stored_bytes_raise_typed_error(self):
+        store, image_id = self._store_with_image(compress=False)
+        store._by_hash[image_id] = store._by_hash[image_id][:16]
+        with pytest.raises(CorpusCorruptionError):
+            store.get(image_id)
+        assert store.corrupt_quarantined == 1
+
+    def test_quarantined_entry_is_never_served_again(self):
+        store, image_id = self._store_with_image()
+        store._by_hash[image_id] = b"\x00" * 10
+        with pytest.raises(CorpusCorruptionError):
+            store.get(image_id)
+        with pytest.raises(CorpusCorruptionError, match="quarantined"):
+            store.get(image_id)
+        assert store.corrupt_quarantined == 1  # counted once
+
+    def test_unknown_id_raises_typed_error(self):
+        store = ImageStore()
+        with pytest.raises(CorpusCorruptionError):
+            store.get("deadbeef" * 8)
+
+    def test_storage_load_path_routes_through_quarantine(self):
+        store, image_id = self._store_with_image()
+        storage = TestCaseStorage(store)
+        store._by_hash[image_id] = b"damaged beyond recognition"
+        with pytest.raises(CorpusCorruptionError):
+            storage.load(image_id)
+        assert storage.load_faults == 1
+        assert storage.corrupt_quarantined == 1
+
+    def test_quarantine_counters_survive_checkpoint_resume(self, tmp_path):
+        ckpt = str(tmp_path / "c.ckpt")
+        engine = build_engine("btree", config_by_name("pmfuzz"),
+                              checkpoint_path=ckpt)
+        engine.setup()
+        store = engine.storage.store
+        image_id = engine._seed_image_id
+        store._by_hash[image_id] = b"\xff" * 24
+        engine.storage._staging.clear()  # force the SSD-tier read
+        engine.storage._staged_bytes = 0
+        with pytest.raises(CorpusCorruptionError):
+            engine.storage.load(image_id)
+        assert store.corrupt_quarantined == 1
+        engine.checkpoint()
+        resumed = FuzzEngine.resume(ckpt)
+        assert resumed.storage.store.corrupt_quarantined == 1
+        assert image_id in resumed.storage.store._quarantined
+        with pytest.raises(CorpusCorruptionError, match="quarantined"):
+            resumed.storage.store.get(image_id)

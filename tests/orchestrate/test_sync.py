@@ -1,0 +1,210 @@
+"""Shared-corpus sync: atomic publish, barriers, coverage-gated import."""
+
+import os
+import pickle
+
+import pytest
+
+from repro._util import atomic_write_bytes, pack_checksummed
+from repro.core.config import config_by_name
+from repro.core.pmfuzz import build_engine
+from repro.core.storage import CORPUS_ENTRY_MAGIC
+from repro.orchestrate.member import member_seed_rng
+from repro.orchestrate.sync import CorpusSyncer, FleetPaths
+
+
+def make_member_engine(tmp_path, member, fleet_dir=None):
+    config = config_by_name("pmfuzz")
+    rng = member_seed_rng(0x5EED, "btree", "pmfuzz", member)
+    return build_engine(
+        "btree", config, rng=rng,
+        checkpoint_path=str(tmp_path / f"m{member}.ckpt"))
+
+
+@pytest.fixture
+def paths(tmp_path):
+    p = FleetPaths(str(tmp_path / "fleet"))
+    p.make_dirs()
+    return p
+
+
+class TestFleetPaths:
+    def test_layout(self, paths):
+        assert paths.entry_file(2, 7, 1).endswith("m02-e0007-s0001.entry")
+        assert paths.epoch_marker(2, 7).endswith("m02-e0007.done")
+        for sub in (paths.corpus, paths.quarantine, paths.heartbeats,
+                    paths.members):
+            assert os.path.isdir(sub)
+
+
+class TestPublish:
+    def test_publish_writes_checksummed_entries_and_marker(self, tmp_path,
+                                                          paths):
+        engine = make_member_engine(tmp_path, 0)
+        syncer = CorpusSyncer(0, 2, paths).attach(engine)
+        engine.run_slice(0.3)
+        assert syncer._pending, "slice should have saved something"
+        pending = len(syncer._pending)
+        syncer._publish(0)
+        syncer._write_marker(0)
+        names = sorted(os.listdir(paths.corpus))
+        entries = [n for n in names if n.endswith(".entry")]
+        assert len(entries) == pending
+        assert "m00-e0000.done" in names
+        assert engine.stats.sync_published == pending
+        # No atomic-write temp files survive a completed publish.
+        assert not [n for n in names if n.endswith(".tmp")]
+
+    def test_republish_after_kill_is_idempotent(self, tmp_path, paths):
+        engine = make_member_engine(tmp_path, 0)
+        syncer = CorpusSyncer(0, 2, paths).attach(engine)
+        engine.run_slice(0.3)
+        replayed = [dict(r) for r in syncer._pending]
+        syncer._publish(0)
+        before = {
+            name: open(os.path.join(paths.corpus, name), "rb").read()
+            for name in os.listdir(paths.corpus)
+        }
+        # A SIGKILLed member replays the epoch and publishes again.
+        syncer._pending = replayed
+        syncer._publish(0)
+        after = {
+            name: open(os.path.join(paths.corpus, name), "rb").read()
+            for name in os.listdir(paths.corpus)
+        }
+        assert before == after
+
+    def test_record_saved_captures_image_bytes_eagerly(self, tmp_path,
+                                                       paths):
+        engine = make_member_engine(tmp_path, 0)
+        syncer = CorpusSyncer(0, 2, paths).attach(engine)
+        engine.run_slice(0.3)
+        for record in syncer._pending:
+            assert record["image_id"]
+            assert record["image"], \
+                "publish must not re-read the store later"
+
+
+class TestImport:
+    def _exchange(self, tmp_path, paths):
+        """Member 0 publishes epoch 0; member 1 syncs against it."""
+        e0 = make_member_engine(tmp_path, 0)
+        s0 = CorpusSyncer(0, 2, paths).attach(e0)
+        e0.run_slice(0.3)
+        s0._publish(0)
+        s0._write_marker(0)
+        published = e0.stats.sync_published
+
+        e1 = make_member_engine(tmp_path, 1)
+        s1 = CorpusSyncer(1, 2, paths, poll_interval=0.001).attach(e1)
+        e1.run_slice(0.3)
+        s1.end_epoch(0)
+        return e0, e1, published
+
+    def test_import_is_coverage_gated_and_complete(self, tmp_path, paths):
+        _, e1, published = self._exchange(tmp_path, paths)
+        assert published > 0
+        # Every foreign entry was either imported or rejected — none
+        # lost, none crashed the importer.
+        assert (e1.stats.sync_imported
+                + e1.stats.sync_import_rejected) == published
+        assert e1.stats.sync_imported > 0, \
+            "differently-seeded members should trade some coverage"
+
+    def test_known_coverage_is_rejected(self, tmp_path, paths):
+        engine = make_member_engine(tmp_path, 1)
+        syncer = CorpusSyncer(1, 2, paths, poll_interval=0.001).attach(engine)
+        engine.run_slice(0.2)
+        payload = {"member": 0, "epoch": 0, "seq": 0, "data": b"i 1 1\n",
+                   "image_id": "", "image": None, "branch": [], "pm": []}
+        atomic_write_bytes(
+            paths.entry_file(0, 0, 0),
+            pack_checksummed(CORPUS_ENTRY_MAGIC,
+                             pickle.dumps(payload, protocol=4)))
+        atomic_write_bytes(paths.epoch_marker(0, 0), b"{}\n")
+        queue_before = len(engine.queue)
+        syncer.end_epoch(0)
+        assert engine.stats.sync_import_rejected == 1
+        assert engine.stats.sync_imported == 0
+        assert len(engine.queue) == queue_before
+
+    def test_corrupt_entry_is_quarantined_not_fatal(self, tmp_path, paths):
+        engine = make_member_engine(tmp_path, 1)
+        syncer = CorpusSyncer(1, 2, paths, poll_interval=0.001).attach(engine)
+        engine.run_slice(0.2)
+        bad = paths.entry_file(0, 0, 0)
+        with open(bad, "wb") as fh:
+            fh.write(b"definitely not a checksummed container")
+        atomic_write_bytes(paths.epoch_marker(0, 0), b"{}\n")
+        syncer.end_epoch(0)
+        assert engine.stats.corpus_quarantined == 1
+        assert not os.path.exists(bad)
+        assert os.path.basename(bad) in os.listdir(paths.quarantine)
+
+    def test_own_entries_are_never_imported(self, tmp_path, paths):
+        engine = make_member_engine(tmp_path, 0)
+        syncer = CorpusSyncer(0, 1, paths).attach(engine)
+        engine.run_slice(0.3)
+        syncer.end_epoch(0)  # fleet of 1: publish only
+        assert engine.stats.sync_imported == 0
+
+    def test_barrier_respects_retired_marker(self, tmp_path, paths):
+        engine = make_member_engine(tmp_path, 1)
+        syncer = CorpusSyncer(1, 2, paths, poll_interval=0.001,
+                              barrier_timeout=5.0).attach(engine)
+        engine.run_slice(0.2)
+        # Peer 0 never publishes — it was retired by the supervisor.
+        os.makedirs(paths.member_dir(0), exist_ok=True)
+        atomic_write_bytes(paths.retired_marker(0), b"")
+        syncer.end_epoch(0)  # must not hang
+        assert engine.stats.sync_barrier_timeouts == 0
+
+    def test_barrier_timeout_is_counted_and_nonfatal(self, tmp_path, paths):
+        engine = make_member_engine(tmp_path, 1)
+        syncer = CorpusSyncer(1, 2, paths, poll_interval=0.001,
+                              barrier_timeout=0.05).attach(engine)
+        engine.run_slice(0.2)
+        syncer.end_epoch(0)  # peer 0 silent: abandon after the timeout
+        assert engine.stats.sync_barrier_timeouts == 1
+
+
+class TestSyncState:
+    def test_state_roundtrip(self, tmp_path, paths):
+        engine = make_member_engine(tmp_path, 0)
+        syncer = CorpusSyncer(0, 2, paths).attach(engine)
+        engine.run_slice(0.3)
+        syncer._imported.add("m01-e0000-s0000.entry")
+        syncer.next_epoch = 4
+        state = syncer.getstate()
+
+        other = CorpusSyncer(0, 2, paths)
+        other.setstate(state)
+        assert other.next_epoch == 4
+        assert other._imported == {"m01-e0000-s0000.entry"}
+        assert other._pending == syncer._pending
+
+    def test_attach_consumes_checkpoint_restored_state(self, tmp_path,
+                                                       paths):
+        engine = make_member_engine(tmp_path, 0)
+        engine._fleet_sync_state = (2, {"m01-e0001-s0000.entry"}, [])
+        syncer = CorpusSyncer(0, 2, paths).attach(engine)
+        assert syncer.next_epoch == 2
+        assert syncer._imported == {"m01-e0001-s0000.entry"}
+        assert engine._fleet_sync_state is None
+
+    def test_sync_state_rides_the_engine_checkpoint(self, tmp_path, paths):
+        from repro.fuzz.engine import FuzzEngine
+
+        engine = make_member_engine(tmp_path, 0)
+        syncer = CorpusSyncer(0, 2, paths).attach(engine)
+        engine.run_slice(0.3)
+        syncer._publish(0)
+        syncer.next_epoch = 1
+        syncer._imported.add("m01-e0000-s0000.entry")
+        engine.checkpoint()
+
+        resumed = FuzzEngine.resume(engine.checkpoint_path)
+        restored = CorpusSyncer(0, 2, paths).attach(resumed)
+        assert restored.next_epoch == 1
+        assert restored._imported == {"m01-e0000-s0000.entry"}
+        assert restored._pending == []

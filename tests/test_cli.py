@@ -181,3 +181,44 @@ class TestTriageCommand:
         assert main(["triage", "--replay",
                      str(tmp_path / "nope")]) == 2
         assert "cannot load bundle" in capsys.readouterr().err
+
+
+class TestFleetFlags:
+    def test_fleet_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--workload", "btree", "--fleet", "4",
+             "--fleet-dir", "shared", "--sync-every", "0.25",
+             "--member-lease", "2.5", "--fleet-kill", "0:1",
+             "--fleet-kill", "2:3"])
+        assert args.fleet == 4
+        assert args.fleet_dir == "shared"
+        assert args.sync_every == 0.25
+        assert args.member_lease == 2.5
+        assert args.fleet_kill == ["0:1", "2:3"]
+
+    def test_fleet_defaults_to_solo(self):
+        args = build_parser().parse_args(["fuzz", "--workload", "btree"])
+        assert args.fleet == 1
+        assert args.fleet_dir is None
+
+    def test_bad_kill_plan_is_clean_error(self, tmp_path, capsys):
+        assert main(["fuzz", "--workload", "btree", "--fleet", "2",
+                     "--fleet-dir", str(tmp_path / "f"),
+                     "--fleet-kill", "nonsense"]) == 2
+        assert "fleet-kill" in capsys.readouterr().err
+
+    def test_fleet_rejects_solo_resume_flag(self, tmp_path, capsys):
+        assert main(["fuzz", "--workload", "btree", "--fleet", "2",
+                     "--resume", "whatever.ckpt"]) == 2
+        assert "--fleet-dir" in capsys.readouterr().err
+
+    def test_fleet_campaign_via_cli(self, tmp_path, capsys):
+        code = main(["fuzz", "--workload", "btree", "--fleet", "2",
+                     "--fleet-dir", str(tmp_path / "fleet"),
+                     "--budget", "0.5", "--sync-every", "0.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet             : 2 members" in out
+        assert "corpus sync" in out
+        assert "stopped           : budget" in out
+        assert "fleet=2" in out  # summary line carries fleet counters
