@@ -72,6 +72,39 @@ def _isolation_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _observe_kwargs(args: argparse.Namespace) -> dict:
+    """Observability engine kwargs from the CLI flags (empty when off)."""
+    kwargs: dict = {}
+    if getattr(args, "trace_dir", None):
+        if args.trace_sample < 1:
+            raise FuzzerError(
+                f"--trace-sample must be >= 1, got {args.trace_sample}")
+        if args.status_every <= 0:
+            raise FuzzerError(
+                f"--status-every must be > 0, got {args.status_every}")
+        kwargs["trace_dir"] = args.trace_dir
+        kwargs["trace_sample"] = args.trace_sample
+        kwargs["status_every"] = args.status_every
+        if getattr(args, "trace_rotate_mib", None):
+            if args.trace_rotate_mib < 0:
+                raise FuzzerError(
+                    "--trace-rotate-mib must be >= 0, got "
+                    f"{args.trace_rotate_mib}")
+            kwargs["trace_rotate_bytes"] = \
+                args.trace_rotate_mib * 1024 * 1024
+    if getattr(args, "profile", False):
+        kwargs["profile"] = True
+    return kwargs
+
+
+def _print_profile(stats) -> None:
+    """The ``--profile`` flame-style breakdown, from the final stats."""
+    from repro.observe.profiler import render_profile
+
+    print(render_profile(stats.metrics, stats.metrics_host,
+                         title="per-stage breakdown (--profile)"))
+
+
 def _summary_line(stats) -> str:
     """The one-line end-of-campaign summary: why it stopped, and every
     fault/timeout/quarantine counter an operator would otherwise have to
@@ -128,7 +161,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         seed=args.seed, sync_every=args.sync_every,
         heartbeat_lease=args.member_lease,
         fault_plan=args.fault_plan,
-        engine_kwargs=_isolation_kwargs(args),
+        engine_kwargs={**_isolation_kwargs(args), **_observe_kwargs(args)},
         kill_plan=_parse_kill_plan(args.fleet_kill),
     )
     print(f"configuration     : {stats.config_name}")
@@ -151,6 +184,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               f"{', '.join(str(i) for i in stats.members_retired)} "
               "(fleet degraded)")
     print(f"summary           : {_summary_line(stats)}")
+    if getattr(args, "profile", False):
+        _print_profile(stats)
     return 0
 
 
@@ -179,7 +214,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                              seed=args.seed, fault_plan=args.fault_plan,
                              engine_hook=hook,
                              **_checkpoint_kwargs(args, args.config),
-                             **_isolation_kwargs(args))
+                             **_isolation_kwargs(args),
+                             **_observe_kwargs(args))
     if stats.isolation_fallback:
         print(f"warning: fork isolation unavailable "
               f"({stats.isolation_fallback}); ran in-process",
@@ -198,6 +234,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
               f"({stats.retries} retries, {stats.timeouts} timeouts, "
               f"{stats.quarantined} quarantined)")
     print(f"summary           : {_summary_line(stats)}")
+    if getattr(args, "profile", False):
+        _print_profile(stats)
     return 0
 
 
@@ -302,6 +340,23 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.observe.monitor import monitor_loop
+
+    return monitor_loop(args.dir, interval=args.interval, once=args.once)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.observe.report import render_html_report, render_report
+
+    print(render_report(args.dir))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html_report(args.dir))
+        print(f"HTML report written to {args.html}")
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     for name in workload_names():
         flags = sorted(b.flag for b in ALL_REAL_BUGS if b.workload == name)
@@ -379,6 +434,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="chaos testing: SIGKILL the given member once "
                            "it publishes the given epoch (repeatable); "
                            "the fleet must self-heal around it")
+    fuzz.add_argument("--trace-dir", default=None, metavar="DIR",
+                      help="write structured trace shards (JSONL) and "
+                           "live status.json files here; read them back "
+                           "with 'monitor' and 'report'")
+    fuzz.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                      help="keep 1-in-N high-rate exec events "
+                           "(other event kinds are never sampled)")
+    fuzz.add_argument("--trace-rotate-mib", type=int, default=None,
+                      metavar="MIB",
+                      help="rotate a trace shard once it exceeds this "
+                           "size (default: never)")
+    fuzz.add_argument("--status-every", type=float, default=0.5,
+                      metavar="VSECONDS",
+                      help="status.json publish cadence in virtual "
+                           "seconds (needs --trace-dir)")
+    fuzz.add_argument("--profile", action="store_true",
+                      help="collect wall-clock per-stage timers and "
+                           "print the flame-style breakdown at the end "
+                           "(virtual-time attribution is always on)")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     compare = sub.add_parser("compare",
@@ -418,6 +492,23 @@ def build_parser() -> argparse.ArgumentParser:
     tri.add_argument("--exec-wall-timeout", type=float, default=10.0,
                      metavar="SECONDS")
     tri.set_defaults(func=_cmd_triage)
+
+    mon = sub.add_parser("monitor",
+                         help="tail the live status of a traced campaign")
+    mon.add_argument("dir", help="the campaign's --trace-dir")
+    mon.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS", help="refresh cadence")
+    mon.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (exit status "
+                          "1 when no status files exist yet)")
+    mon.set_defaults(func=_cmd_monitor)
+
+    rep = sub.add_parser("report",
+                         help="render a campaign report from trace shards")
+    rep.add_argument("dir", help="the campaign's --trace-dir")
+    rep.add_argument("--html", default=None, metavar="FILE",
+                     help="also write a self-contained HTML report")
+    rep.set_defaults(func=_cmd_report)
 
     wl = sub.add_parser("workloads", help="list PM programs")
     wl.set_defaults(func=_cmd_workloads)

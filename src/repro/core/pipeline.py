@@ -128,36 +128,49 @@ class FuzzAndDetectPipeline:
         )
         engine = build_engine(self.workload_name, self.config, rng=rng,
                               bugs=self.bugs, **self.engine_kwargs)
+        # Pipeline stages land on the campaign's own trace stream, so a
+        # report over the trace directory shows where the fuzz stage
+        # ended and the detection stage began.
+        engine.trace.emit("stage_enter", engine.vclock, stage="fuzz")
         stats = engine.run(budget_vseconds)
+        engine.trace.emit("stage_exit", engine.vclock, stage="fuzz",
+                          executions=stats.executions)
         result = PipelineResult(stats=stats)
         targets = real_bugs_for(self.workload_name)
         target_results = {b.number: RealBugResult(bug=b) for b in targets
                           if b.flag in self.bugs}
-        if not target_results:
+        engine.trace.emit("stage_enter", engine.vclock, stage="detect",
+                          targets=len(target_results))
+        try:
+            if not target_results:
+                return result
+            tool = TestingTool(
+                lambda: get_workload(self.workload_name, bugs=self.bugs)
+            )
+            # Favored (PM-path) entries first, then creation order — the
+            # testing tool receives the high-value test cases first.
+            entries = sorted(engine.queue.entries,
+                             key=lambda e: (-e.favored, e.created_at))
+            for entry in entries[: self.max_checked]:
+                if all(r.detected for r in target_results.values()):
+                    break
+                image = engine.storage.load(entry.image_id or
+                                            engine._seed_image_id)
+                report = tool.test(image, parse_commands(entry.data))
+                result.test_cases_checked += 1
+                for bug_result in target_results.values():
+                    if bug_result.detected:
+                        continue
+                    if report_detects_real_bug(report, bug_result.bug):
+                        bug_result.detected = True
+                        bug_result.first_detection_vtime = entry.created_at
+                        bug_result.detecting_entry = entry.entry_id
+            result.real_bugs = list(target_results.values())
             return result
-        tool = TestingTool(
-            lambda: get_workload(self.workload_name, bugs=self.bugs)
-        )
-        # Favored (PM-path) entries first, then creation order — the
-        # testing tool receives the high-value test cases first.
-        entries = sorted(engine.queue.entries,
-                         key=lambda e: (-e.favored, e.created_at))
-        for entry in entries[: self.max_checked]:
-            if all(r.detected for r in target_results.values()):
-                break
-            image = engine.storage.load(entry.image_id or
-                                        engine._seed_image_id)
-            report = tool.test(image, parse_commands(entry.data))
-            result.test_cases_checked += 1
-            for bug_result in target_results.values():
-                if bug_result.detected:
-                    continue
-                if report_detects_real_bug(report, bug_result.bug):
-                    bug_result.detected = True
-                    bug_result.first_detection_vtime = entry.created_at
-                    bug_result.detecting_entry = entry.entry_id
-        result.real_bugs = list(target_results.values())
-        return result
+        finally:
+            engine.trace.emit("stage_exit", engine.vclock, stage="detect",
+                              checked=result.test_cases_checked)
+            engine.trace.close()
 
 
 # ----------------------------------------------------------------------

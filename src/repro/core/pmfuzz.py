@@ -91,36 +91,42 @@ class PMFuzzEngine(FuzzEngine):
         if not pm_novel:
             return
         # (2) Crash images: interrupt the same execution at its ordering
-        # points; every re-execution is charged to the virtual clock.
-        # Reserved for PM-novel test cases (the expensive step).
-        try:
-            parent_image, fault_cost = self.supervisor.load_image(
-                self.storage, parent_image_id)
-        except HarnessFaultError as exc:
-            self.vclock += exc.vcost  # crash gen skipped this round
-            return
-        self.vclock += fault_cost
-        for crash in self.crashgen.generate(
-                parent_image, data,
-                result.fence_count, result.store_count):
-            self.vclock += crash.cost
-            saved = self._save_image(crash.image)
-            if saved is None:
-                continue
-            image_id, is_new = saved
-            if not is_new:
-                self.stats.images_deduplicated += 1
-                continue
-            self.stats.crash_images_generated += 1
-            self.tree.add(image_id, parent_image_id, data, crash.fence_index)
-            self.queue.add(
-                self.seed_inputs[0],
-                image_id=image_id,
-                favored=2,
-                parent=parent.entry_id,
-                from_crash_image=True,
-                created_at=self.vclock,
-            )
+        # points; every re-execution is charged to the virtual clock
+        # (and attributed to the "triage" profiling stage).  Reserved
+        # for PM-novel test cases (the expensive step).
+        with self.profiler.stage("triage"):
+            try:
+                parent_image, fault_cost = self.supervisor.load_image(
+                    self.storage, parent_image_id)
+            except HarnessFaultError as exc:
+                self.vclock += exc.vcost  # crash gen skipped this round
+                self.profiler.add_vtime("triage", exc.vcost)
+                return
+            self.vclock += fault_cost
+            self.profiler.add_vtime("triage", fault_cost)
+            for crash in self.crashgen.generate(
+                    parent_image, data,
+                    result.fence_count, result.store_count):
+                self.vclock += crash.cost
+                self.profiler.add_vtime("triage", crash.cost)
+                saved = self._save_image(crash.image)
+                if saved is None:
+                    continue
+                image_id, is_new = saved
+                if not is_new:
+                    self.stats.images_deduplicated += 1
+                    continue
+                self.stats.crash_images_generated += 1
+                self.tree.add(image_id, parent_image_id, data,
+                              crash.fence_index)
+                self.queue.add(
+                    self.seed_inputs[0],
+                    image_id=image_id,
+                    favored=2,
+                    parent=parent.entry_id,
+                    from_crash_image=True,
+                    created_at=self.vclock,
+                )
 
     def on_result(self, parent: QueueEntry, data: bytes,
                   result: ExecResult) -> None:

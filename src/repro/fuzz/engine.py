@@ -21,18 +21,25 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import os
+
 from repro.core.config import FuzzConfig, ImgFuzzMode
 from repro.core.dedup import ImageStore
 from repro.core.storage import TestCaseStorage
 from repro.core.testcase import TestCaseTree
 from repro.errors import FuzzerError, HarnessFaultError
-from repro.fuzz.coverage import GlobalCoverage
+from repro.fuzz.coverage import MAP_SIZE, GlobalCoverage
 from repro.fuzz.executor import CostModel, ExecResult, Executor
 from repro.fuzz.mutators import MutationEngine
 from repro.fuzz.queue import FuzzQueue, QueueEntry
 from repro.fuzz.rng import DeterministicRandom
 from repro.fuzz.stats import CoverageSample, FuzzStats
 from repro.isolation.backend import create_backend
+from repro.observe.bus import TraceBus
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.monitor import StatusWriter, status_name
+from repro.observe.profiler import StageProfiler
+from repro.observe.sink import JsonlTraceSink, shard_name
 from repro.resilience.supervisor import SupervisedExecutor
 from repro.workloads.base import RunOutcome, Workload
 
@@ -72,6 +79,11 @@ class FuzzEngine:
         worker_rss_limit: Optional[int] = None,
         worker_max_execs: int = 256,
         triage_dir: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+        trace_sample: int = 1,
+        trace_rotate_bytes: Optional[int] = None,
+        profile: bool = False,
+        status_every: float = 0.5,
     ) -> None:
         self.workload_factory = workload_factory
         self.config = config
@@ -93,6 +105,46 @@ class FuzzEngine:
         self.storage = TestCaseStorage(ImageStore(compress=config.sys_opt,
                                                   env_faults=env_faults))
         self.stats = FuzzStats(config_name=config.name)
+        #: Observability layer: always-on metrics registry + per-stage
+        #: profiler, and a trace bus that is inert unless a trace
+        #: directory is configured.  Nothing here feeds back into
+        #: campaign decisions (determinism-neutral by contract).
+        self.trace_dir = trace_dir
+        self.profile = profile
+        self.status_every = status_every
+        self.metrics = MetricsRegistry()
+        self.profiler = StageProfiler(self.metrics, wall_enabled=profile)
+        self._m_exec_cost = self.metrics.histogram("exec_cost_vs")
+        self._m_queue_depth = self.metrics.gauge("queue_depth")
+        self._m_pm_density = self.metrics.gauge("coverage/pm_density")
+        self._m_branch_density = self.metrics.gauge(
+            "coverage/branch_density")
+        self._m_mutops: dict = {}
+        # Pre-register every metric the campaign can touch: checkpoint
+        # restore ignores unknown keys, so a lazily-registered counter
+        # that had not re-fired since resume would silently lose its
+        # checkpointed value.  Static registration also keeps the
+        # snapshot key set identical across trace on/off and backends.
+        for stage in ("mutate", "execute", "triage", "sync", "checkpoint"):
+            self.profiler.add_vtime(stage, 0.0)
+            self.profiler.count_call(stage, 0)
+        for op in self.mutator.op_names():
+            for what in ("execs", "saves"):
+                self._mutop(op, what)
+        if trace_dir:
+            self.trace = TraceBus(
+                sink_factory=lambda: JsonlTraceSink(
+                    os.path.join(trace_dir,
+                                 shard_name(self.stats.member_index)),
+                    rotate_bytes=trace_rotate_bytes),
+                sample=trace_sample)
+        else:
+            self.trace = TraceBus()  # disabled, but still checkpointable
+        self._status: Optional[StatusWriter] = None
+        #: Per-child mutation-operator labels (set by _children_of,
+        #: consumed by _run_one's effectiveness counters).
+        self._current_ops: tuple = ()
+        self._child_ops: List[tuple] = []
         #: Execution backend: in-process, or the fork-server worker pool
         #: (real wall-clock watchdogs + RSS ceilings + crash triage).
         #: Falls back to in-process where fork is unavailable, recording
@@ -115,6 +167,12 @@ class FuzzEngine:
             max_retries=max_retries,
             exec_vtime_budget=exec_vtime_budget,
             backend=self.backend)
+        # Fault and worker-kill events flow onto this campaign's bus at
+        # the engine's current virtual time.
+        self.supervisor.trace = self.trace
+        self.supervisor.vclock_fn = lambda: self.vclock
+        self.backend.trace = self.trace
+        self.backend.vclock_fn = lambda: self.vclock
         self.vclock = 0.0
         self.tree: Optional[TestCaseTree] = None
         self._seed_image_id = ""
@@ -147,6 +205,9 @@ class FuzzEngine:
         """Create the seed image and execute every seed input once."""
         if self._set_up:
             return
+        # The member index is assigned after construction (by the fleet
+        # orchestrator); stamp it before the seed executions emit.
+        self.trace.member = self.stats.member_index
         workload: Workload = self.workload_factory()
         self.stats.workload_name = workload.name
         seed_image = workload.create_image()
@@ -203,6 +264,10 @@ class FuzzEngine:
         get the same loop via :meth:`run`.
         """
         self.setup()
+        # The member index is assigned after construction (by the fleet
+        # orchestrator); stamp it on the bus before the first emit so
+        # events carry the right shard label.
+        self.trace.member = self.stats.member_index
         while (self.vclock < until_vtime
                and self.stats.executions < MAX_EXECUTIONS
                and not self._stop_requested):
@@ -211,12 +276,15 @@ class FuzzEngine:
             self._maybe_checkpoint()
             entry = self.queue.select(self.rng)
             entry.fuzz_rounds += 1
-            for data in self._children_of(entry):
+            for index, data in enumerate(self._children_of(entry)):
                 if (self.vclock >= until_vtime
                         or self.stats.executions >= MAX_EXECUTIONS
                         or self._stop_requested):
                     break
+                self._current_ops = (self._child_ops[index]
+                                     if index < len(self._child_ops) else ())
                 self._run_one(entry, data)
+            self._current_ops = ()
             if self.stats.executions % 64 == 0:
                 self.queue.cull()
 
@@ -238,6 +306,10 @@ class FuzzEngine:
         self.stats.pm_covered_slots = set(self.pm_cov.covered_slots())
         self.stats.branch_covered_slots = set(self.branch_cov.covered_slots())
         self._sample(force=True)
+        # Final metrics snapshot lands in the stats object even without
+        # a trace directory — comparable() always carries the metrics.
+        self._snapshot_metrics()
+        self.trace.close()
         if self._stop_requested and self.checkpoint_path:
             self.checkpoint()
         return self.stats
@@ -281,7 +353,15 @@ class FuzzEngine:
         target = path or self.checkpoint_path
         if not target:
             raise FuzzerError("no checkpoint path configured")
-        write_engine_checkpoint(target, self)
+        with self.profiler.stage("checkpoint"):
+            # Emit *before* capturing so the snapshotted bus sequence
+            # already covers this event: a resumed member continues at
+            # the same seq as an uninterrupted run (merge dedup relies
+            # on replayed tails carrying identical (member, seq) pairs).
+            self.trace.emit("checkpoint", self.vclock,
+                            path=os.path.basename(target))
+            write_engine_checkpoint(target, self)
+            self.trace.flush()
         return target
 
     @classmethod
@@ -302,42 +382,62 @@ class FuzzEngine:
     def _children_of(self, entry: QueueEntry) -> List[bytes]:
         """Mutated inputs for one fuzzing round of ``entry``."""
         children: List[bytes] = []
-        if entry.fuzz_rounds == 1 and self.config.input_fuzz:
-            children.extend(self.mutator.deterministic(entry.data, limit=8))
-        for _ in range(self.havoc_batch):
-            if len(self.queue) > 1 and self.rng.chance(0.2):
-                other = self.queue.select(self.rng)
-                children.append(self.mutator.splice(entry.data, other.data))
-            else:
-                children.append(self.mutator.havoc(entry.data))
+        ops: List[tuple] = []
+        with self.profiler.stage("mutate"):
+            if entry.fuzz_rounds == 1 and self.config.input_fuzz:
+                det = self.mutator.deterministic(entry.data, limit=8)
+                children.extend(det)
+                ops.extend([("deterministic",)] * len(det))
+            for _ in range(self.havoc_batch):
+                if len(self.queue) > 1 and self.rng.chance(0.2):
+                    other = self.queue.select(self.rng)
+                    children.append(
+                        self.mutator.splice(entry.data, other.data))
+                else:
+                    children.append(self.mutator.havoc(entry.data))
+                ops.append(self.mutator.last_ops)
+        self._child_ops = ops
         return children
 
     # ------------------------------------------------------------------
     # One execution + feedback
     # ------------------------------------------------------------------
     def _run_one(self, parent: QueueEntry, data: bytes) -> None:
-        if self.config.img_fuzz is ImgFuzzMode.DIRECT:
-            result = self.supervisor.run_raw_image(data, self.seed_inputs[0])
-        else:
-            image_id = parent.image_id or self._seed_image_id
-            try:
-                image, fault_cost = self.supervisor.load_image(
-                    self.storage, image_id)
-            except HarnessFaultError as exc:
-                # The input image is unreadable right now; charge the
-                # recovery time, record a degraded execution, move on.
-                self.vclock += exc.vcost
-                self.stats.executions += 1
-                self._sample()
-                return
-            self.vclock += fault_cost
-            result = self.supervisor.run(image, data, image_id=image_id)
+        with self.profiler.stage("execute"):
+            if self.config.img_fuzz is ImgFuzzMode.DIRECT:
+                result = self.supervisor.run_raw_image(
+                    data, self.seed_inputs[0])
+            else:
+                image_id = parent.image_id or self._seed_image_id
+                try:
+                    image, fault_cost = self.supervisor.load_image(
+                        self.storage, image_id)
+                except HarnessFaultError as exc:
+                    # The input image is unreadable right now; charge the
+                    # recovery time, record a degraded execution, move on.
+                    self.vclock += exc.vcost
+                    self.profiler.add_vtime("execute", exc.vcost)
+                    self.stats.executions += 1
+                    self.trace.emit("exec", self.vclock,
+                                    outcome="HARNESS_FAULT", cost=exc.vcost)
+                    self._sample()
+                    return
+                self.vclock += fault_cost
+                self.profiler.add_vtime("execute", fault_cost)
+                result = self.supervisor.run(image, data, image_id=image_id)
         self.vclock += result.cost
+        self.profiler.add_vtime("execute", result.cost)
+        self._m_exec_cost.observe(result.cost)
         self.stats.executions += 1
+        self.trace.emit("exec", self.vclock,
+                        outcome=result.outcome.name, cost=result.cost)
         if result.outcome is RunOutcome.INVALID_IMAGE:
             self.stats.invalid_image_runs += 1
         elif result.outcome is RunOutcome.SEGFAULT:
             self.stats.segfault_runs += 1
+            self.trace.emit("crash", self.vclock,
+                            outcome=result.outcome.name,
+                            sites=len(result.sites_hit))
         # Record witness test cases per PM-operation site: the evaluation
         # replays exactly the test cases that cover a synthetic-bug site
         # (Table 3's detection step).  Up to three witnesses with distinct
@@ -378,7 +478,19 @@ class FuzzEngine:
                 # is a candidate for publication to the shared corpus at
                 # the next epoch boundary.
                 self.fleet_sync.record_saved(saved, result)
+        # Mutation-operator effectiveness: which operators produced the
+        # children we ran, and which of those children earned a queue
+        # slot.  Deterministic (a function of the seeded campaign only).
+        for op in self._current_ops:
+            self._mutop(op, "execs").inc()
+            if saved is not None:
+                self._mutop(op, "saves").inc()
         if saved is not None or pm_new_path or pm_new_bucket:
+            self.trace.emit("new_path", self.vclock,
+                            pm_paths=self.pm_cov.slots_covered,
+                            branch_edges=self.branch_cov.slots_covered,
+                            queue_size=len(self.queue),
+                            pm_novel=bool(pm_new_path or pm_new_bucket))
             # Every *saved* test case contributes its output image back
             # into the corpus (this is where the paper's 1.5 TB of test
             # cases comes from); the expensive crash-image re-executions
@@ -411,6 +523,11 @@ class FuzzEngine:
         if not force and self.vclock < self._next_sample:
             return
         self._next_sample = self.vclock + self.sample_interval
+        # Gauges track the sampled state regardless of tracing, so the
+        # deterministic metrics snapshot is identical trace on/off.
+        self._m_queue_depth.set(len(self.queue))
+        self._m_pm_density.set(self.pm_cov.slots_covered / MAP_SIZE)
+        self._m_branch_density.set(self.branch_cov.slots_covered / MAP_SIZE)
         self.stats.record(CoverageSample(
             vtime=self.vclock,
             executions=self.stats.executions,
@@ -420,6 +537,35 @@ class FuzzEngine:
             images=len(self.storage.store),
             harness_faults=self.stats.harness_faults,
         ))
+        status = self._status_writer()
+        if status is not None:
+            self._snapshot_metrics()
+            status.maybe_write(self.stats, self.vclock, force=force)
+
+    def _snapshot_metrics(self) -> None:
+        """Publish the registry into the stats object (both classes)."""
+        self.stats.metrics = self.metrics.snapshot()
+        self.stats.metrics_host = self.metrics.snapshot(host_dependent=True)
+
+    def _mutop(self, op: str, what: str):
+        """Lazily-registered mutation-operator effectiveness counter."""
+        key = (op, what)
+        counter = self._m_mutops.get(key)
+        if counter is None:
+            counter = self.metrics.counter(f"mutops/{op}/{what}")
+            self._m_mutops[key] = counter
+        return counter
+
+    def _status_writer(self) -> Optional[StatusWriter]:
+        """Lazy status writer (path depends on the late member index)."""
+        if self.trace_dir is None:
+            return None
+        if self._status is None:
+            self._status = StatusWriter(
+                os.path.join(self.trace_dir,
+                             status_name(self.stats.member_index)),
+                every_vtime=self.status_every)
+        return self._status
 
     # ------------------------------------------------------------------
     # Supervised storage helpers

@@ -38,6 +38,9 @@ class MutationEngine:
                  dictionary: Sequence[bytes] = DEFAULT_DICTIONARY) -> None:
         self.rng = rng
         self.dictionary = list(dictionary)
+        #: Distinct operator names applied by the most recent child
+        #: (consumed by the engine's mutation-effectiveness metrics).
+        self.last_ops: tuple = ()
         self._havoc_ops: List[Callable[[bytearray], None]] = [
             self._op_bitflip,
             self._op_byte_set,
@@ -51,6 +54,11 @@ class MutationEngine:
             self._op_overwrite_token,
             self._op_synthesize_command,
         ]
+
+    def op_names(self) -> List[str]:
+        """Every operator label :attr:`last_ops` can ever contain."""
+        names = {op.__name__[len("_op_"):] for op in self._havoc_ops}
+        return sorted(names | {"splice", "deterministic"})
 
     # ------------------------------------------------------------------
     # Deterministic stage (abbreviated, as AFL++ does for slow targets)
@@ -79,22 +87,28 @@ class MutationEngine:
         """Apply a random stack of 1..2^k mutations (AFL havoc)."""
         buf = bytearray(data if data else b"\n")
         rounds = 1 << self.rng.randint(0, max(1, stack_max.bit_length() - 1))
+        applied = set()
         for _ in range(rounds):
             op = self.rng.choice(self._havoc_ops)
+            applied.add(op.__name__[len("_op_"):])
             op(buf)
             if len(buf) > MAX_INPUT_SIZE:
                 del buf[MAX_INPUT_SIZE:]
             if not buf:
                 buf.extend(self.rng.choice(self.dictionary))
+        self.last_ops = tuple(sorted(applied))
         return bytes(buf)
 
     def splice(self, data: bytes, other: bytes) -> bytes:
         """Cross two inputs at random points, then havoc the result."""
         if not data or not other:
-            return self.havoc(data or other)
-        cut_a = self.rng.randint(0, len(data))
-        cut_b = self.rng.randint(0, len(other))
-        return self.havoc(data[:cut_a] + other[cut_b:])
+            result = self.havoc(data or other)
+        else:
+            cut_a = self.rng.randint(0, len(data))
+            cut_b = self.rng.randint(0, len(other))
+            result = self.havoc(data[:cut_a] + other[cut_b:])
+        self.last_ops = tuple(sorted(set(self.last_ops) | {"splice"}))
+        return result
 
     # ------------------------------------------------------------------
     # Havoc operators

@@ -75,6 +75,15 @@ class FuzzStats:
     members_retired: list = field(default_factory=list)  #: circuit-broken
     member_restarts: int = 0  #: supervised restarts across the fleet
 
+    # Observability snapshots (maintained by repro.observe).
+    #: deterministic metrics registry snapshot (per-stage vtime,
+    #: mutation-operator effectiveness, queue depth, map density, exec
+    #: cost histogram) — part of every comparable() contract.
+    metrics: dict = field(default_factory=dict)
+    #: host-dependent metrics (wall-clock stage timers, --profile data);
+    #: excluded from comparable() like every other wall-clock artifact.
+    metrics_host: dict = field(default_factory=dict)
+
     # ------------------------------------------------------------------
     def record(self, sample: CoverageSample) -> None:
         self.samples.append(sample)
@@ -89,7 +98,7 @@ class FuzzStats:
     _HOST_DEPENDENT_FIELDS = (
         "isolation_backend", "isolation_fallback", "watchdog_kills",
         "worker_crashes", "worker_recycles", "triage_bundles",
-        "member_restarts", "sync_barrier_timeouts",
+        "member_restarts", "sync_barrier_timeouts", "metrics_host",
     )
 
     def comparable(self) -> dict:

@@ -35,6 +35,7 @@ from repro.core.storage import TriageStore
 from repro.errors import ExecTimeoutError, FuzzerError, WorkerCrashError
 from repro.fuzz.executor import ExecResult, Executor
 from repro.isolation.pool import ForkWorkerPool, WatchdogExpired, WorkerDeath
+from repro.observe.bus import NULL_BUS
 from repro.pmem.image import PMImage
 
 #: Backend names accepted by ``--isolation`` / ``create_backend``.
@@ -46,6 +47,10 @@ class ExecutionBackend:
 
     name = "?"
     stats = None  #: optional FuzzStats for backend-level counters
+    #: Trace hook points (attached by the engine, else inert): worker
+    #: SIGKILLs and deaths are reported as ``worker_kill`` events.
+    trace = NULL_BUS
+    vclock_fn = None
 
     def run(self, image: PMImage, data: bytes, **kwargs) -> ExecResult:
         raise NotImplementedError
@@ -119,6 +124,7 @@ class ForkServerBackend(ExecutionBackend):
             reply = self.pool.submit(job_kind, image_bytes, data, kwargs)
         except WatchdogExpired as exc:
             self._count("watchdog_kills")
+            self._emit_kill("watchdog", exc.exit_detail)
             self._write_triage("watchdog-timeout", image_bytes, data, kwargs,
                                exit_detail=exc.exit_detail,
                                error=str(exc))
@@ -128,6 +134,7 @@ class ForkServerBackend(ExecutionBackend):
                 site="exec-hang") from exc
         except WorkerDeath as exc:
             self._count("worker_crashes")
+            self._emit_kill("worker-death", exc.exit_detail)
             self._write_triage("worker-death", image_bytes, data, kwargs,
                                exit_detail=exc.exit_detail,
                                error=str(exc))
@@ -153,6 +160,11 @@ class ForkServerBackend(ExecutionBackend):
     def _count(self, attr: str, n: int = 1) -> None:
         if self.stats is not None:
             setattr(self.stats, attr, getattr(self.stats, attr) + n)
+
+    def _emit_kill(self, reason: str, exit_detail: str = "") -> None:
+        vtime = self.vclock_fn() if self.vclock_fn is not None else 0.0
+        self.trace.emit("worker_kill", vtime, reason=reason,
+                        exit_detail=exit_detail)
 
     def _sync_pool_counters(self) -> None:
         if self.stats is not None:

@@ -1,0 +1,148 @@
+"""Per-stage profiling: where does campaign time actually go?
+
+The engine charges every piece of work to a named stage — ``mutate``,
+``execute``, ``triage`` (crash-image generation), ``sync``,
+``checkpoint`` — in two currencies:
+
+* **virtual time** (the Figure-13 axis) is charged always; it is a pure
+  function of the seeded campaign and lands in the deterministic
+  metrics snapshot;
+* **wall-clock time** is only measured under ``--profile`` (the timer
+  syscalls are not free) and lands in the host-dependent snapshot.
+
+Stages listed in ``host_only`` (by default just ``checkpoint``) are an
+exception: their cadence is an operational choice — a campaign with
+checkpointing enabled must produce stats bit-identical to the same
+campaign without it — so they are never charged to the deterministic
+snapshot and are only observed at all under ``--profile``.
+
+:func:`render_profile` turns a snapshot into the flame-style breakdown
+the ``--profile`` flag prints: one bar per stage, widths proportional
+to the stage's share.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.observe.metrics import MetricsRegistry
+
+#: Metric-name prefixes the profiler owns.
+STAGE_VTIME_PREFIX = "stage_vtime/"
+STAGE_WALL_PREFIX = "stage_wall/"
+STAGE_CALLS_PREFIX = "stage_calls/"
+
+_BAR_WIDTH = 40
+
+
+class StageProfiler:
+    """Accumulates per-stage vtime (always) and wall time (opt-in)."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 wall_enabled: bool = False,
+                 host_only: Sequence[str] = ("checkpoint",)) -> None:
+        self.registry = registry
+        self.wall_enabled = wall_enabled
+        self.host_only = frozenset(host_only)
+        self._vtime: Dict[str, object] = {}
+        self._wall: Dict[str, object] = {}
+        self._calls: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _vtime_gauge(self, stage: str):
+        gauge = self._vtime.get(stage)
+        if gauge is None:
+            gauge = self.registry.gauge(STAGE_VTIME_PREFIX + stage)
+            self._vtime[stage] = gauge
+        return gauge
+
+    def add_vtime(self, stage: str, vseconds: float) -> None:
+        """Charge virtual seconds to a stage (deterministic)."""
+        if stage in self.host_only:
+            return
+        self._vtime_gauge(stage).add(vseconds)
+
+    def count_call(self, stage: str, n: int = 1) -> None:
+        counter = self._calls.get(stage)
+        if counter is None:
+            host = stage in self.host_only
+            if host and not self.wall_enabled:
+                return
+            counter = self.registry.counter(STAGE_CALLS_PREFIX + stage,
+                                            host_dependent=host)
+            self._calls[stage] = counter
+        counter.inc(n)
+
+    # ------------------------------------------------------------------
+    def stage(self, name: str) -> "_StageTimer":
+        """Context manager timing one stage pass (wall clock, opt-in)."""
+        return _StageTimer(self, name)
+
+    def _add_wall(self, stage: str, seconds: float) -> None:
+        gauge = self._wall.get(stage)
+        if gauge is None:
+            gauge = self.registry.gauge(STAGE_WALL_PREFIX + stage,
+                                        host_dependent=True)
+            self._wall[stage] = gauge
+        gauge.add(seconds)
+
+
+class _StageTimer:
+    __slots__ = ("profiler", "name", "_start")
+
+    def __init__(self, profiler: StageProfiler, name: str) -> None:
+        self.profiler = profiler
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageTimer":
+        self.profiler.count_call(self.name)
+        if self.profiler.wall_enabled:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.profiler.wall_enabled:
+            self.profiler._add_wall(self.name,
+                                    time.perf_counter() - self._start)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _stage_rows(snapshot: dict, prefix: str) -> List[tuple]:
+    rows = [(name[len(prefix):], value)
+            for name, value in snapshot.items()
+            if name.startswith(prefix) and isinstance(value, (int, float))]
+    rows.sort(key=lambda r: (-r[1], r[0]))
+    return rows
+
+
+def render_profile(metrics: dict, metrics_host: Optional[dict] = None,
+                   title: str = "per-stage breakdown") -> str:
+    """Flame-style text breakdown from metric snapshots.
+
+    Virtual-time shares come from the deterministic snapshot; wall-clock
+    shares (when ``--profile`` collected them) from the host snapshot.
+    """
+    lines = [f"== {title} =="]
+    for label, snap, prefix, unit in (
+            ("virtual time", metrics or {}, STAGE_VTIME_PREFIX, "vs"),
+            ("wall clock", metrics_host or {}, STAGE_WALL_PREFIX, "s")):
+        rows = _stage_rows(snap, prefix)
+        if not rows:
+            continue
+        total = sum(v for _, v in rows) or 1.0
+        lines.append(f"-- {label} ({total:.4f}{unit} attributed) --")
+        for stage, value in rows:
+            share = value / total
+            bar = "#" * max(1, int(share * _BAR_WIDTH))
+            calls = ((metrics or {}).get(STAGE_CALLS_PREFIX + stage)
+                     or (metrics_host or {}).get(STAGE_CALLS_PREFIX + stage))
+            calls_text = f" x{calls}" if calls else ""
+            lines.append(f"{stage:12s} {value:10.4f}{unit} "
+                         f"{share:6.1%} {bar}{calls_text}")
+    if len(lines) == 1:
+        lines.append("(no stage data collected)")
+    return "\n".join(lines)

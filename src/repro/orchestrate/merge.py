@@ -28,6 +28,7 @@ from typing import Iterable, List
 
 from repro.errors import FuzzerError
 from repro.fuzz.stats import CoverageSample, FuzzStats
+from repro.observe.metrics import merge_metric_snapshots
 
 #: Counter fields that simply sum across members.
 _SUMMED_FIELDS = (
@@ -95,6 +96,12 @@ def merge_fleet_stats(member_stats: Iterable[FuzzStats],
         images=sum(s.images for s in final),
         harness_faults=merged.harness_faults,
     ))
+    # Metrics fold member-by-member in index order (counters/gauges sum,
+    # histograms sum element-wise) — deterministic because the member
+    # list is sorted above, never by completion order.
+    merged.metrics = merge_metric_snapshots([m.metrics for m in members])
+    merged.metrics_host = merge_metric_snapshots(
+        [m.metrics_host for m in members])
     merged.member_summaries = [
         {
             "member": m.member_index,

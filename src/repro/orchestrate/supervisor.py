@@ -36,11 +36,17 @@ from repro.core.storage import CorpusScrubber, ScrubReport
 from repro.errors import FuzzerError
 from repro.fuzz.stats import FuzzStats
 from repro.isolation.pool import describe_wait_status
+from repro.observe.bus import TraceBus
+from repro.observe.sink import JsonlTraceSink
 from repro.orchestrate.heartbeat import read_heartbeat
 from repro.orchestrate.member import member_main, read_member_stats
 from repro.orchestrate.merge import merge_fleet_stats
 from repro.orchestrate.signals import GracefulStop
 from repro.orchestrate.sync import FleetPaths
+
+#: Trace member label for the supervisor's own shard (members use their
+#: index; -1 is a solo campaign).
+SUPERVISOR_MEMBER = -2
 
 
 @dataclass
@@ -110,6 +116,24 @@ class FleetSupervisor:
         self.members = [_Member(i) for i in range(spec.fleet)]
         self.scrub_report: Optional[ScrubReport] = None
         self._drain = False
+        # The supervisor writes its own trace shard (kills, retirements,
+        # restarts) next to the members' when the campaign traces; the
+        # members inherit trace_dir through spec.engine_kwargs.
+        trace_dir = (spec.engine_kwargs or {}).get("trace_dir")
+        if trace_dir:
+            self.trace = TraceBus(
+                sink=JsonlTraceSink(
+                    os.path.join(trace_dir, "trace-supervisor.jsonl")),
+                member=SUPERVISOR_MEMBER, flush_every=1)
+        else:
+            self.trace = TraceBus()
+
+    def _member_vtime(self, member: "_Member") -> float:
+        """Approximate a member's virtual time from its last heartbeat
+        (epoch * sync_every) — good enough to place supervisor events on
+        the campaign timeline."""
+        beat = read_heartbeat(self.paths.heartbeat(member.index))
+        return beat.epoch * self.spec.sync_every if beat else 0.0
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -136,6 +160,7 @@ class FleetSupervisor:
         finally:
             stop.uninstall()
             self._kill_all()
+            self.trace.close()
         return self._merge()
 
     # ------------------------------------------------------------------
@@ -175,6 +200,9 @@ class FleetSupervisor:
                 self._write_retired_marker(member)
             elif now >= member.restart_at:
                 member.restarts += 1
+                self.trace.emit("worker_kill", self._member_vtime(member),
+                                reason="restart", target=member.index,
+                                restarts=member.restarts)
                 self._spawn(member, resume=True)
 
     def _fire_kill_plan(self, member: _Member) -> None:
@@ -198,6 +226,9 @@ class FleetSupervisor:
             member.completed = True
             return
         member.last_exit = describe_wait_status(status)
+        self.trace.emit("worker_kill", self._member_vtime(member),
+                        reason="death", target=member.index,
+                        exit_detail=member.last_exit)
         self._record_death(member, now)
 
     def _check_stale(self, member: _Member, now: float) -> None:
@@ -215,6 +246,9 @@ class FleetSupervisor:
             return  # stale file predates this (re)spawn
         self._kill(member)
         self._reap_blocking(member)
+        self.trace.emit("worker_kill", self._member_vtime(member),
+                        reason="stale-heartbeat", target=member.index,
+                        exit_detail=member.last_exit)
         self._record_death(member, time.monotonic())
 
     def _record_death(self, member: _Member, now: float) -> None:
@@ -243,6 +277,9 @@ class FleetSupervisor:
         """
         member.retired = True
         self._write_retired_marker(member)
+        self.trace.emit("worker_kill", self._member_vtime(member),
+                        reason="retired", target=member.index,
+                        deaths=len(member.deaths))
         print(f"[fleet] member {member.index} retired after "
               f"{len(member.deaths)} deaths "
               f"(last: {member.last_exit or 'unknown'}); "

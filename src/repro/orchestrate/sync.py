@@ -149,13 +149,18 @@ class CorpusSyncer:
         behind and owed the entries) but the barrier and import are
         skipped — there is no further fuzzing to feed.
         """
-        self._publish(epoch)
-        self._write_marker(epoch)
-        self.next_epoch = epoch + 1
-        if final or self.fleet <= 1:
-            return
-        if self._barrier(epoch):
-            self._import(epoch)
+        published = len(self._pending)
+        imported_before = self.engine.stats.sync_imported
+        with self.engine.profiler.stage("sync"):
+            self._publish(epoch)
+            self._write_marker(epoch)
+            self.next_epoch = epoch + 1
+            if not final and self.fleet > 1 and self._barrier(epoch):
+                self._import(epoch)
+        self.engine.trace.emit(
+            "sync_epoch", self.engine.vclock, epoch=epoch,
+            published=published,
+            imported=self.engine.stats.sync_imported - imported_before)
 
     def _publish(self, epoch: int) -> None:
         stats = self.engine.stats

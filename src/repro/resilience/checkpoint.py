@@ -30,7 +30,9 @@ registry without any caller-side bookkeeping.
 
 from __future__ import annotations
 
+import os
 import pickle
+import shutil
 from collections import OrderedDict
 from typing import Optional
 
@@ -53,6 +55,34 @@ def write_checkpoint(path: str, payload: dict) -> None:
         raise CheckpointError(f"campaign state is not serializable: {exc}") \
             from exc
     atomic_write_bytes(path, pack_checksummed(_MAGIC, blob))
+
+
+def rotate_previous(path: str) -> None:
+    """Preserve the outgoing checkpoint as ``<path>.prev``.
+
+    Hardlink-based where the filesystem allows it: the current file is
+    linked to the ``.prev`` name *before* the new checkpoint renames
+    over ``path``, so at no instant is there zero intact checkpoints on
+    disk.  :func:`resume_campaign` falls back to ``.prev`` when the
+    primary is damaged (e.g. bit rot after the atomic write).
+    """
+    if not os.path.exists(path):
+        return
+    prev = path + ".prev"
+    tmp = prev + ".tmp"
+    try:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        os.link(path, tmp)
+        os.replace(tmp, prev)
+    except OSError:
+        # Filesystems without hardlink support get a byte copy; `path`
+        # itself is still only ever replaced atomically.
+        try:
+            shutil.copyfile(path, tmp)
+            os.replace(tmp, prev)
+        except OSError:
+            pass  # rotation is best-effort; the primary write proceeds
 
 
 def read_checkpoint(path: str) -> dict:
@@ -131,6 +161,15 @@ def capture_state(engine) -> dict:
         # publications — is campaign state.
         "fleet": (engine.fleet_sync.getstate()
                   if engine.fleet_sync is not None else None),
+        # Observability: metrics registry values plus the trace bus
+        # sequence/sampling phase, so a resumed member replays its
+        # interrupted tail with identical metric totals and identical
+        # (member, seq) event labels (shard-merge dedup depends on it).
+        "observe": {
+            "metrics": engine.metrics.snapshot(),
+            "metrics_host": engine.metrics.snapshot(host_dependent=True),
+            "bus": engine.trace.getstate(),
+        },
     }
     return state
 
@@ -190,6 +229,13 @@ def restore_state(engine, state: dict) -> None:
         state["staging_meta"]
     if engine.env_faults is not None and state["env_faults"] is not None:
         engine.env_faults.setstate(state["env_faults"])
+    # Observability state ("observe" key is absent from pre-layer
+    # checkpoints; those resume with fresh metrics and a fresh bus).
+    observe = state.get("observe")
+    if observe is not None:
+        engine.metrics.restore(observe.get("metrics"),
+                               observe.get("metrics_host"))
+        engine.trace.setstate(observe["bus"])
     # A fleet member attaches its CorpusSyncer *after* resume; the
     # stashed state is consumed by CorpusSyncer.attach().
     engine._fleet_sync_state = state.get("fleet")
@@ -208,6 +254,7 @@ def write_engine_checkpoint(path: str, engine) -> None:
     so an operator inspecting a checkpoint can see how the campaign was
     actually executing.
     """
+    rotate_previous(path)
     write_checkpoint(path, {
         "version": FORMAT_VERSION,
         "meta": dict(engine.campaign_meta),
@@ -216,7 +263,7 @@ def write_engine_checkpoint(path: str, engine) -> None:
     })
 
 
-def resume_campaign(path: str, injector=None):
+def resume_campaign(path: str, injector=None, allow_previous: bool = True):
     """Rebuild the checkpointed campaign, ready to continue running.
 
     Returns the restored engine (a
@@ -225,11 +272,21 @@ def resume_campaign(path: str, injector=None):
     configuration); call ``run(budget)`` on it to continue the campaign.
     ``injector`` re-attaches a workload-level BugInjector, which is
     process state a checkpoint cannot carry.
+
+    A damaged primary checkpoint (torn write, bit rot) falls back to
+    the ``.prev`` rotation when ``allow_previous`` is set; only when
+    both are unusable does :class:`CheckpointError` propagate.
     """
     from repro.core.config import config_by_name
     from repro.core.pmfuzz import build_engine
 
-    payload = read_checkpoint(path)
+    try:
+        payload = read_checkpoint(path)
+    except CheckpointError:
+        prev = path + ".prev"
+        if not allow_previous or not os.path.exists(prev):
+            raise
+        payload = read_checkpoint(prev)
     meta = payload["meta"]
     if not meta.get("workload"):
         raise CheckpointError(

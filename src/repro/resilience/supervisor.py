@@ -38,6 +38,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import ExecTimeoutError, HarnessFaultError, ReproError
 from repro.fuzz.executor import CostModel, ExecResult, Executor
+from repro.observe.bus import NULL_BUS
 from repro.pmem.image import PMImage
 from repro.workloads.base import RunOutcome
 
@@ -91,6 +92,11 @@ class SupervisedExecutor:
         #: consecutive harness-kill strikes per test case.
         self._strikes: Dict[QuarantineKey, int] = {}
         self.quarantined: Set[QuarantineKey] = set()
+        #: Trace hook points (attached by the engine, else inert): every
+        #: absorbed fault is reported as a ``fault_injected`` event at
+        #: the engine's current virtual time.
+        self.trace = NULL_BUS
+        self.vclock_fn = None
 
     # ------------------------------------------------------------------
     # Counters
@@ -112,6 +118,11 @@ class SupervisedExecutor:
     def _clear_strikes(self, key: Optional[QuarantineKey]) -> None:
         if key is not None:
             self._strikes.pop(key, None)
+
+    def _emit_fault(self, kind: str, detail: str = "") -> None:
+        vtime = self.vclock_fn() if self.vclock_fn is not None else 0.0
+        self.trace.emit("fault_injected", vtime, fault=kind,
+                        detail=detail[:200])
 
     def is_quarantined(self, image_id: str, data: bytes) -> bool:
         return (image_id, bytes(data)) in self.quarantined
@@ -151,10 +162,12 @@ class SupervisedExecutor:
                 self._count("harness_faults")
                 self._count("timeouts")
                 self._strike(key)
+                self._emit_fault("timeout", str(exc))
                 return self._fault_result(
                     recovery_cost + self.exec_vtime_budget, str(exc))
             except HarnessFaultError as exc:
                 self._count("harness_faults")
+                self._emit_fault("harness_fault", str(exc))
                 if exc.transient and attempt < self.max_retries:
                     attempt += 1
                     self._count("retries")
@@ -164,11 +177,12 @@ class SupervisedExecutor:
                 self._strike(key)
                 return self._fault_result(
                     recovery_cost + self.cost_model.fault_overhead, str(exc))
-            except ReproError:
+            except ReproError as exc:
                 # Anything else escaping the executor is a harness bug;
                 # contain it like a non-transient fault.
                 self._count("harness_faults")
                 self._strike(key)
+                self._emit_fault("harness_bug", str(exc))
                 return self._fault_result(
                     recovery_cost + self.cost_model.fault_overhead,
                     traceback.format_exc())
@@ -176,11 +190,14 @@ class SupervisedExecutor:
                 # The executor classified an escaped workload exception.
                 self._count("harness_faults")
                 self._strike(key)
+                self._emit_fault("workload_fault", result.error or "")
             elif result.cost > self.exec_vtime_budget:
                 # Honest cost blew the per-test-case budget: a hang.
                 self._count("harness_faults")
                 self._count("timeouts")
                 self._strike(key)
+                self._emit_fault("budget_overrun",
+                                 f"cost {result.cost:.4f}vs")
                 return self._fault_result(
                     recovery_cost + self.exec_vtime_budget,
                     f"execution cost {result.cost:.4f}vs exceeded budget "
@@ -218,6 +235,7 @@ class SupervisedExecutor:
                 return io_fn(), recovery_cost
             except HarnessFaultError as exc:
                 self._count("harness_faults")
+                self._emit_fault("storage_fault", str(exc))
                 if exc.transient and attempt < self.max_retries:
                     attempt += 1
                     self._count("retries")

@@ -1,0 +1,103 @@
+"""The bounded trace bus: sampling, ring bounds, checkpoint state."""
+
+import os
+
+import pytest
+
+from repro.observe.bus import NULL_BUS, TraceBus
+from repro.observe.sink import JsonlTraceSink, read_events
+
+
+def _bus(tmp_path, name="trace-solo.jsonl", **kwargs):
+    path = os.path.join(str(tmp_path), name)
+    return TraceBus(sink=JsonlTraceSink(path), **kwargs), path
+
+
+class TestDisabledBus:
+    def test_disabled_bus_accepts_and_drops_everything(self):
+        bus = TraceBus()
+        assert not bus.enabled
+        bus.emit("exec", 1.0, cost=0.01)
+        bus.flush()
+        bus.close()
+        assert bus.getstate() == (0, 0)
+
+    def test_null_bus_is_shared_and_inert(self):
+        NULL_BUS.emit("crash", 1.0)
+        assert not NULL_BUS.enabled
+
+    def test_sample_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceBus(sample=0)
+
+
+class TestEmitAndDrain:
+    def test_events_reach_the_shard_on_close(self, tmp_path):
+        bus, path = _bus(tmp_path)
+        bus.emit("exec", 0.5, cost=0.01)
+        bus.emit("new_path", 0.6, pm_paths=3)
+        bus.close()
+        events, skipped = read_events(path)
+        assert skipped == 0
+        assert [e.kind for e in events] == ["exec", "new_path"]
+        assert [e.seq for e in events] == [0, 1]
+
+    def test_flush_every_drains_incrementally(self, tmp_path):
+        bus, path = _bus(tmp_path, flush_every=2)
+        bus.emit("exec", 0.1)
+        assert read_events(path)[0] == []  # still buffered
+        bus.emit("exec", 0.2)
+        assert len(read_events(path)[0]) == 2  # drained at the threshold
+
+    def test_exec_sampling_keeps_one_in_n(self, tmp_path):
+        bus, path = _bus(tmp_path, sample=4)
+        for i in range(8):
+            bus.emit("exec", i * 0.1, cost=0.01)
+        bus.emit("crash", 9.0)  # non-exec kinds are never sampled out
+        bus.close()
+        events, _ = read_events(path)
+        assert [e.kind for e in events] == ["exec", "exec", "crash"]
+        assert bus.sampled_out == 6
+
+    def test_ring_at_capacity_drains_instead_of_growing(self, tmp_path):
+        # flush_every is clamped to the ring bound, so a full ring
+        # drains to the sink rather than overflowing: memory stays
+        # bounded and no event is lost while the sink is writable.
+        bus, path = _bus(tmp_path, ring=4, flush_every=100)
+        for i in range(10):
+            bus.emit("new_path", float(i), pm_paths=i)
+        bus.close()
+        events, _ = read_events(path)
+        assert bus.dropped == 0
+        assert [e.payload["pm_paths"] for e in events] == list(range(10))
+
+    def test_lazy_sink_factory_resolves_on_first_flush(self, tmp_path):
+        path = os.path.join(str(tmp_path), "trace-m1.jsonl")
+        bus = TraceBus(sink_factory=lambda: JsonlTraceSink(path))
+        assert bus.enabled
+        assert not os.path.exists(path)
+        bus.emit("checkpoint", 1.0)
+        bus.close()
+        assert len(read_events(path)[0]) == 1
+
+
+class TestCheckpointState:
+    def test_state_roundtrip_preserves_seq_and_sampling_phase(self, tmp_path):
+        bus, path = _bus(tmp_path, sample=3)
+        for i in range(5):
+            bus.emit("exec", float(i))
+        state = bus.getstate()
+
+        resumed, path2 = _bus(tmp_path, name="trace-m0.jsonl", sample=3)
+        resumed.setstate(state)
+        resumed.emit("exec", 5.0)
+        resumed.emit("new_path", 5.5)
+        resumed.close()
+        bus.emit("exec", 5.0)
+        bus.emit("new_path", 5.5)
+        bus.close()
+        # The resumed bus continues the exact (seq, sampling) trajectory.
+        a, _ = read_events(path)
+        b, _ = read_events(path2)
+        assert [(e.kind, e.seq) for e in a[-len(b):]] == \
+            [(e.kind, e.seq) for e in b]

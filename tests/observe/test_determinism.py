@@ -1,0 +1,127 @@
+"""The observability determinism contract (the tentpole's acceptance).
+
+Tracing, metrics, status publication, and profiling must be pure
+*observers*: a seeded campaign produces byte-identical host-independent
+statistics and an identical queue whether tracing is on or off, under
+either isolation backend, solo or fleet, killed or not.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import PMFUZZ
+from repro.core.pmfuzz import build_engine
+from repro.fuzz.rng import DeterministicRandom
+from repro.observe.report import render_report
+from repro.observe.sink import merge_shards
+from repro.orchestrate import run_fleet
+
+needs_fork = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="requires os.fork")
+
+
+def _run(tmp_path, name, isolation="none", trace=False, **kwargs):
+    if trace:
+        kwargs.update(trace_dir=str(tmp_path / name / "trace"),
+                      status_every=0.1)
+    if isolation == "fork":
+        kwargs.setdefault("triage_dir", str(tmp_path / name / "triage"))
+    engine = build_engine(
+        "hashmap_tx", PMFUZZ,
+        rng=DeterministicRandom(7).fork("hashmap_tx/obs"),
+        isolation=isolation, **kwargs)
+    stats = engine.run(0.4)
+    return engine, stats
+
+
+def _queue_set(engine):
+    return sorted((e.data, e.image_id) for e in engine.queue.entries)
+
+
+class TestSoloDeterminism:
+    @pytest.mark.parametrize("isolation,trace", [
+        ("none", True),
+        ("none", False),  # self-check: the harness itself is stable
+        pytest.param("fork", False, marks=needs_fork),
+        pytest.param("fork", True, marks=needs_fork),
+    ])
+    def test_campaign_invariant_under_tracing_and_backend(
+            self, tmp_path, isolation, trace):
+        base_engine, base = _run(tmp_path, "base")
+        engine, stats = _run(tmp_path, "variant", isolation=isolation,
+                             trace=trace)
+        assert stats.comparable() == base.comparable()
+        assert _queue_set(engine) == _queue_set(base_engine)
+        # The deterministic metrics snapshot is itself part of the
+        # contract: identical key set and values either way.
+        assert stats.metrics == base.metrics
+        assert stats.metrics and "stage_vtime/execute" in stats.metrics
+
+    def test_profile_flag_only_adds_host_metrics(self, tmp_path):
+        _, base = _run(tmp_path, "base")
+        _, profiled = _run(tmp_path, "prof", profile=True)
+        assert profiled.comparable() == base.comparable()
+        assert profiled.metrics == base.metrics
+        assert base.metrics_host == {}
+        assert any(k.startswith("stage_wall/") for k in profiled.metrics_host)
+
+    def test_trace_sampling_does_not_perturb_campaign(self, tmp_path):
+        _, base = _run(tmp_path, "base")
+        engine, sampled = _run(tmp_path, "sampled", trace=True,
+                               trace_sample=16)
+        assert sampled.comparable() == base.comparable()
+        events, _ = merge_shards(str(tmp_path / "sampled" / "trace"))
+        execs = [e for e in events if e.kind == "exec"]
+        assert 0 < len(execs) < sampled.executions  # sampling really on
+        assert engine.trace.sampled_out > 0
+
+    def test_traced_run_leaves_consistent_artifacts(self, tmp_path):
+        engine, stats = _run(tmp_path, "traced", trace=True)
+        trace_dir = str(tmp_path / "traced" / "trace")
+        events, skipped = merge_shards(trace_dir)
+        assert skipped == 0
+        kinds = {e.kind for e in events}
+        assert "exec" in kinds and "new_path" in kinds
+        # Solo shard: every event labeled member -1, seq strictly
+        # increasing (the merge found no duplicates to collapse).
+        assert all(e.member == -1 for e in events)
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert "peak=" in render_report(trace_dir)
+
+
+class TestFleetDeterminism:
+    def _fleet(self, tmp_path, name, trace=False, **kwargs):
+        engine_kwargs = dict(kwargs.pop("engine_kwargs", {}))
+        if trace:
+            engine_kwargs["trace_dir"] = str(tmp_path / name / "trace")
+        return run_fleet(
+            "btree", "pmfuzz", 0.5, 2, str(tmp_path / name / "fleet"),
+            sync_every=0.25, poll_interval=0.01, restart_backoff=0.05,
+            engine_kwargs=engine_kwargs, **kwargs)
+
+    def test_fleet_merge_invariant_under_tracing(self, tmp_path):
+        base = self._fleet(tmp_path, "base")
+        traced = self._fleet(tmp_path, "traced", trace=True)
+        assert traced.comparable() == base.comparable()
+        # Both member shards exist and merge cleanly.
+        events, _ = merge_shards(str(tmp_path / "traced" / "trace"))
+        assert {e.member for e in events if e.kind == "exec"} == {0, 1}
+        assert any(e.kind == "sync_epoch" for e in events)
+
+    def test_killed_member_replay_dedups_and_report_renders(self, tmp_path):
+        base = self._fleet(tmp_path, "base")
+        killed = self._fleet(tmp_path, "killed", trace=True,
+                             kill_plan={0: 1})
+        assert killed.member_restarts >= 1
+        # Kill + restart + replay is invisible to the merged stats...
+        assert killed.comparable() == base.comparable()
+        # ...and to the merged trace: the replayed tail collapses onto
+        # the pre-kill events, leaving member 0's sequence gap-free.
+        trace_dir = str(tmp_path / "killed" / "trace")
+        events, _ = merge_shards(trace_dir)
+        m0 = sorted(e.seq for e in events if e.member == 0)
+        assert len(set(m0)) == len(m0)
+        text = render_report(trace_dir)
+        assert "worker_kill" in text or "peak=" in text

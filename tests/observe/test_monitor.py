@@ -1,0 +1,116 @@
+"""Live status publication and the terminal monitor."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.fuzz.stats import CoverageSample, FuzzStats
+from repro.observe.monitor import (StatusWriter, monitor_loop, read_status,
+                                   render_status, status_files, status_name,
+                                   status_snapshot)
+
+
+def _stats(pm_paths=10, member=-1):
+    stats = FuzzStats(config_name="PMFuzz", workload_name="btree")
+    stats.member_index = member
+    stats.executions = 100
+    stats.record(CoverageSample(vtime=1.0, executions=100,
+                                pm_paths=pm_paths, branch_edges=20,
+                                queue_size=5, images=3))
+    return stats
+
+
+class TestStatusNames:
+    def test_solo_and_member_names(self):
+        assert status_name(-1) == "status.json"
+        assert status_name(2) == "status-m2.json"
+
+
+class TestSnapshot:
+    def test_snapshot_carries_live_fields_and_curve(self):
+        snap = status_snapshot(_stats(), vclock=2.0)
+        assert snap["workload"] == "btree"
+        assert snap["executions"] == 100
+        assert snap["execs_per_vsec"] == 50.0
+        assert snap["pm_paths"] == 10
+        assert snap["curve"] == [[1.0, 10]]
+        assert snap["written_at"] > 0
+
+    def test_snapshot_of_empty_campaign(self):
+        snap = status_snapshot(FuzzStats(), vclock=0.0)
+        assert snap["pm_paths"] == 0
+        assert snap["execs_per_vsec"] == 0.0
+        assert snap["curve"] == []
+
+
+class TestStatusWriter:
+    def test_writes_on_virtual_cadence_only(self, tmp_path):
+        writer = StatusWriter(str(tmp_path / "status.json"), every_vtime=1.0)
+        assert writer.maybe_write(_stats(), 0.0)
+        assert not writer.maybe_write(_stats(), 0.5)  # before next tick
+        assert writer.maybe_write(_stats(), 1.0)
+        assert writer.writes == 2
+
+    def test_force_overrides_cadence(self, tmp_path):
+        writer = StatusWriter(str(tmp_path / "status.json"), every_vtime=10.0)
+        writer.maybe_write(_stats(), 0.0)
+        assert writer.maybe_write(_stats(pm_paths=11), 0.1, force=True)
+        assert read_status(str(tmp_path / "status.json"))["pm_paths"] == 11
+
+    def test_file_is_always_complete_json(self, tmp_path):
+        path = str(tmp_path / "status.json")
+        writer = StatusWriter(path, every_vtime=0.1)
+        for i in range(5):
+            writer.maybe_write(_stats(pm_paths=i), i * 0.1)
+            json.loads(open(path, encoding="utf-8").read())  # never torn
+
+    def test_cadence_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            StatusWriter(str(tmp_path / "s.json"), every_vtime=0.0)
+
+
+class TestReaders:
+    def test_read_status_absent_or_damaged_is_none(self, tmp_path):
+        assert read_status(str(tmp_path / "nope.json")) is None
+        bad = tmp_path / "status.json"
+        bad.write_text("{torn")
+        assert read_status(str(bad)) is None
+
+    def test_status_files_lists_only_status_names(self, tmp_path):
+        for name in ("status.json", "status-m0.json", "status-m1.json",
+                     "trace-m0.jsonl", "other.json"):
+            (tmp_path / name).write_text("{}")
+        names = [os.path.basename(p) for p in status_files(str(tmp_path))]
+        assert names == ["status-m0.json", "status-m1.json", "status.json"]
+
+
+class TestRenderAndLoop:
+    def test_render_empty_is_helpful(self):
+        assert "no status files" in render_status([])
+
+    def test_render_shows_each_member(self):
+        frames = [status_snapshot(_stats(member=0), 1.0),
+                  status_snapshot(_stats(member=1), 1.0)]
+        text = render_status(frames)
+        assert "btree / PMFuzz" in text
+        assert "m0" in text and "m1" in text
+
+    def test_monitor_once_exit_status(self, tmp_path):
+        out = io.StringIO()
+        assert monitor_loop(str(tmp_path), once=True, out=out) == 1
+        StatusWriter(str(tmp_path / "status.json")).maybe_write(
+            _stats(), 1.0, force=True)
+        out = io.StringIO()
+        assert monitor_loop(str(tmp_path), once=True, out=out) == 0
+        assert "btree" in out.getvalue()
+
+    def test_monitor_exits_when_all_members_stopped(self, tmp_path):
+        stats = _stats()
+        stats.stop_reason = "budget"
+        StatusWriter(str(tmp_path / "status.json")).maybe_write(
+            stats, 1.0, force=True)
+        out = io.StringIO()
+        assert monitor_loop(str(tmp_path), interval=0.01, out=out) == 0
+        assert "stopped" in out.getvalue()

@@ -1,0 +1,76 @@
+"""Stage profiler: vtime always, wall only under --profile, host-only
+stages leave no deterministic footprint."""
+
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.profiler import StageProfiler, render_profile
+
+
+class TestDeterministicStages:
+    def test_vtime_and_calls_land_in_deterministic_snapshot(self):
+        reg = MetricsRegistry()
+        prof = StageProfiler(reg)
+        prof.add_vtime("execute", 1.5)
+        with prof.stage("execute"):
+            pass
+        snap = reg.snapshot()
+        assert snap["stage_vtime/execute"] == 1.5
+        assert snap["stage_calls/execute"] == 1
+        assert reg.snapshot(host_dependent=True) == {}
+
+    def test_wall_clock_only_measured_when_enabled(self):
+        reg = MetricsRegistry()
+        with StageProfiler(reg, wall_enabled=True).stage("mutate"):
+            pass
+        host = reg.snapshot(host_dependent=True)
+        assert "stage_wall/mutate" in host
+        assert host["stage_wall/mutate"] >= 0.0
+
+
+class TestHostOnlyStages:
+    def test_checkpoint_stage_invisible_without_profile(self):
+        # Checkpoint cadence is operational: a campaign with
+        # checkpointing enabled must leave stats identical to one
+        # without, so the stage may not touch either snapshot.
+        reg = MetricsRegistry()
+        prof = StageProfiler(reg)
+        prof.add_vtime("checkpoint", 1.0)
+        prof.count_call("checkpoint")
+        with prof.stage("checkpoint"):
+            pass
+        assert reg.snapshot() == {}
+        assert reg.snapshot(host_dependent=True) == {}
+
+    def test_checkpoint_stage_observed_under_profile_as_host_metric(self):
+        reg = MetricsRegistry()
+        prof = StageProfiler(reg, wall_enabled=True)
+        with prof.stage("checkpoint"):
+            pass
+        assert reg.snapshot() == {}
+        host = reg.snapshot(host_dependent=True)
+        assert host["stage_calls/checkpoint"] == 1
+        assert "stage_wall/checkpoint" in host
+
+    def test_host_only_set_is_configurable(self):
+        reg = MetricsRegistry()
+        prof = StageProfiler(reg, host_only=("sync",))
+        prof.add_vtime("sync", 2.0)
+        prof.add_vtime("checkpoint", 1.0)
+        assert reg.snapshot() == {"stage_vtime/checkpoint": 1.0}
+
+
+class TestRendering:
+    def test_render_shows_stages_shares_and_calls(self):
+        metrics = {"stage_vtime/execute": 9.0, "stage_vtime/mutate": 1.0,
+                   "stage_calls/execute": 100}
+        text = render_profile(metrics, {}, title="t")
+        assert "== t ==" in text
+        assert "execute" in text and "90.0%" in text and "x100" in text
+
+    def test_render_reads_host_only_calls_from_host_snapshot(self):
+        host = {"stage_wall/checkpoint": 0.5, "stage_calls/checkpoint": 3}
+        text = render_profile({}, host)
+        assert "checkpoint" in text and "x3" in text
+
+    def test_render_handles_empty_snapshots(self):
+        assert "no stage data" in render_profile({}, {})
+        assert "no stage data" in render_profile(None, None)

@@ -6,6 +6,7 @@ from repro.analysis import (
     CampaignMatrix, coverage_ratio, geomean, render_coverage_figure,
     render_table, summarize_matrix,
 )
+from repro.analysis.figures import sparkline
 from repro.fuzz.stats import CoverageSample, FuzzStats
 
 
@@ -77,3 +78,96 @@ class TestTableRendering:
     def test_text_column_left_aligned(self):
         table = render_table(["x"], [["short"], ["a-much-longer-cell"]])
         assert "short" in table
+
+
+class TestMatrixAccessors:
+    def test_get_and_column(self):
+        m = CampaignMatrix()
+        m.put("w1", "A", stats_with(100, "A"))
+        m.put("w1", "B", stats_with(50, "B"))
+        m.put("w2", "A", stats_with(80, "A"))
+        m.put("w2", "B", stats_with(20, "B"))
+        assert m.get("w1", "B").final_pm_paths == 50
+        assert [s.final_pm_paths for s in m.column("A")] == [100, 80]
+
+    def test_empty_matrix(self):
+        m = CampaignMatrix()
+        assert m.workloads == []
+        assert m.configs() == []
+
+
+class TestSparklineEdges:
+    def test_empty_series_is_blank_fixed_width(self):
+        assert sparkline([], peak=10) == " " * 32
+        assert sparkline([], peak=10, width=8) == " " * 8
+
+    def test_single_datapoint(self):
+        line = sparkline([5], peak=5, width=4)
+        assert line == "█   "
+
+    def test_zero_peak_does_not_divide_by_zero(self):
+        assert sparkline([0, 0], peak=0, width=4) == "    "
+
+    def test_long_series_is_downsampled_to_width(self):
+        line = sparkline(list(range(100)), peak=99, width=10)
+        assert len(line) == 10
+
+    def test_monotone_series_renders_monotone_blocks(self):
+        line = sparkline([0, 3, 6, 9], peak=9, width=4)
+        assert list(line) == sorted(line)
+
+
+class TestGoldenOutputs:
+    """Exact rendered output for small fixed inputs — catches silent
+    format drift in the Table-2/3 and Figure-13 rendering paths."""
+
+    def test_table_golden(self):
+        table = render_table(["workload", "paths"],
+                             [["btree", 315], ["rbtree", 77]],
+                             title="Table 2")
+        assert table.split("\n") == [
+            "Table 2",
+            "workload  paths",
+            "---------------",
+            "btree       315",
+            "rbtree       77",
+        ]
+
+    def test_matrix_summary_golden(self):
+        m = CampaignMatrix()
+        m.put("w1", "AFL++", stats_with(50, "AFL++"))
+        m.put("w1", "PMFuzz", stats_with(100, "PMFuzz"))
+        m.put("w2", "AFL++", stats_with(10, "AFL++"))
+        m.put("w2", "PMFuzz", stats_with(40, "PMFuzz"))
+        lines = summarize_matrix(m, baseline="AFL++")
+        assert lines[1].split() == ["w1", "50", "100"]
+        assert lines[2].split() == ["w2", "10", "40"]
+        assert lines[-1] == "geomean PMFuzz / AFL++: 2.83x"
+
+    def test_figure_13_curve_extraction_golden(self):
+        stats = FuzzStats(config_name="PMFuzz")
+        for vtime, paths in ((0.25, 3), (0.5, 7), (1.0, 9)):
+            stats.record(CoverageSample(vtime=vtime, executions=0,
+                                        pm_paths=paths, branch_edges=0,
+                                        queue_size=0, images=0))
+        # The step-function curve sampled at checkpoints, exactly.
+        assert stats.series([0.1, 0.25, 0.75, 2.0]) == [
+            (0.1, 0), (0.25, 3), (0.75, 7), (2.0, 9)]
+        assert stats.render_curve([0.5, 1.0], total_budget=1.0) == \
+            "2:00:7 4:00:9"
+        assert stats.render_curve([0.5]) == "0.5s:7"
+
+    def test_curve_extraction_empty_campaign(self):
+        empty = FuzzStats("X")
+        assert empty.series([0.5, 1.0]) == [(0.5, 0), (1.0, 0)]
+        assert empty.final_pm_paths == 0
+        assert empty.final_branch_edges == 0
+        text = render_coverage_figure({"X": empty}, budget=1.0)
+        assert text.splitlines()[-1].split() == ["X", "0"]
+
+    def test_curve_extraction_single_datapoint(self):
+        stats = stats_with(12, vtimes=(0.5,))
+        assert stats.series([0.25, 0.5, 1.0]) == [
+            (0.25, 0), (0.5, 12), (1.0, 12)]
+        assert stats.pm_paths_at(0.49) == 0
+        assert stats.pm_paths_at(0.5) == 12

@@ -222,3 +222,45 @@ class TestFleetFlags:
         assert "corpus sync" in out
         assert "stopped           : budget" in out
         assert "fleet=2" in out  # summary line carries fleet counters
+
+
+class TestObservabilityFlags:
+    def test_traced_profiled_campaign_via_cli(self, tmp_path, capsys):
+        trace = tmp_path / "trace"
+        code = main(["fuzz", "--workload", "hashmap_tx", "--budget", "0.3",
+                     "--trace-dir", str(trace), "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-stage breakdown" in out
+        assert "virtual time" in out and "wall clock" in out
+        assert (trace / "trace-solo.jsonl").exists()
+        assert (trace / "status.json").exists()
+
+    def test_bad_trace_sample_is_clean_error(self, tmp_path, capsys):
+        assert main(["fuzz", "--workload", "hashmap_tx", "--budget", "0.1",
+                     "--trace-dir", str(tmp_path / "t"),
+                     "--trace-sample", "0"]) == 2
+        assert "--trace-sample must be >= 1" in capsys.readouterr().err
+
+    def test_bad_status_every_is_clean_error(self, tmp_path, capsys):
+        assert main(["fuzz", "--workload", "hashmap_tx", "--budget", "0.1",
+                     "--trace-dir", str(tmp_path / "t"),
+                     "--status-every", "-1"]) == 2
+        assert "--status-every must be > 0" in capsys.readouterr().err
+
+    def test_monitor_once_and_report_via_cli(self, tmp_path, capsys):
+        trace = tmp_path / "trace"
+        assert main(["fuzz", "--workload", "hashmap_tx", "--budget", "0.3",
+                     "--trace-dir", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["monitor", str(trace), "--once"]) == 0
+        assert "campaign monitor" in capsys.readouterr().out
+        html = tmp_path / "report.html"
+        assert main(["report", str(trace), "--html", str(html)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign report" in out and "PM path coverage" in out
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_monitor_once_on_empty_dir_exits_nonzero(self, tmp_path, capsys):
+        assert main(["monitor", str(tmp_path), "--once"]) == 1
+        assert "no status files" in capsys.readouterr().out
