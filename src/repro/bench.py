@@ -1,0 +1,325 @@
+"""``python -m repro bench`` — the repo's deterministic perf suite.
+
+Four benchmarks, micro to macro:
+
+``pmem_ops``
+    Persistence-domain operation throughput (store/flush/fence mix, no
+    observers) against a frozen *legacy-behavior* domain that still
+    constructs a TraceEvent per op and scans the full line map per
+    fence.  This is the hot-path number: every execution in a campaign
+    is made of these operations.
+
+``ranges``
+    ``inconsistent_ranges`` throughput (chunked slice comparison)
+    against the byte-at-a-time reference implementation.
+
+``executor``
+    Whole-execution throughput (execs/s): parse + open + run + close on
+    the btree workload.
+
+``crashgen``
+    The macro win this suite exists to defend: crash images per second
+    in single-pass snapshot mode vs. legacy per-point re-execution on
+    the same test case.  Measured on a crashgen-heavy shape (8 sampled
+    ordering points over a ~27-command input) because the win is O(K)
+    in harvested images per test case.
+
+``campaign``
+    End-to-end wall time of a fixed-virtual-budget PMFuzz campaign —
+    the number an operator actually feels.
+
+Each benchmark runs ``repeats`` times and reports the **median**, which
+is what lands in ``BENCH_<name>.json``; the workload inside every
+repeat is fixed and seeded, so run-to-run variance comes only from the
+host.  ``--quick`` shrinks the iteration counts for CI smoke use.
+When a committed baseline directory is given (default
+``benchmarks/baseline``), the runner prints a delta column against it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.pmem.persistence import (CACHE_LINE, LineState, PersistenceDomain,
+                                    TraceEvent, TraceEventKind)
+
+#: Benchmark registry: name -> callable(quick) -> {metric: value}.
+BENCHMARKS: Dict[str, Callable[[bool], Dict[str, float]]] = {}
+
+#: Repeats per benchmark (median reported).
+DEFAULT_REPEATS = 5
+QUICK_REPEATS = 3
+
+
+def _bench(name: str):
+    def register(fn: Callable[[bool], Dict[str, float]]):
+        BENCHMARKS[name] = fn
+        return fn
+    return register
+
+
+# ----------------------------------------------------------------------
+# A frozen copy of the pre-optimization domain behavior, kept as the
+# measurement baseline: TraceEvent per op even with no observers, line
+# iteration through a generator, and a full line-map scan per fence.
+# ----------------------------------------------------------------------
+class _LegacyDomain(PersistenceDomain):
+
+    def emit(self, kind, addr=0, size=0, site=""):
+        event = TraceEvent(kind=kind, addr=addr, size=size, seq=self._seq,
+                           site=site)
+        self._seq += 1
+        for observer in self._observers:
+            observer(event)
+        return event
+
+    def store(self, addr, data, site=""):
+        self._check_range(addr, len(data))
+        self._volatile[addr:addr + len(data)] = data
+        for line in self._lines_of(addr, len(data)):
+            self._lines[line] = LineState.DIRTY
+        self._store_count += 1
+        self.emit(TraceEventKind.STORE, addr, len(data), site)
+
+    def flush(self, addr, size, site=""):
+        self._check_range(addr, size)
+        redundant = True
+        for line in self._lines_of(addr, size):
+            if self._lines.get(line, LineState.CLEAN) is LineState.DIRTY:
+                self._lines[line] = LineState.FLUSHED
+                redundant = False
+        self.emit(TraceEventKind.FLUSH, addr, size, site)
+        if redundant:
+            self.emit(TraceEventKind.FLUSH_REDUNDANT, addr, size, site)
+
+    def drain(self, site=""):
+        for line, state in list(self._lines.items()):
+            if state is LineState.FLUSHED:
+                start = line * CACHE_LINE
+                end = min(start + CACHE_LINE, self.size)
+                self._media[start:end] = self._volatile[start:end]
+                del self._lines[line]
+        self._fence_count += 1
+        self.emit(TraceEventKind.FENCE, 0, 0, site)
+
+
+def _domain_workout(domain: PersistenceDomain, ops: int) -> int:
+    """A representative store/flush/fence mix; returns ops performed."""
+    size = domain.size
+    payload = b"\xA5" * 32
+    addr = 0
+    performed = 0
+    for i in range(ops):
+        addr = (addr + 96) % (size - 64)
+        domain.store(addr, payload)
+        domain.flush(addr, 32)
+        performed += 2
+        if i % 8 == 7:
+            domain.drain()
+            performed += 1
+    return performed
+
+
+@_bench("pmem_ops")
+def _bench_pmem_ops(quick: bool) -> Dict[str, float]:
+    ops = 4_000 if quick else 40_000
+    size = 256 * 1024
+    t0 = time.perf_counter()
+    performed = _domain_workout(PersistenceDomain(size), ops)
+    current_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _domain_workout(_LegacyDomain(size), ops)
+    legacy_s = time.perf_counter() - t0
+    return {
+        "ops_per_s": performed / current_s,
+        "legacy_ops_per_s": performed / legacy_s,
+        "speedup": legacy_s / current_s,
+    }
+
+
+@_bench("ranges")
+def _bench_ranges(quick: bool) -> Dict[str, float]:
+    size = 64 * 1024 if quick else 256 * 1024
+    calls = 20 if quick else 50
+    domain = PersistenceDomain(size)
+    # A sparse dirty pattern: a few modified cache lines scattered over
+    # an otherwise persisted pool, the common between-fences shape.
+    for addr in range(0, size, size // 4):
+        domain.store(addr, b"\xFF" * 48)
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        chunked = domain.inconsistent_ranges()
+    current_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        naive = domain._inconsistent_ranges_naive()
+    naive_s = time.perf_counter() - t0
+    assert chunked == naive
+    return {
+        "calls_per_s": calls / current_s,
+        "naive_calls_per_s": calls / naive_s,
+        "speedup": naive_s / current_s,
+    }
+
+
+def _make_executor():
+    from repro.fuzz.executor import Executor
+    from repro.workloads.registry import get_workload
+
+    return Executor(lambda: get_workload("btree"))
+
+
+def _seed_case(executor):
+    """One deterministic (image, data) test case with real PM activity."""
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload("btree")
+    image = workload.create_image()
+    data = b"i 10 1\ni 20 2\ni 30 3\nr 20\ni 40 4\n"
+    result = executor.run(image, data)
+    return image, data, result
+
+
+@_bench("executor")
+def _bench_executor(quick: bool) -> Dict[str, float]:
+    execs = 30 if quick else 150
+    executor = _make_executor()
+    image, data, _ = _seed_case(executor)
+    t0 = time.perf_counter()
+    for _ in range(execs):
+        executor.run(image, data)
+    elapsed = time.perf_counter() - t0
+    return {"execs_per_s": execs / elapsed}
+
+
+@_bench("crashgen")
+def _bench_crashgen(quick: bool) -> Dict[str, float]:
+    from repro.core.crashgen import CrashImageGenerator
+    from repro.fuzz.rng import DeterministicRandom
+    from repro.workloads.registry import get_workload
+
+    rounds = 10 if quick else 40
+    executor = _make_executor()
+    # A crashgen-heavy test case: ~27 commands / ~73 fences with 8
+    # sampled ordering points (~10 images per generate).  The win is
+    # O(K) in the number of harvested images — the paper's pipeline
+    # harvests dozens per interesting test case — so the macro number
+    # is measured on a shape where crash-image generation actually
+    # dominates, not on a minimal seed input.
+    workload = get_workload("btree")
+    image = workload.create_image()
+    data = ("".join(f"i {k} {k}\n" for k in range(1, 25))
+            + "r 5\nr 12\ng 7\n").encode()
+    parent = executor.run(image, data)
+    results = {}
+    for mode in ("singlepass", "reexec"):
+        gen = CrashImageGenerator(executor, DeterministicRandom(7),
+                                  max_ordering_points=8, extra_rate=0.25,
+                                  mode=mode)
+        t0 = time.perf_counter()
+        images = 0
+        for _ in range(rounds):
+            images += len(gen.generate(image, data, parent.fence_count,
+                                       parent.store_count))
+        results[mode] = (time.perf_counter() - t0, images)
+    single_s, images = results["singlepass"]
+    reexec_s, reexec_images = results["reexec"]
+    assert images == reexec_images
+    return {
+        "images_per_s": images / single_s,
+        "reexec_images_per_s": reexec_images / reexec_s,
+        "speedup": reexec_s / single_s,
+    }
+
+
+@_bench("campaign")
+def _bench_campaign(quick: bool) -> Dict[str, float]:
+    from repro.core.pmfuzz import run_campaign
+
+    budget = 1.0 if quick else 4.0
+    t0 = time.perf_counter()
+    stats = run_campaign("btree", "pmfuzz", budget)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "execs": float(stats.executions),
+        "execs_per_s": stats.executions / wall,
+        "crash_images": float(stats.crash_images_generated),
+    }
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def run_benchmark(name: str, quick: bool = False,
+                  repeats: Optional[int] = None) -> dict:
+    """Run one benchmark ``repeats`` times; return its JSON document."""
+    fn = BENCHMARKS[name]
+    n = repeats or (QUICK_REPEATS if quick else DEFAULT_REPEATS)
+    samples: List[Dict[str, float]] = [fn(quick) for _ in range(n)]
+    metrics = {key: statistics.median(s[key] for s in samples)
+               for key in samples[0]}
+    return {
+        "name": name,
+        "quick": quick,
+        "repeats": n,
+        "metrics": metrics,
+        "samples": samples,
+    }
+
+
+def load_baseline(baseline_dir: str, name: str) -> Optional[dict]:
+    path = os.path.join(baseline_dir, f"BENCH_{name}.json")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def _fmt(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.2f}"
+
+
+def run_suite(names: Optional[List[str]] = None, quick: bool = False,
+              repeats: Optional[int] = None, out_dir: str = ".",
+              baseline_dir: Optional[str] = "benchmarks/baseline",
+              print_fn: Callable[[str], None] = print) -> List[dict]:
+    """Run the suite, write ``BENCH_<name>.json`` files, print a table.
+
+    Wall-clock medians are host-dependent; the committed baselines exist
+    for the *ratios* (speedup metrics) and for order-of-magnitude drift
+    detection, not for exact cross-host comparison.
+    """
+    selected = names or list(BENCHMARKS)
+    unknown = [n for n in selected if n not in BENCHMARKS]
+    if unknown:
+        raise KeyError(
+            f"unknown benchmark(s) {', '.join(unknown)}; "
+            f"known: {', '.join(BENCHMARKS)}")
+    os.makedirs(out_dir, exist_ok=True)
+    docs = []
+    for name in selected:
+        doc = run_benchmark(name, quick=quick, repeats=repeats)
+        docs.append(doc)
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        baseline = load_baseline(baseline_dir, name) if baseline_dir else None
+        print_fn(f"{name}  ({doc['repeats']} repeats, median)")
+        for key, value in doc["metrics"].items():
+            line = f"  {key:24s} {_fmt(value):>14s}"
+            if baseline and key in baseline.get("metrics", {}):
+                base = baseline["metrics"][key]
+                if base:
+                    delta = (value - base) / base * 100.0
+                    line += f"   {delta:+7.1f}% vs baseline"
+            print_fn(line)
+    return docs

@@ -23,6 +23,10 @@ The reproduction's equivalent of the artifact's driver scripts
     replay one (``--replay <bundle-dir>``) to reproduce the execution
     that killed or hung a worker.
 
+``bench``
+    Run the deterministic perf benchmark suite and write
+    ``BENCH_<name>.json`` result files (see :mod:`repro.bench`).
+
 ``workloads``
     List the available PM programs and their bug flags.
 """
@@ -70,6 +74,14 @@ def _isolation_kwargs(args: argparse.Namespace) -> dict:
         "worker_rss_limit": rss * 1024 * 1024 if rss else None,
         "triage_dir": args.triage_dir,
     }
+
+
+def _crashgen_kwargs(args: argparse.Namespace) -> dict:
+    """Crash-generation engine kwargs (empty at the default setting, so
+    checkpoint metadata stays identical to pre-flag campaigns)."""
+    if getattr(args, "crashgen", "singlepass") == "singlepass":
+        return {}
+    return {"crashgen": args.crashgen}
 
 
 def _observe_kwargs(args: argparse.Namespace) -> dict:
@@ -161,7 +173,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         seed=args.seed, sync_every=args.sync_every,
         heartbeat_lease=args.member_lease,
         fault_plan=args.fault_plan,
-        engine_kwargs={**_isolation_kwargs(args), **_observe_kwargs(args)},
+        engine_kwargs={**_isolation_kwargs(args), **_observe_kwargs(args),
+                       **_crashgen_kwargs(args)},
         kill_plan=_parse_kill_plan(args.fleet_kill),
     )
     print(f"configuration     : {stats.config_name}")
@@ -215,7 +228,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                              engine_hook=hook,
                              **_checkpoint_kwargs(args, args.config),
                              **_isolation_kwargs(args),
-                             **_observe_kwargs(args))
+                             **_observe_kwargs(args),
+                             **_crashgen_kwargs(args))
     if stats.isolation_fallback:
         print(f"warning: fork isolation unavailable "
               f"({stats.isolation_fallback}); ran in-process",
@@ -357,6 +371,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_suite
+
+    try:
+        run_suite(names=args.only or None, quick=args.quick,
+                  repeats=args.repeats, out_dir=args.out_dir,
+                  baseline_dir=args.baseline_dir or None)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     for name in workload_names():
         flags = sorted(b.flag for b in ALL_REAL_BUGS if b.workload == name)
@@ -453,6 +480,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="collect wall-clock per-stage timers and "
                            "print the flame-style breakdown at the end "
                            "(virtual-time attribution is always on)")
+    fuzz.add_argument("--crashgen", choices=["singlepass", "reexec"],
+                      default="singlepass",
+                      help="crash-image generation strategy: harvest "
+                           "all crash images from one snapshot-planned "
+                           "execution (default) or re-execute once per "
+                           "failure point as the paper does; both are "
+                           "byte- and stats-identical")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     compare = sub.add_parser("compare",
@@ -509,6 +543,25 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--html", default=None, metavar="FILE",
                      help="also write a self-contained HTML report")
     rep.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="run the deterministic perf benchmark suite")
+    bench.add_argument("--only", action="append", default=None,
+                       metavar="NAME",
+                       help="run a single benchmark (repeatable); "
+                            "default: all")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller iteration counts for CI smoke runs")
+    bench.add_argument("--repeats", type=int, default=None, metavar="N",
+                       help="repeats per benchmark (median reported)")
+    bench.add_argument("--out-dir", default=".", metavar="DIR",
+                       help="where BENCH_<name>.json files are written "
+                            "(default: current directory)")
+    bench.add_argument("--baseline-dir", default="benchmarks/baseline",
+                       metavar="DIR",
+                       help="committed baseline to print deltas against "
+                            "('' disables; default: benchmarks/baseline)")
+    bench.set_defaults(func=_cmd_bench)
 
     wl = sub.add_parser("workloads", help="list PM programs")
     wl.set_defaults(func=_cmd_workloads)

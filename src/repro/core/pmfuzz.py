@@ -40,15 +40,19 @@ class PMFuzzEngine(FuzzEngine):
     """The full PMFuzz fuzzing procedure (Figure 11)."""
 
     def __init__(self, *args, max_ordering_points: int = 4,
-                 crash_extra_rate: float = 0.25, **kwargs) -> None:
+                 crash_extra_rate: float = 0.25,
+                 crashgen: str = "singlepass", **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        # Crash-image re-executions run through the supervisor too, so
-        # an environment fault during crash generation is retried or
-        # absorbed instead of killing the campaign.
+        # Crash generation runs through the supervisor too, so an
+        # environment fault during it is retried or absorbed instead of
+        # killing the campaign.  ``crashgen`` selects single-pass
+        # snapshot harvesting (default) or the paper's literal per-point
+        # re-execution ("reexec"); both charge identical virtual time.
         self.crashgen = CrashImageGenerator(
             self.supervisor, self.rng,
             max_ordering_points=max_ordering_points,
             extra_rate=crash_extra_rate,
+            mode=crashgen,
         )
 
     # ------------------------------------------------------------------
@@ -91,24 +95,24 @@ class PMFuzzEngine(FuzzEngine):
         if not pm_novel:
             return
         # (2) Crash images: interrupt the same execution at its ordering
-        # points; every re-execution is charged to the virtual clock
-        # (and attributed to the "triage" profiling stage).  Reserved
-        # for PM-novel test cases (the expensive step).
-        with self.profiler.stage("triage"):
+        # points; every (modeled) re-execution is charged to the virtual
+        # clock and attributed to the "crashgen" profiling stage.
+        # Reserved for PM-novel test cases (the expensive step).
+        with self.profiler.stage("crashgen"):
             try:
                 parent_image, fault_cost = self.supervisor.load_image(
                     self.storage, parent_image_id)
             except HarnessFaultError as exc:
                 self.vclock += exc.vcost  # crash gen skipped this round
-                self.profiler.add_vtime("triage", exc.vcost)
+                self.profiler.add_vtime("crashgen", exc.vcost)
                 return
             self.vclock += fault_cost
-            self.profiler.add_vtime("triage", fault_cost)
+            self.profiler.add_vtime("crashgen", fault_cost)
             for crash in self.crashgen.generate(
                     parent_image, data,
                     result.fence_count, result.store_count):
                 self.vclock += crash.cost
-                self.profiler.add_vtime("triage", crash.cost)
+                self.profiler.add_vtime("crashgen", crash.cost)
                 saved = self._save_image(crash.image)
                 if saved is None:
                     continue
@@ -186,6 +190,14 @@ def build_engine(
         env_faults = EnvFaultInjector(plan)
     factory = lambda: get_workload(workload_name, bugs=bugs)  # noqa: E731
     cls = PMFuzzEngine if config.is_pmfuzz else FuzzEngine
+    meta_kwargs = dict(engine_kwargs)
+    if cls is FuzzEngine:
+        # Crash-generation knobs only exist on the PMFuzz engine; a
+        # non-PMFuzz configuration simply has no crash generation to
+        # shape, so they are accepted-and-inert rather than a TypeError
+        # (the CLI passes one flag set for every Table-2 config).
+        for key in ("max_ordering_points", "crash_extra_rate", "crashgen"):
+            engine_kwargs.pop(key, None)
     engine = cls(factory, config, rng=rng, seed_inputs=seed_inputs,
                  injector=injector, env_faults=env_faults, **engine_kwargs)
     engine.campaign_meta = {
@@ -194,7 +206,7 @@ def build_engine(
         "bugs": sorted(bugs),
         "seed_inputs": [bytes(s) for s in seed_inputs],
         "fault_plan": env_faults.plan if env_faults is not None else None,
-        "engine_kwargs": dict(engine_kwargs),
+        "engine_kwargs": meta_kwargs,
     }
     return engine
 

@@ -125,7 +125,7 @@ class FuzzEngine:
         # that had not re-fired since resume would silently lose its
         # checkpointed value.  Static registration also keeps the
         # snapshot key set identical across trace on/off and backends.
-        for stage in ("mutate", "execute", "triage", "sync", "checkpoint"):
+        for stage in ("mutate", "execute", "crashgen", "sync", "checkpoint"):
             self.profiler.add_vtime(stage, 0.0)
             self.profiler.count_call(stage, 0)
         for op in self.mutator.op_names():

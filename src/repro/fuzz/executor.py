@@ -91,6 +91,9 @@ class ExecResult:
     commands_run: int = 0
     trace: list = field(default_factory=list)
     error: str = ""
+    #: CrashSnapshot records harvested by a snapshot plan (single-pass
+    #: crash generation); empty unless ``run`` was given a plan.
+    snapshots: list = field(default_factory=list)
 
 
 class Executor:
@@ -139,6 +142,7 @@ class Executor:
         crash_at_store: Optional[int] = None,
         weak_states: bool = False,
         commands: Optional[Sequence[Command]] = None,
+        snapshot_plan=None,
         _env_checked: bool = False,
     ) -> ExecResult:
         """Execute command bytes (or pre-parsed commands) on an image.
@@ -169,6 +173,7 @@ class Executor:
                 result: RunResult = workload.run(
                     image, cmds, crash_at_fence=crash_at_fence,
                     crash_at_store=crash_at_store, weak_states=weak_states,
+                    snapshot_plan=snapshot_plan,
                 )
         except ReproError:
             raise  # harness-level signal; the supervisor classifies it
@@ -203,6 +208,7 @@ class Executor:
             commands_run=result.commands_run,
             trace=ctx.trace,
             error=result.error,
+            snapshots=list(result.snapshots),
         )
 
     def run_raw_image(self, image_bytes: bytes, data: bytes) -> ExecResult:

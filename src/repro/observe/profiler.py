@@ -1,7 +1,7 @@
 """Per-stage profiling: where does campaign time actually go?
 
 The engine charges every piece of work to a named stage — ``mutate``,
-``execute``, ``triage`` (crash-image generation), ``sync``,
+``execute``, ``crashgen`` (crash-image generation), ``sync``,
 ``checkpoint`` — in two currencies:
 
 * **virtual time** (the Figure-13 axis) is charged always; it is a pure

@@ -64,7 +64,11 @@ class PmemObjPool:
         self.active_tx: Optional[Transaction] = None
         self.closed = False
         ctx = current_context()
-        if ctx is not None:
+        # Only register the trace observer when the context actually
+        # keeps events: with collect_trace=False (the fuzzing hot path)
+        # ctx.observe drops every event anyway, and an observer-free
+        # domain skips TraceEvent construction entirely.
+        if ctx is not None and ctx.collect_trace:
             domain.add_observer(ctx.observe)
 
     # ------------------------------------------------------------------

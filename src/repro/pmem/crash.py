@@ -18,9 +18,47 @@ so detection remains reproducible.
 from __future__ import annotations
 
 import enum
-from typing import Iterator, List, Sequence
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.pmem.persistence import CACHE_LINE, PersistenceDomain
+
+
+@dataclass(frozen=True)
+class SnapshotPlan:
+    """Which fence / store indices to capture during a single execution.
+
+    Threaded from :class:`~repro.core.crashgen.CrashImageGenerator`
+    through ``Executor.run`` → ``Workload.run`` down to
+    :meth:`PersistenceDomain.plan_snapshots`.  Frozen and module-level so
+    it pickles across the fork-server protocol if it ever needs to.
+    """
+
+    fences: Tuple[int, ...] = ()
+    stores: Tuple[int, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.fences or self.stores)
+
+
+@dataclass(frozen=True)
+class CrashSnapshot:
+    """A materialized strict crash image harvested from a single pass.
+
+    Attributes:
+        kind: ``"fence"`` or ``"store"``.
+        index: the fence index / store index of the capture point.
+        fences_done: fences completed at capture time — exactly the fence
+            count a dedicated re-execution crashing at this point would
+            have reported, which the generator needs to charge the
+            virtual-time cost model identically.
+        image: the full media contents at the capture instant.
+    """
+
+    kind: str
+    index: int
+    fences_done: int
+    image: bytes = field(repr=False)
 
 
 class CrashPolicy(enum.Enum):

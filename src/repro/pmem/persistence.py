@@ -23,18 +23,37 @@ Every operation emits a :class:`TraceEvent` to registered observers.  The
 detection tools (:mod:`repro.detect`) and the PM-path instrumentation
 (:mod:`repro.instrument`) are both implemented as observers, mirroring how
 Pmemcheck and the PMFuzz runtime both consume the PM operation stream.
+When *no* observers are registered — the common case on the fuzzing hot
+path — the data-path operations skip event construction and dispatch
+entirely (only the sequence counter advances), so an uninstrumented
+execution pays nothing for the observability seam.
+
+Single-pass crash harvesting
+----------------------------
+:meth:`plan_snapshots` arms the domain with a set of fence indices and
+store indices at which to capture the media state.  A captured
+:class:`MediaSnapshot` is cheap: it holds a reference to the live media
+array plus a dict of lines overwritten *since* the capture point
+(maintained copy-on-write by :meth:`drain`), and materializes the full
+byte image lazily.  This is what lets the crash-image generator harvest
+every strict crash image from one instrumented execution instead of one
+re-execution per failure point (see :mod:`repro.core.crashgen`).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (Callable, Dict, FrozenSet, Iterable, Iterator, List,
+                    Optional, Set, Tuple)
 
 from repro.errors import PMemError
 
 #: Cache-line size in bytes, matching x86.
 CACHE_LINE = 64
+
+#: Window size for the chunked volatile-vs-media comparison.
+_RANGE_CHUNK = 4096
 
 
 class LineState(enum.Enum):
@@ -89,6 +108,46 @@ class TraceEvent:
 Observer = Callable[[TraceEvent], None]
 
 
+class MediaSnapshot:
+    """A lazy copy-on-write capture of the media array at one instant.
+
+    The snapshot holds a *reference* to the domain's live media bytearray
+    plus a dict of the original contents of every line overwritten since
+    the capture point; :meth:`drain` maintains the dict.  Materializing
+    costs one media copy plus one overlay write per saved line, and the
+    capture itself costs O(1) — which is what makes harvesting ~8 crash
+    images from a single execution cheaper than 8 re-executions.
+
+    Attributes:
+        kind: ``"fence"`` or ``"store"`` — which crash-point family.
+        index: the fence index / store index of the capture point.
+        fences_done: fences completed when the capture was taken.  For a
+            fence snapshot this is ``index + 1`` (the capture happens
+            after the fence's writeback), matching the fence count a
+            legacy re-execution crashing at this point would report.
+    """
+
+    __slots__ = ("kind", "index", "fences_done", "_media_ref", "_saved")
+
+    def __init__(self, kind: str, index: int, fences_done: int,
+                 media_ref: bytearray) -> None:
+        self.kind = kind
+        self.index = index
+        self.fences_done = fences_done
+        self._media_ref = media_ref
+        #: line index -> the line's media bytes at capture time, recorded
+        #: only when a later fence overwrites the line (copy-on-write).
+        self._saved: Dict[int, bytes] = {}
+
+    def materialize(self) -> bytes:
+        """Reconstruct the full media contents at the capture instant."""
+        buf = bytearray(self._media_ref)
+        for line, original in self._saved.items():
+            start = line * CACHE_LINE
+            buf[start:start + len(original)] = original
+        return bytes(buf)
+
+
 class PersistenceDomain:
     """Byte-addressable PM with a simulated volatile cache in front.
 
@@ -115,6 +174,9 @@ class PersistenceDomain:
         self._volatile = bytearray(self._media)
         #: line index -> state (absent means CLEAN)
         self._lines: Dict[int, LineState] = {}
+        #: dedicated index of FLUSHED lines, so a fence is O(flushed)
+        #: instead of a scan over every tracked (mostly DIRTY) line.
+        self._flushed: Set[int] = set()
         self._seq = 0
         self._fence_count = 0
         self._store_count = 0
@@ -127,6 +189,10 @@ class PersistenceDomain:
         #: flushed-unfenced) lines make the space of possible persistent
         #: states larger than the strict snapshot.
         self.crash_at_store: Optional[int] = None
+        #: Snapshot plan for single-pass crash harvesting (empty = off).
+        self._snap_fences: FrozenSet[int] = frozenset()
+        self._snap_stores: FrozenSet[int] = frozenset()
+        self._snapshots: List[MediaSnapshot] = []
 
     # ------------------------------------------------------------------
     # Observer plumbing
@@ -145,13 +211,39 @@ class PersistenceDomain:
         addr: int = 0,
         size: int = 0,
         site: str = "",
-    ) -> TraceEvent:
-        """Emit an annotation event (used by the pmdk layer)."""
-        event = TraceEvent(kind=kind, addr=addr, size=size, seq=self._seq, site=site)
-        self._seq += 1
+    ) -> Optional[TraceEvent]:
+        """Emit an annotation event (used by the pmdk layer).
+
+        With no observers registered only the sequence counter advances:
+        no :class:`TraceEvent` is constructed and ``None`` is returned,
+        so the per-PM-op cost of the observability seam is one integer
+        increment.  Sequence numbers are identical either way.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        if not self._observers:
+            return None
+        event = TraceEvent(kind=kind, addr=addr, size=size, seq=seq, site=site)
         for observer in self._observers:
             observer(event)
         return event
+
+    # ------------------------------------------------------------------
+    # Snapshot planning (single-pass crash harvesting)
+    # ------------------------------------------------------------------
+    def plan_snapshots(self, fences: Iterable[int] = (),
+                       stores: Iterable[int] = ()) -> None:
+        """Arm media captures at the given fence / store indices.
+
+        Must be called before execution reaches the first planned index;
+        indices never reached simply produce no snapshot.
+        """
+        self._snap_fences = frozenset(fences)
+        self._snap_stores = frozenset(stores)
+
+    def take_snapshots(self) -> List[MediaSnapshot]:
+        """Return the snapshots captured so far, in execution order."""
+        return list(self._snapshots)
 
     # ------------------------------------------------------------------
     # Data-path operations
@@ -170,13 +262,24 @@ class PersistenceDomain:
 
     def store(self, addr: int, data: bytes, site: str = "") -> None:
         """Write ``data`` at ``addr`` (a PM store; volatile until persisted)."""
-        self._check_range(addr, len(data))
-        self._volatile[addr : addr + len(data)] = data
-        for line in self._lines_of(addr, len(data)):
-            self._lines[line] = LineState.DIRTY
+        size = len(data)
+        self._check_range(addr, size)
+        self._volatile[addr : addr + size] = data
+        if size:
+            lines = self._lines
+            flushed = self._flushed
+            first = addr // CACHE_LINE
+            last = (addr + size - 1) // CACHE_LINE
+            for line in range(first, last + 1):
+                lines[line] = LineState.DIRTY
+                if flushed:
+                    flushed.discard(line)
         store_index = self._store_count
         self._store_count += 1
-        self.emit(TraceEventKind.STORE, addr, len(data), site)
+        self.emit(TraceEventKind.STORE, addr, size, site)
+        if store_index in self._snap_stores:
+            self._snapshots.append(MediaSnapshot(
+                "store", store_index, self._fence_count, self._media))
         if self.crash_at_store is not None and store_index == self.crash_at_store:
             from repro.errors import SimulatedCrash
 
@@ -191,11 +294,16 @@ class PersistenceDomain:
         """
         self._check_range(addr, size)
         redundant = True
-        for line in self._lines_of(addr, size):
-            state = self._lines.get(line, LineState.CLEAN)
-            if state is LineState.DIRTY:
-                self._lines[line] = LineState.FLUSHED
-                redundant = False
+        if size:
+            lines = self._lines
+            flushed = self._flushed
+            first = addr // CACHE_LINE
+            last = (addr + size - 1) // CACHE_LINE
+            for line in range(first, last + 1):
+                if lines.get(line) is LineState.DIRTY:
+                    lines[line] = LineState.FLUSHED
+                    flushed.add(line)
+                    redundant = False
         self.emit(TraceEventKind.FLUSH, addr, size, site)
         if redundant:
             self.emit(TraceEventKind.FLUSH_REDUNDANT, addr, size, site)
@@ -209,15 +317,33 @@ class PersistenceDomain:
         persisted, matching the paper's placement of failures *at*
         ordering points (Section 3.2).
         """
-        for line, state in list(self._lines.items()):
-            if state is LineState.FLUSHED:
+        flushed = self._flushed
+        if flushed:
+            media = self._media
+            volatile = self._volatile
+            lines = self._lines
+            snapshots = self._snapshots
+            size = self.size
+            for line in flushed:
                 start = line * CACHE_LINE
-                end = min(start + CACHE_LINE, self.size)
-                self._media[start:end] = self._volatile[start:end]
-                del self._lines[line]
+                end = start + CACHE_LINE
+                if end > size:
+                    end = size
+                if snapshots:
+                    # Copy-on-write: preserve the pre-fence contents for
+                    # every live snapshot that has not seen this line yet.
+                    for snap in snapshots:
+                        if line not in snap._saved:
+                            snap._saved[line] = bytes(media[start:end])
+                media[start:end] = volatile[start:end]
+                del lines[line]
+            flushed.clear()
         fence_index = self._fence_count
         self._fence_count += 1
         self.emit(TraceEventKind.FENCE, 0, 0, site)
+        if fence_index in self._snap_fences:
+            self._snapshots.append(MediaSnapshot(
+                "fence", fence_index, fence_index + 1, self._media))
         if self.crash_at_fence is not None and fence_index == self.crash_at_fence:
             from repro.errors import SimulatedCrash
 
@@ -268,7 +394,38 @@ class PersistenceDomain:
 
         These are exactly the bytes at risk if a failure happened *now*:
         the persistent state would not reflect the program's view of them.
+
+        Compares 4 KiB windows first and only byte-scans the windows that
+        differ, so the common all-persisted case costs a handful of
+        memcmp-speed slice comparisons instead of a Python loop over
+        every byte.
         """
+        ranges: List[Tuple[int, int]] = []
+        volatile = self._volatile
+        media = self._media
+        size = self.size
+        start: Optional[int] = None
+        for chunk_start in range(0, size, _RANGE_CHUNK):
+            chunk_end = min(chunk_start + _RANGE_CHUNK, size)
+            if volatile[chunk_start:chunk_end] == media[chunk_start:chunk_end]:
+                if start is not None:
+                    ranges.append((start, chunk_start - start))
+                    start = None
+                continue
+            for i in range(chunk_start, chunk_end):
+                if volatile[i] != media[i]:
+                    if start is None:
+                        start = i
+                elif start is not None:
+                    ranges.append((start, i - start))
+                    start = None
+        if start is not None:
+            ranges.append((start, size - start))
+        return ranges
+
+    def _inconsistent_ranges_naive(self) -> List[Tuple[int, int]]:
+        """Reference byte-at-a-time implementation (kept as the oracle
+        for the property tests and the benchmark baseline)."""
         ranges: List[Tuple[int, int]] = []
         start = None
         for i in range(self.size):

@@ -28,6 +28,7 @@ from repro.pmem.image import PMImage
 from repro.pmdk.pool import PmemObjPool
 
 if TYPE_CHECKING:
+    from repro.pmem.crash import CrashSnapshot, SnapshotPlan
     from repro.workloads.synthetic import SyntheticBug
 
 
@@ -75,6 +76,9 @@ class RunResult:
     commands_run: int = 0
     outputs: List[str] = field(default_factory=list)
     error: str = ""
+    #: Materialized strict crash images harvested by a snapshot plan
+    #: (single-pass crash generation); empty when no plan was armed.
+    snapshots: List["CrashSnapshot"] = field(default_factory=list)
 
 
 class Workload(abc.ABC):
@@ -185,6 +189,7 @@ class Workload(abc.ABC):
         crash_at_store: Optional[int] = None,
         weak_states: bool = False,
         max_weak_states: int = 8,
+        snapshot_plan: Optional["SnapshotPlan"] = None,
     ) -> RunResult:
         """Execute ``commands`` on ``image``; optionally crash mid-way.
 
@@ -196,6 +201,11 @@ class Workload(abc.ABC):
         points).  With ``weak_states`` the result also carries crash
         images under cache-eviction semantics: states where a subset of
         the pending lines persisted even though no fence ordered them.
+
+        With a ``snapshot_plan`` the persistence domain additionally
+        captures the strict crash image at every planned fence / store
+        index during this single execution; the materialized images come
+        back in ``RunResult.snapshots`` (single-pass crash generation).
         """
         from repro.errors import InvalidImageError, OutOfPMemError, PMemError
 
@@ -213,6 +223,9 @@ class Workload(abc.ABC):
             pool.domain.crash_at_fence = crash_at_fence
         if crash_at_store is not None:
             pool.domain.crash_at_store = crash_at_store
+        if snapshot_plan is not None and snapshot_plan:
+            pool.domain.plan_snapshots(fences=snapshot_plan.fences,
+                                       stores=snapshot_plan.stores)
         try:
             fresh = pool.root_oid == 0
             if "bug6_no_recovery_call" not in self.bugs:
@@ -257,6 +270,15 @@ class Workload(abc.ABC):
                 result.store_count = pool.domain.store_count
                 pool.domain.crash_at_fence = None
                 pool.domain.crash_at_store = None
+                if snapshot_plan is not None and snapshot_plan:
+                    from repro.pmem.crash import CrashSnapshot
+
+                    result.snapshots = [
+                        CrashSnapshot(kind=s.kind, index=s.index,
+                                      fences_done=s.fences_done,
+                                      image=s.materialize())
+                        for s in pool.domain.take_snapshots()
+                    ]
         return result
 
     @staticmethod

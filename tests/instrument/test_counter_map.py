@@ -84,3 +84,13 @@ class TestBuckets:
     def test_buckets_monotone(self):
         buckets = [bucket_of(c) for c in range(256)]
         assert buckets == sorted(buckets)
+
+    def test_lut_matches_scan_oracle(self):
+        """The 256-entry LUT agrees with its threshold-scan generator on
+        every reachable 8-bit value and on out-of-range inputs."""
+        from repro.instrument.counter_map import _bucket_of_scan
+
+        for count in range(256):
+            assert bucket_of(count) == _bucket_of_scan(count)
+        for count in (-3, -1, 256, 1000):
+            assert bucket_of(count) == _bucket_of_scan(count)

@@ -1,0 +1,75 @@
+"""The ``python -m repro bench`` suite: runner, artifacts, CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import BENCHMARKS, load_baseline, run_benchmark, run_suite
+from repro.cli import main
+
+
+class TestRunner:
+    def test_registry_covers_the_promised_suite(self):
+        assert {"pmem_ops", "ranges", "executor", "crashgen",
+                "campaign"} <= set(BENCHMARKS)
+
+    def test_run_benchmark_reports_median_of_repeats(self):
+        doc = run_benchmark("ranges", quick=True, repeats=3)
+        assert doc["repeats"] == 3
+        assert len(doc["samples"]) == 3
+        for key, value in doc["metrics"].items():
+            samples = sorted(s[key] for s in doc["samples"])
+            assert value == samples[1]  # the median of 3
+
+    def test_pmem_ops_reports_speedup_vs_legacy(self):
+        doc = run_benchmark("pmem_ops", quick=True, repeats=1)
+        metrics = doc["metrics"]
+        assert metrics["ops_per_s"] > 0
+        assert metrics["legacy_ops_per_s"] > 0
+        assert metrics["speedup"] > 0
+
+    def test_suite_writes_json_and_prints_deltas(self, tmp_path):
+        out = tmp_path / "out"
+        lines = []
+        run_suite(names=["ranges"], quick=True, repeats=1,
+                  out_dir=str(out), baseline_dir=None,
+                  print_fn=lines.append)
+        path = out / "BENCH_ranges.json"
+        doc = json.loads(path.read_text())
+        assert doc["name"] == "ranges"
+        assert doc["quick"] is True
+        assert "speedup" in doc["metrics"]
+        assert any("calls_per_s" in line for line in lines)
+        # A second run against the first as baseline prints deltas.
+        lines2 = []
+        run_suite(names=["ranges"], quick=True, repeats=1,
+                  out_dir=str(tmp_path / "out2"), baseline_dir=str(out),
+                  print_fn=lines2.append)
+        assert any("vs baseline" in line for line in lines2)
+
+    def test_unknown_benchmark_rejected(self, tmp_path):
+        try:
+            run_suite(names=["nope"], out_dir=str(tmp_path))
+        except KeyError as exc:
+            assert "nope" in exc.args[0]
+        else:
+            raise AssertionError("expected KeyError")
+
+    def test_load_baseline_missing_is_none(self, tmp_path):
+        assert load_baseline(str(tmp_path), "ranges") is None
+
+
+class TestCli:
+    def test_bench_command_smoke(self, tmp_path, capsys):
+        code = main(["bench", "--only", "ranges", "--quick",
+                     "--repeats", "1", "--out-dir", str(tmp_path),
+                     "--baseline-dir", ""])
+        assert code == 0
+        assert (tmp_path / "BENCH_ranges.json").exists()
+        assert "ranges" in capsys.readouterr().out
+
+    def test_bench_unknown_name_is_clean_error(self, tmp_path, capsys):
+        code = main(["bench", "--only", "warp-drive",
+                     "--out-dir", str(tmp_path)])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err

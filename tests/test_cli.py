@@ -40,6 +40,20 @@ class TestExecution:
         assert main(["fuzz", "--workload", "btree", "--config",
                      "bogus", "--budget", "0.1"]) == 2
 
+    def test_crashgen_flag(self, capsys):
+        args = build_parser().parse_args(
+            ["fuzz", "--workload", "btree"])
+        assert args.crashgen == "singlepass"
+        code = main(["fuzz", "--workload", "hashmap_tx", "--budget", "0.3",
+                     "--crashgen", "reexec"])
+        assert code == 0
+        assert "crash images" in capsys.readouterr().out
+
+    def test_bogus_crashgen_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fuzz", "--workload", "btree", "--crashgen", "magic"])
+
     def test_real_bugs_single(self, capsys):
         code = main(["real-bugs", "--bug", "8", "--budget", "1.0"])
         out = capsys.readouterr().out
