@@ -236,6 +236,64 @@ def _bench_crashgen(quick: bool) -> Dict[str, float]:
     }
 
 
+@_bench("corpusdb")
+def _bench_corpusdb(quick: bool) -> Dict[str, float]:
+    """Corpus-database throughput: publish, lookup, warm-start scan.
+
+    Synthetic but realistically-shaped entries (a few dozen bytes of
+    input, a few KiB of serialized image, sparse coverage lists) —
+    the same payload schema the engine client publishes.
+    """
+    import shutil
+    import tempfile
+
+    from repro.corpusdb.db import CorpusDatabase, entry_key
+
+    n = 64 if quick else 256
+    root = tempfile.mkdtemp(prefix="bench-corpusdb-")
+    try:
+        db = CorpusDatabase.open(os.path.join(root, "db"))
+        payloads = []
+        for i in range(n):
+            data = (f"i {i} {i * 7}\ng {i}\n" * 3).encode()
+            image = bytes((i + j) % 251 for j in range(4096))
+            payloads.append({
+                "key": entry_key(data, image),
+                "data": data,
+                "image_id": f"img{i:04d}",
+                "image": image,
+                "branch": [(i * 13 + j, 1) for j in range(24)],
+                "pm": [(i * 7 + j, 1) for j in range(12)],
+            })
+
+        t0 = time.perf_counter()
+        for payload in payloads:
+            db.publish(payload)
+        publish_s = time.perf_counter() - t0
+
+        keys = db.keys()
+        t0 = time.perf_counter()
+        for key in keys:
+            db.get(key)
+        lookup_s = time.perf_counter() - t0
+
+        # Warm-start shape: full scan + verify + unpickle of every
+        # entry, half of them already compacted to the cold tier.
+        db.compact(hot_limit=n // 2)
+        t0 = time.perf_counter()
+        loaded = sum(1 for key in db.keys() if db.get(key))
+        warm_s = time.perf_counter() - t0
+        assert loaded == n
+        return {
+            "entries": float(n),
+            "publish_per_s": n / publish_s,
+            "lookup_per_s": n / lookup_s,
+            "warm_start_per_s": n / warm_s,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 @_bench("campaign")
 def _bench_campaign(quick: bool) -> Dict[str, float]:
     from repro.core.pmfuzz import run_campaign

@@ -27,6 +27,10 @@ The reproduction's equivalent of the artifact's driver scripts
     Run the deterministic perf benchmark suite and write
     ``BENCH_<name>.json`` result files (see :mod:`repro.bench`).
 
+``corpusdb``
+    Inspect (``info``), heal (``scrub [--verify]``), or compact a
+    durable cross-campaign corpus database (see :mod:`repro.corpusdb`).
+
 ``workloads``
     List the available PM programs and their bug flags.
 """
@@ -74,6 +78,18 @@ def _isolation_kwargs(args: argparse.Namespace) -> dict:
         "worker_rss_limit": rss * 1024 * 1024 if rss else None,
         "triage_dir": args.triage_dir,
     }
+
+
+def _corpusdb_kwargs(args: argparse.Namespace) -> dict:
+    """Corpus-database engine kwargs (empty when --corpus-db is off, so
+    checkpoint metadata stays identical to pre-flag campaigns)."""
+    if not getattr(args, "corpus_db", None):
+        return {}
+    if args.corpus_db_every <= 0:
+        raise FuzzerError(
+            f"--corpus-db-every must be > 0, got {args.corpus_db_every}")
+    return {"corpus_db": args.corpus_db,
+            "corpus_db_every": args.corpus_db_every}
 
 
 def _crashgen_kwargs(args: argparse.Namespace) -> dict:
@@ -143,6 +159,15 @@ def _summary_line(stats) -> str:
         if stats.members_retired:
             parts.append(
                 "retired=" + ",".join(str(i) for i in stats.members_retired))
+    if stats.corpusdb_degraded:
+        parts.append("corpusdb=degraded")
+    elif (stats.corpusdb_published or stats.corpusdb_imported
+          or stats.corpusdb_warm_start):
+        parts.append(f"corpusdb={stats.corpusdb_published}p/"
+                     f"{stats.corpusdb_imported}i/"
+                     f"{stats.corpusdb_warm_start}w")
+    if stats.disk_full_faults:
+        parts.append(f"disk-full={stats.disk_full_faults}")
     return " ".join(parts)
 
 
@@ -174,7 +199,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         heartbeat_lease=args.member_lease,
         fault_plan=args.fault_plan,
         engine_kwargs={**_isolation_kwargs(args), **_observe_kwargs(args),
-                       **_crashgen_kwargs(args)},
+                       **_crashgen_kwargs(args), **_corpusdb_kwargs(args)},
         kill_plan=_parse_kill_plan(args.fleet_kill),
     )
     print(f"configuration     : {stats.config_name}")
@@ -229,7 +254,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                              **_checkpoint_kwargs(args, args.config),
                              **_isolation_kwargs(args),
                              **_observe_kwargs(args),
-                             **_crashgen_kwargs(args))
+                             **_crashgen_kwargs(args),
+                             **_corpusdb_kwargs(args))
     if stats.isolation_fallback:
         print(f"warning: fork isolation unavailable "
               f"({stats.isolation_fallback}); ran in-process",
@@ -247,6 +273,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"harness faults    : {stats.harness_faults} "
               f"({stats.retries} retries, {stats.timeouts} timeouts, "
               f"{stats.quarantined} quarantined)")
+    if getattr(args, "corpus_db", None):
+        if stats.corpusdb_degraded:
+            print(f"corpus database   : degraded "
+                  f"({stats.corpusdb_published} published before); "
+                  "campaign finished standalone")
+        else:
+            print(f"corpus database   : {stats.corpusdb_published} "
+                  f"published, {stats.corpusdb_imported} imported "
+                  f"({stats.corpusdb_warm_start} at warm-start), "
+                  f"{stats.corpusdb_import_rejected} rejected")
     print(f"summary           : {_summary_line(stats)}")
     if getattr(args, "profile", False):
         _print_profile(stats)
@@ -357,18 +393,66 @@ def _cmd_triage(args: argparse.Namespace) -> int:
 def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.observe.monitor import monitor_loop
 
-    return monitor_loop(args.dir, interval=args.interval, once=args.once)
+    return monitor_loop(args.dir, interval=args.interval, once=args.once,
+                        wait=args.wait)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.observe.monitor import wait_for_campaign
     from repro.observe.report import render_html_report, render_report
 
+    if not wait_for_campaign(args.dir, args.wait, what="trace data") \
+            and args.wait > 0:
+        return 1
     print(render_report(args.dir))
     if args.html:
         with open(args.html, "w", encoding="utf-8") as fh:
             fh.write(render_html_report(args.dir))
         print(f"HTML report written to {args.html}")
     return 0
+
+
+def _cmd_corpusdb(args: argparse.Namespace) -> int:
+    """Manage a cross-campaign corpus database (info / scrub / compact)."""
+    from repro.corpusdb.db import CorpusDatabase
+    from repro.corpusdb.scrub import scrub_database
+    from repro.errors import CorpusDBError
+
+    try:
+        if args.action == "info":
+            db = CorpusDatabase.open(args.path, create=False)
+            info = db.info()
+            print(f"corpus database   : {info['root']}")
+            print(f"entries           : {info['entries']} "
+                  f"({info['hot']} hot, {info['cold']} cold, "
+                  f"{info['bytes']} bytes)")
+            print(f"journal pending   : {info['journal_pending']}")
+            print(f"quarantined       : {info['quarantined']}")
+            return 0
+        if args.action == "compact":
+            db = CorpusDatabase.open(args.path, create=False)
+            replay = db.replay_journal()
+            moved = db.compact(hot_limit=args.hot_limit,
+                               max_moves=args.max_moves)
+            print(f"journal replay    : {replay.completed} completed, "
+                  f"{replay.rolled_back} rolled back")
+            print(f"compacted         : {moved} entries moved cold")
+            return 0
+        # scrub [--verify]
+        report, _ = scrub_database(args.path, verify=args.verify,
+                                   tmp_grace=args.tmp_grace)
+        for name, label in sorted(report.typed_reasons.items()):
+            print(f"quarantined       : {name} ({label})")
+        print(f"scrub             : {report.summary()}")
+        if args.verify and not report.ok:
+            for name, label in sorted(report.residual.items()):
+                print(f"RESIDUAL DAMAGE   : {name} ({label})",
+                      file=sys.stderr)
+            return 1
+        return 0
+    except CorpusDBError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -480,6 +564,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="collect wall-clock per-stage timers and "
                            "print the flame-style breakdown at the end "
                            "(virtual-time attribution is always on)")
+    fuzz.add_argument("--corpus-db", default=None, metavar="DIR",
+                      help="durable cross-campaign corpus database: "
+                           "warm-start the queue from it at boot, "
+                           "publish discoveries into it, and import "
+                           "other campaigns' entries mid-flight; an "
+                           "unusable database degrades gracefully "
+                           "(the campaign runs standalone)")
+    fuzz.add_argument("--corpus-db-every", type=float, default=0.5,
+                      metavar="VSECONDS",
+                      help="corpus-database sync cadence in virtual "
+                           "seconds (needs --corpus-db)")
     fuzz.add_argument("--crashgen", choices=["singlepass", "reexec"],
                       default="singlepass",
                       help="crash-image generation strategy: harvest "
@@ -535,6 +630,10 @@ def build_parser() -> argparse.ArgumentParser:
     mon.add_argument("--once", action="store_true",
                      help="render a single frame and exit (exit status "
                           "1 when no status files exist yet)")
+    mon.add_argument("--wait", type=float, default=0.0, metavar="SECONDS",
+                     help="tolerate a campaign that has not started: "
+                          "retry with backoff for up to this many "
+                          "seconds before the first frame")
     mon.set_defaults(func=_cmd_monitor)
 
     rep = sub.add_parser("report",
@@ -542,7 +641,36 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("dir", help="the campaign's --trace-dir")
     rep.add_argument("--html", default=None, metavar="FILE",
                      help="also write a self-contained HTML report")
+    rep.add_argument("--wait", type=float, default=0.0, metavar="SECONDS",
+                     help="retry with backoff for up to this many "
+                          "seconds until trace data exists (exit 1 on "
+                          "timeout)")
     rep.set_defaults(func=_cmd_report)
+
+    cdb = sub.add_parser(
+        "corpusdb",
+        help="manage a cross-campaign corpus database")
+    cdb.add_argument("action", choices=["info", "scrub", "compact"],
+                     help="info: counts and sizes; scrub: journal "
+                          "replay + typed quarantine of damaged "
+                          "entries (--verify re-checks the whole "
+                          "store); compact: move excess hot entries "
+                          "to the cold tier")
+    cdb.add_argument("path", help="database root directory")
+    cdb.add_argument("--verify", action="store_true",
+                     help="after repair, deep-verify every entry "
+                          "(checksum + content address); exit 1 if "
+                          "any damage remains")
+    cdb.add_argument("--tmp-grace", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="age before an orphaned .tmp file is "
+                          "presumed dead and removed")
+    cdb.add_argument("--hot-limit", type=int, default=256, metavar="N",
+                     help="entries to keep in the hot tier when "
+                          "compacting")
+    cdb.add_argument("--max-moves", type=int, default=None, metavar="N",
+                     help="bound on moves per compact invocation")
+    cdb.set_defaults(func=_cmd_corpusdb)
 
     bench = sub.add_parser(
         "bench", help="run the deterministic perf benchmark suite")

@@ -58,6 +58,7 @@ class ImageStore:
         """
         if self.env_faults is not None:
             self.env_faults.check("storage-save")
+            self.env_faults.check("disk-full")
         image_id = image.content_hash()
         if image_id in self._by_hash:
             self.duplicates_rejected += 1

@@ -22,7 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro._util import unpack_checksummed
+from repro._util import sha256_hex, unpack_checksummed
 from repro.core.dedup import ImageStore
 from repro.pmem.image import PMImage
 
@@ -33,6 +33,46 @@ CORPUS_ENTRY_MAGIC = b"PMFZSYNC1\n"
 
 #: Shared-corpus entry file suffix.
 CORPUS_ENTRY_SUFFIX = ".entry"
+
+# Typed damage labels for checksummed containers (see classify_damage).
+DAMAGE_WRONG_MAGIC = "wrong-magic"      #: leading magic bytes differ
+DAMAGE_TRUNCATED = "truncated"          #: file cut before the header ended
+DAMAGE_CHECKSUM = "checksum-mismatch"   #: payload hash differs (torn write
+#: past the header, or bit-rot; callers with payload-format knowledge —
+#: e.g. the corpusdb scrubber's pickle probe — can refine this further)
+DAMAGE_UNREADABLE = "unreadable"        #: the file could not be read at all
+
+
+def classify_damage(magic: bytes, data: Optional[bytes]) -> Optional[str]:
+    """Typed verdict for one checksummed container's bytes.
+
+    Returns ``None`` for a healthy container, else one of the
+    ``DAMAGE_*`` labels.  A checksum alone cannot distinguish a payload
+    truncated by a torn write from a bit-flipped one (the digest covers
+    the *original* payload, which a truncated file no longer holds), so
+    both fall under :data:`DAMAGE_CHECKSUM` here; format-aware callers
+    refine that label by probing the payload.
+    """
+    if data is None:
+        return DAMAGE_UNREADABLE
+    n = len(magic)
+    if len(data) < n:
+        return DAMAGE_TRUNCATED if magic.startswith(data) \
+            else DAMAGE_WRONG_MAGIC
+    if data[:n] != magic:
+        return DAMAGE_WRONG_MAGIC
+    if len(data) < n + 65:  # magic + 64 hex digits + newline
+        return DAMAGE_TRUNCATED
+    digest = data[n:n + 64]
+    if data[n + 64:n + 65] != b"\n":
+        return DAMAGE_CHECKSUM
+    try:
+        expected = digest.decode("ascii")
+    except UnicodeDecodeError:
+        return DAMAGE_CHECKSUM
+    if sha256_hex(data[n + 65:]) != expected:
+        return DAMAGE_CHECKSUM
+    return None
 
 
 class TestCaseStorage:
@@ -202,6 +242,25 @@ class CorpusScrubber:
             pass  # the quarantined entry itself is what matters
         return True
 
+    def maybe_clean_tmp(self, path: str, now: Optional[float] = None) -> bool:
+        """Remove an orphaned ``*.tmp`` file past its grace period.
+
+        Returns True only when the file was actually removed.  A young
+        temp file is assumed to be a live publisher's in-flight
+        ``atomic_write_bytes`` (write finished, rename pending) and is
+        left alone — that age gate is what lets a scrub pass race a
+        live publisher without eating its work.
+        """
+        if now is None:
+            now = time.time()
+        try:
+            if now - os.path.getmtime(path) > self.tmp_grace:
+                os.remove(path)
+                return True
+        except OSError:
+            pass  # in-flight write or already gone
+        return False
+
     def scrub(self) -> ScrubReport:
         """One full pass; never raises on damaged files."""
         report = ScrubReport()
@@ -213,12 +272,8 @@ class CorpusScrubber:
         for name in names:
             path = os.path.join(self.corpus_dir, name)
             if name.endswith(".tmp"):
-                try:
-                    if now - os.path.getmtime(path) > self.tmp_grace:
-                        os.remove(path)
-                        report.cleaned_tmp += 1
-                except OSError:
-                    pass  # in-flight write or already gone
+                if self.maybe_clean_tmp(path, now):
+                    report.cleaned_tmp += 1
                 continue
             if not name.endswith(self.suffix):
                 continue

@@ -1,0 +1,36 @@
+"""Durable cross-campaign corpus database (ROADMAP item 3).
+
+A persistent, content-addressed store of coverage-interesting test
+cases shared by every campaign on the same workload.  Entries reuse the
+fleet syncer's checksummed atomic container, live in a tiered hot/cold
+layout, and every mutation (publish / retire / compact) is covered by a
+write-ahead intent journal so a SIGKILL at any instruction is healed by
+idempotent replay on the next open.  See DESIGN.md §11.
+
+Layers:
+
+* :mod:`repro.corpusdb.journal` — the write-ahead intent journal;
+* :mod:`repro.corpusdb.db` — :class:`CorpusDatabase` (tiers, compactor,
+  maintenance lock) and the poll-based :class:`CorpusListener`;
+* :mod:`repro.corpusdb.scrub` — full-store scrub / verify with typed
+  damage reasons;
+* :mod:`repro.corpusdb.client` — the engine-side
+  :class:`CorpusDBClient`: warm-start, mid-flight import, buffered
+  publish, bounded retry, graceful degradation.
+"""
+
+from repro.corpusdb.client import CorpusDBClient
+from repro.corpusdb.db import CorpusDatabase, CorpusDBPaths, CorpusListener
+from repro.corpusdb.journal import IntentJournal, JournalReplayReport
+from repro.corpusdb.scrub import DBScrubReport, scrub_database
+
+__all__ = [
+    "CorpusDBClient",
+    "CorpusDBPaths",
+    "CorpusDatabase",
+    "CorpusListener",
+    "DBScrubReport",
+    "IntentJournal",
+    "JournalReplayReport",
+    "scrub_database",
+]

@@ -1,0 +1,374 @@
+"""Engine-side corpus-database client: warm-start, pub/sub, degrade.
+
+The client is to the corpus database what
+:class:`~repro.orchestrate.sync.CorpusSyncer` is to the fleet's shared
+corpus — the engine calls the same three hooks (``record_saved`` after
+an interesting save, a periodic sync, a final flush) — but where the
+syncer's peers live inside one supervised run, the database is shared
+by *strangers*: other campaigns, possibly dead ones, possibly a repair
+pass.  So every touch is wrapped in bounded retry-with-backoff, and a
+persistently unusable database triggers the degradation ladder instead
+of an error:
+
+1. **healthy** — publish, poll, import;
+2. **retrying** — an op failed, back off (wall-clock) and try again,
+   up to ``max_retries`` attempts per op;
+3. **skipping** — the op is abandoned for this sync round, the entry
+   stays buffered, a failure strike is recorded;
+4. **degraded** — ``degrade_threshold`` consecutive round failures (or
+   an unopenable database: missing, locked, wrong format) permanently
+   detaches the client; a ``degraded`` trace event is emitted, and the
+   campaign finishes standalone with exit code 0.
+
+Determinism: database sync happens on a fixed virtual-time cadence and
+charges *zero* virtual cost (it models background I/O off the critical
+path); imports are coverage-gated in sorted key order and all fault
+draws use the injector's host stream — so two campaigns with the same
+seed warm-started from byte-identical database contents produce
+bit-identical :meth:`~repro.fuzz.stats.FuzzStats.comparable` stats.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import (CorpusCorruptionError, CorpusDBError,
+                          HarnessFaultError, ReproError)
+
+#: Publish buffer bound: oldest entries are dropped first if the
+#: database stays unreachable long enough to pile this many up.
+MAX_PENDING = 512
+
+
+class CorpusDBClient:
+    """One campaign's connection to a shared corpus database.
+
+    Args:
+        path: database root directory (one per workload).
+        every: virtual seconds between sync rounds (publish + poll).
+        max_retries: per-operation I/O retry bound.
+        backoff_s: initial wall-clock backoff, doubled per retry.
+        degrade_threshold: consecutive failed rounds before the client
+            permanently detaches.
+    """
+
+    def __init__(self, path: str, every: float = 0.5,
+                 max_retries: int = 3, backoff_s: float = 0.002,
+                 degrade_threshold: int = 3) -> None:
+        self.path = path
+        self.every = every
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.degrade_threshold = degrade_threshold
+
+        self.engine = None
+        self.db = None
+        self.listener = None
+        self.degraded = False
+        self.degrade_reason = ""
+        self._opened = False
+        self._warm_started = False
+        self._failed_rounds = 0
+        self._pending: List[Dict] = []
+        self._next_sync = 0.0
+
+    # ------------------------------------------------------------------
+    def attach(self, engine) -> None:
+        """Bind to the engine (mirrors ``CorpusSyncer.attach``)."""
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+    def _degrade(self, reason: str, detail: str = "") -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degrade_reason = reason
+        self.db = None
+        self.listener = None
+        engine = self.engine
+        if engine is None:
+            return
+        engine.stats.corpusdb_degraded = 1
+        engine.metrics.counter("corpusdb/degraded").inc()
+        engine.trace.emit("degraded", engine.vclock, component="corpusdb",
+                          reason=reason, detail=detail[:200])
+
+    def _io(self, op: str, fn):
+        """Run one DB operation with bounded retry; None on give-up.
+
+        Returns ``(ok, value)`` — callers must check ``ok`` because a
+        legitimate result can be falsy.  Backoff sleeps are wall-clock
+        (the campaign's virtual clock is never charged for contended
+        shared storage) and the retry count is a host-dependent stat.
+        """
+        engine = self.engine
+        delay = self.backoff_s
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return True, fn()
+            except (CorpusCorruptionError, CorpusDBError):
+                raise  # data damage / unusable DB: not retryable here
+            except (ReproError, OSError) as exc:
+                last = exc
+                if attempt < self.max_retries:
+                    if engine is not None:
+                        engine.stats.corpusdb_retries += 1
+                    time.sleep(delay)
+                    delay *= 2
+        self._failed_rounds += 1
+        if self._failed_rounds >= self.degrade_threshold:
+            self._degrade("faulting",
+                          f"{op} kept failing after retries: {last}")
+        return False, None
+
+    # ------------------------------------------------------------------
+    # Boot / warm start
+    # ------------------------------------------------------------------
+    def boot(self, engine) -> None:
+        """Open the database and warm-start the queue from it.
+
+        Called from ``FuzzEngine.setup`` and lazily after a checkpoint
+        resume.  Never raises: an unusable database degrades.
+        """
+        self.attach(engine)
+        if self._opened or self.degraded:
+            return
+        self._opened = True
+        from repro.corpusdb.db import CorpusDatabase, CorpusListener
+        try:
+            ok, db = self._io("open", lambda: CorpusDatabase.open(
+                self.path, env_faults=engine.env_faults))
+            if not ok:
+                return
+        except CorpusDBError as exc:
+            self._degrade(exc.reason, str(exc))
+            return
+        self.db = db
+        self.listener = CorpusListener(db)
+        restored = getattr(self, "_restored_seen", None)
+        if restored is not None:
+            self.listener.setstate(restored)
+            self._restored_seen = None
+        self._io("replay-journal", db.replay_journal)
+        if self.db is None:  # replay failures may have degraded us
+            return
+        if self._warm_started:
+            # Resumed from a checkpoint: history up to the snapshot is
+            # already in the queue and in the restored seen-set; the
+            # next poll picks up anything newer.
+            return
+        self._warm_started = True
+        imported = self._import_new(warm=True)
+        engine.stats.corpusdb_warm_start = imported
+        engine.trace.emit("corpusdb", engine.vclock, action="warm_start",
+                          imported=imported)
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def record_saved(self, entry, result) -> None:
+        """Buffer one coverage-interesting save for the next publish.
+
+        Image bytes are resolved now, fault-free, exactly like the
+        fleet syncer — a republish after resume serializes the same
+        entry, and the content address is stable.
+        """
+        if self.degraded or self.engine is None:
+            return
+        from repro.corpusdb.db import entry_key
+        engine = self.engine
+        image_id = entry.image_id or engine._seed_image_id
+        image_bytes = engine.storage.store.raw_serialized(image_id)
+        data = bytes(entry.data)
+        self._pending.append({
+            "key": entry_key(data, image_bytes),
+            "data": data,
+            "image_id": image_id,
+            "image": image_bytes,
+            "branch": list(result.branch_sparse),
+            "pm": list(result.pm_sparse),
+            "workload": engine.stats.workload_name,
+            "config": engine.stats.config_name,
+        })
+        if len(self._pending) > MAX_PENDING:
+            del self._pending[:len(self._pending) - MAX_PENDING]
+
+    def maybe_sync(self, engine, force: bool = False) -> None:
+        """One sync round (publish + poll-import) if the cadence is due."""
+        if self.degraded:
+            return
+        if not self._opened:
+            self.boot(engine)
+            if self.degraded:
+                return
+        if not force and engine.vclock < self._next_sync:
+            return
+        self._next_sync = engine.vclock + self.every
+        if self.db is None:
+            return
+        with engine.profiler.stage("corpusdb"):
+            published = self._flush()
+            imported = 0
+            if not self.degraded:
+                imported = self._import_new(warm=False)
+        if published or imported:
+            engine.trace.emit("corpusdb", engine.vclock, action="sync",
+                              published=published, imported=imported)
+
+    def final_flush(self, engine) -> None:
+        """Publish whatever is still buffered at campaign end."""
+        if self.degraded or self.db is None:
+            return
+        with engine.profiler.stage("corpusdb"):
+            published = self._flush()
+        if published:
+            engine.trace.emit("corpusdb", engine.vclock, action="flush",
+                              published=published)
+
+    # ------------------------------------------------------------------
+    # Publish / import
+    # ------------------------------------------------------------------
+    def _flush(self) -> int:
+        engine = self.engine
+        published = 0
+        still_pending: List[Dict] = []
+        for record in self._pending:
+            if self.degraded:
+                still_pending.append(record)
+                continue
+            try:
+                ok, is_new = self._io(
+                    "publish", lambda r=record: self.db.publish(r))
+            except (CorpusDBError, CorpusCorruptionError):
+                still_pending.append(record)
+                continue
+            if not ok:
+                still_pending.append(record)
+                continue
+            self._failed_rounds = 0
+            if self.listener is not None:
+                self.listener.prime([record["key"]])
+            if is_new:
+                published += 1
+                engine.stats.corpusdb_published += 1
+                engine.metrics.counter("corpusdb/published").inc()
+        self._pending = still_pending
+        return published
+
+    def _import_new(self, warm: bool) -> int:
+        """Coverage-gated import of every not-yet-seen entry."""
+        engine = self.engine
+        stats = engine.stats
+        try:
+            ok, fresh = self._io("poll", self.listener.poll)
+        except (CorpusDBError, CorpusCorruptionError):
+            return 0
+        if not ok or not fresh:
+            return 0
+        self._failed_rounds = 0
+        imported = 0
+        for key in fresh:
+            payload = self._load_entry(key)
+            if payload is None:
+                continue
+            if self._import_payload(payload):
+                imported += 1
+                stats.corpusdb_imported += 1
+                engine.metrics.counter("corpusdb/imported").inc()
+            else:
+                stats.corpusdb_import_rejected += 1
+        return imported
+
+    def _load_entry(self, key: str) -> Optional[Dict]:
+        engine = self.engine
+        try:
+            ok, payload = self._io("read", lambda: self.db.get(key))
+        except CorpusCorruptionError as exc:
+            # Self-healing import, same as the fleet path: quarantine by
+            # claim-by-rename, count, never retry this entry.
+            if self._quarantine(key, str(exc)):
+                engine.stats.corpusdb_quarantined += 1
+            return None
+        except CorpusDBError:
+            return None  # raced a retire/compact; gone is fine
+        if not ok:
+            return None
+        if not isinstance(payload, dict) or "data" not in payload:
+            if self._quarantine(key, "malformed payload"):
+                engine.stats.corpusdb_quarantined += 1
+            return None
+        return payload
+
+    def _quarantine(self, key: str, reason: str) -> bool:
+        from repro.core.storage import CorpusScrubber
+        path = self.db.find(key) if self.db is not None else None
+        if path is None:
+            return False
+        import os
+        scrubber = CorpusScrubber(os.path.dirname(path),
+                                  self.db.paths.quarantine)
+        return scrubber.quarantine(path, reason)
+
+    def _import_payload(self, payload: Dict) -> bool:
+        """Gate + merge one entry (the fleet syncer's import contract)."""
+        from repro.pmem.image import PMImage
+        engine = self.engine
+        branch = payload.get("branch") or []
+        pm = payload.get("pm") or []
+        b_new_slot, b_new_bucket, _ = engine.branch_cov.classify(branch)
+        p_new_slot, p_new_bucket, _ = engine.pm_cov.classify(pm)
+        if not (b_new_slot or b_new_bucket or p_new_slot or p_new_bucket):
+            return False
+        image_id = payload.get("image_id") or ""
+        image_bytes = payload.get("image")
+        if image_bytes:
+            try:
+                engine.storage.store.put(PMImage.from_bytes(image_bytes))
+            except HarnessFaultError:
+                # Injected storage fault on the import path: this entry
+                # is lost to the campaign, the draw already happened.
+                return False
+            except Exception as exc:
+                if self._quarantine(payload.get("key", ""),
+                                    f"bad image: {exc}"):
+                    engine.stats.corpusdb_quarantined += 1
+                return False
+        engine.branch_cov.update(branch)
+        engine.pm_cov.update(pm)
+        engine.queue.add(payload["data"], image_id=image_id, favored=1,
+                         created_at=engine.vclock)
+        return True
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def getstate(self):
+        return {
+            "warm_started": self._warm_started,
+            "degraded": self.degraded,
+            "degrade_reason": self.degrade_reason,
+            "failed_rounds": self._failed_rounds,
+            "next_sync": self._next_sync,
+            "pending": [dict(r) for r in self._pending],
+            "seen": (self.listener.getstate()
+                     if self.listener is not None else set()),
+        }
+
+    def setstate(self, state) -> None:
+        self._warm_started = bool(state.get("warm_started"))
+        self.degraded = bool(state.get("degraded"))
+        self.degrade_reason = state.get("degrade_reason", "")
+        self._failed_rounds = int(state.get("failed_rounds", 0))
+        self._next_sync = float(state.get("next_sync", 0.0))
+        self._pending = [dict(r) for r in state.get("pending", [])]
+        self._restored_seen = set(state.get("seen", set()))
+        # The database is reopened lazily on the next sync; the restored
+        # seen-set is primed into the fresh listener then.
+        self._opened = False
+        self.db = None
+        self.listener = None

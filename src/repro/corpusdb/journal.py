@@ -1,0 +1,163 @@
+"""Write-ahead intent journal for the corpus database.
+
+Every database mutation follows the same discipline:
+
+1. write an *intent* record (atomic: write-tmp + fsync + rename);
+2. perform the mutation, itself a single atomic filesystem operation
+   (``atomic_write_bytes`` for a publish, one ``os.replace`` for a
+   compaction move, ``os.remove`` for a retire);
+3. delete the intent.
+
+A kill between any two steps leaves the store in a state
+:meth:`IntentJournal.replay` can heal without knowing *where* the kill
+landed: the intent names the operation and the key, and every
+resolution is idempotent — replaying twice (or concurrently from two
+campaigns) converges to the same committed state, because each step is
+a rename/remove that exactly one replayer wins and the losers observe
+as already done.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro._util import atomic_write_bytes, pack_checksummed, \
+    unpack_checksummed
+
+#: Container magic for intent records.
+INTENT_MAGIC = b"PMFZCDBJ1\n"
+
+#: Intent file suffix.
+INTENT_SUFFIX = ".intent"
+
+#: Operations the journal knows how to replay.
+INTENT_OPS = ("publish", "compact", "retire")
+
+
+@dataclass
+class JournalReplayReport:
+    """What one replay pass resolved."""
+
+    completed: int = 0  #: interrupted operations finished forward
+    rolled_back: int = 0  #: operations that never landed; intent dropped
+    dropped_damaged: int = 0  #: unreadable/corrupt intent records removed
+    by_op: Dict[str, int] = field(default_factory=dict)  #: op -> intents seen
+
+
+class IntentJournal:
+    """Directory of per-operation intent records.
+
+    Intent files are named ``<op>-<key><suffix>`` — deterministic per
+    (operation, entry), so two campaigns journaling the same publish
+    write the same record and replay stays idempotent.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    # ------------------------------------------------------------------
+    def _path(self, op: str, key: str) -> str:
+        return os.path.join(self.directory, f"{op}-{key}{INTENT_SUFFIX}")
+
+    def begin(self, op: str, key: str) -> str:
+        """Durably record the intent to perform ``op`` on ``key``."""
+        record = json.dumps({"op": op, "key": key},
+                            sort_keys=True).encode("ascii")
+        path = self._path(op, key)
+        atomic_write_bytes(path, pack_checksummed(INTENT_MAGIC, record))
+        return path
+
+    def commit(self, path: str) -> None:
+        """Drop a completed intent (idempotent)."""
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass  # a concurrent replayer already committed it
+
+    # ------------------------------------------------------------------
+    def pending(self) -> List[Tuple[str, Optional[str], Optional[str]]]:
+        """Sorted ``(path, op, key)`` for every pending intent.
+
+        A record that cannot be read or verified yields
+        ``(path, None, None)`` — the caller decides its fate (replay
+        drops it: intents only *accelerate* recovery, the underlying
+        operations are individually atomic, so a lost intent is safe).
+        """
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        out: List[Tuple[str, Optional[str], Optional[str]]] = []
+        for name in names:
+            if not name.endswith(INTENT_SUFFIX):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "rb") as fh:
+                    blob = unpack_checksummed(INTENT_MAGIC, fh.read(),
+                                              what=name)
+                record = json.loads(blob.decode("ascii"))
+                op, key = record["op"], record["key"]
+                if op not in INTENT_OPS or not isinstance(key, str):
+                    raise ValueError(f"malformed intent record {record!r}")
+            except (OSError, ValueError, KeyError, TypeError):
+                out.append((path, None, None))
+                continue
+            out.append((path, op, key))
+        return out
+
+    # ------------------------------------------------------------------
+    def replay(self, db) -> JournalReplayReport:
+        """Resolve every pending intent against ``db``.
+
+        * ``publish``: the entry write was atomic — if it landed (in
+          either tier) the operation completed; otherwise the writer
+          died before the rename and there is nothing to redo (an
+          orphaned ``.tmp`` is the scrubber's job).
+        * ``compact``: finish the hot→cold move if the entry is still
+          hot; a kill after the ``os.replace`` already left it cold.
+        * ``retire``: remove the entry from both tiers.
+        """
+        report = JournalReplayReport()
+        for path, op, key in self.pending():
+            if op is None or key is None:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                report.dropped_damaged += 1
+                continue
+            report.by_op[op] = report.by_op.get(op, 0) + 1
+            if op == "publish":
+                if db.find(key) is not None:
+                    report.completed += 1
+                else:
+                    report.rolled_back += 1
+            elif op == "compact":
+                hot = db.hot_path(key)
+                cold = db.cold_path(key)
+                if os.path.exists(cold):
+                    report.completed += 1
+                else:
+                    try:
+                        os.replace(hot, cold)
+                        report.completed += 1
+                    except FileNotFoundError:
+                        # Neither tier holds it: the entry was retired
+                        # (or quarantined) out from under the move.
+                        report.rolled_back += 1
+            elif op == "retire":
+                removed_any = False
+                for target in (db.hot_path(key), db.cold_path(key)):
+                    try:
+                        os.remove(target)
+                        removed_any = True
+                    except FileNotFoundError:
+                        pass
+                report.completed += 1 if removed_any else 0
+                report.rolled_back += 0 if removed_any else 1
+            self.commit(path)
+        return report

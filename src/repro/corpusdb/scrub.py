@@ -1,0 +1,236 @@
+"""Full-store scrub / self-repair / verification for the corpus DB.
+
+Builds on :class:`~repro.core.storage.CorpusScrubber` (same container
+format, same claim-by-rename quarantine, same ``.tmp`` age gate) and
+adds what a *database* needs over a sync directory:
+
+* journal replay first, so interrupted publishes/compactions are
+  resolved before any entry is judged;
+* **typed** damage reasons — ``wrong-magic`` / ``truncated`` /
+  ``bit-flipped`` / ``unreadable`` / ``key-mismatch`` — refined beyond
+  the checksum verdict by probing the pickled payload (a torn write
+  cuts the pickle short, which ``pickle`` reports as truncation; a
+  bit-flip keeps the length and garbles the content);
+* an optional deep-verify pass (``corpusdb scrub --verify``) that
+  re-reads every surviving entry, re-derives its content address, and
+  reports anything still damaged — the "zero undetected corruption"
+  gate the nightly soak asserts.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.storage import (CORPUS_ENTRY_MAGIC, CORPUS_ENTRY_SUFFIX,
+                                DAMAGE_CHECKSUM, DAMAGE_TRUNCATED,
+                                CorpusScrubber, ScrubReport, classify_damage)
+from repro.corpusdb.db import CorpusDatabase, entry_key
+from repro.corpusdb.journal import JournalReplayReport
+
+#: Refinements produced here on top of the storage-layer labels.
+DAMAGE_BIT_FLIPPED = "bit-flipped"
+DAMAGE_KEY_MISMATCH = "key-mismatch"
+
+
+def classify_entry_damage(data: Optional[bytes]) -> Optional[str]:
+    """Typed verdict for one corpus entry's bytes (None = healthy).
+
+    Refines the storage layer's ``checksum-mismatch`` by probing the
+    pickled payload: a payload cut by a torn write fails to unpickle
+    with a truncation error, while a same-length bit-flip either loads
+    (content damage) or garbles mid-stream.
+    """
+    label = classify_damage(CORPUS_ENTRY_MAGIC, data)
+    if label != DAMAGE_CHECKSUM:
+        return label
+    payload = data[len(CORPUS_ENTRY_MAGIC) + 65:]
+    try:
+        pickle.loads(payload)
+    except EOFError:
+        return DAMAGE_TRUNCATED
+    except pickle.UnpicklingError as exc:
+        if "truncated" in str(exc).lower():
+            return DAMAGE_TRUNCATED
+        return DAMAGE_BIT_FLIPPED
+    except Exception:
+        return DAMAGE_BIT_FLIPPED
+    return DAMAGE_BIT_FLIPPED
+
+
+@dataclass
+class DBScrubReport:
+    """What one database scrub (and optional verify) pass did."""
+
+    replay: JournalReplayReport = field(default_factory=JournalReplayReport)
+    tiers: Dict[str, ScrubReport] = field(default_factory=dict)
+    #: "tier/name" -> typed damage label, across both tiers.
+    typed_reasons: Dict[str, str] = field(default_factory=dict)
+    verified: int = 0  #: entries that passed the deep-verify pass
+    #: "tier/name" -> label for entries still damaged *after* repair —
+    #: non-empty means undetected corruption leaked past the scrub.
+    residual: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def scanned(self) -> int:
+        return sum(r.scanned for r in self.tiers.values())
+
+    @property
+    def quarantined(self) -> int:
+        return sum(r.quarantined for r in self.tiers.values())
+
+    @property
+    def cleaned_tmp(self) -> int:
+        return sum(r.cleaned_tmp for r in self.tiers.values())
+
+    @property
+    def ok(self) -> bool:
+        return not self.residual
+
+    def summary(self) -> str:
+        parts = [f"scanned={self.scanned}",
+                 f"quarantined={self.quarantined}",
+                 f"cleaned-tmp={self.cleaned_tmp}",
+                 f"journal-completed={self.replay.completed}",
+                 f"journal-rolled-back={self.replay.rolled_back}"]
+        if self.verified or self.residual:
+            parts.append(f"verified={self.verified}")
+            parts.append(f"residual-damage={len(self.residual)}")
+        return " ".join(parts)
+
+
+def _read_or_none(path: str) -> Optional[bytes]:
+    try:
+        with open(path, "rb") as fh:
+            return fh.read()
+    except OSError:
+        return None
+
+
+def _scrub_tier(tier_name: str, tier_dir: str, quarantine_dir: str,
+                tmp_grace: float,
+                typed: Dict[str, str]) -> ScrubReport:
+    scrubber = CorpusScrubber(tier_dir, quarantine_dir, tmp_grace=tmp_grace)
+    report = ScrubReport()
+    try:
+        names = sorted(os.listdir(tier_dir))
+    except OSError:
+        return report
+    now = time.time()
+    for name in names:
+        path = os.path.join(tier_dir, name)
+        if name.endswith(".tmp"):
+            if scrubber.maybe_clean_tmp(path, now):
+                report.cleaned_tmp += 1
+            continue
+        if not name.endswith(CORPUS_ENTRY_SUFFIX):
+            continue
+        report.scanned += 1
+        label = classify_entry_damage(_read_or_none(path))
+        if label is None:
+            report.healthy += 1
+            continue
+        report.reasons[name] = label
+        typed[f"{tier_name}/{name}"] = label
+        if scrubber.quarantine(path, label):
+            report.quarantined += 1
+        else:
+            report.claimed_elsewhere += 1
+    return report
+
+
+def _deep_verify_entry(name: str, data: Optional[bytes]) -> Optional[str]:
+    """Container check plus content-address check; None if clean."""
+    label = classify_entry_damage(data)
+    if label is not None:
+        return label
+    blob = data[len(CORPUS_ENTRY_MAGIC) + 65:]
+    try:
+        payload = pickle.loads(blob)
+        key = payload["key"]
+        derived = entry_key(bytes(payload["data"]),
+                            bytes(payload.get("image") or b""))
+    except Exception:
+        return DAMAGE_BIT_FLIPPED
+    stem = name[:-len(CORPUS_ENTRY_SUFFIX)]
+    if key != stem or derived != stem:
+        return DAMAGE_KEY_MISMATCH
+    return None
+
+
+def scrub_database(root: str, verify: bool = False,
+                   tmp_grace: float = 60.0,
+                   take_lock: bool = True) -> Tuple[DBScrubReport,
+                                                    CorpusDatabase]:
+    """Heal a corpus database; optionally deep-verify every survivor.
+
+    Order matters: the journal is replayed *first* (finishing
+    interrupted compaction moves and dropping dead publish intents),
+    then each tier is scrubbed with typed quarantine, then — under
+    ``verify`` — every surviving entry is re-read, its container
+    re-checksummed and its content address re-derived.  Anything the
+    verify pass finds is quarantined too and recorded in
+    ``report.residual``; a non-empty residual is the "undetected
+    corruption" signal the nightly soak gates on.
+
+    The maintenance lock is held for the duration (default) so a
+    campaign opening mid-repair degrades instead of importing from a
+    store being rearranged under it.
+    """
+    db = CorpusDatabase.open(root, create=False)
+    report = DBScrubReport()
+    if take_lock:
+        db.lock_maintenance()
+    try:
+        report.replay = db.replay_journal()
+        for tier_name, tier_dir in (("hot", db.paths.hot),
+                                    ("cold", db.paths.cold)):
+            report.tiers[tier_name] = _scrub_tier(
+                tier_name, tier_dir, db.paths.quarantine, tmp_grace,
+                report.typed_reasons)
+        if verify:
+            # Repair round: anything the deep check catches beyond the
+            # container checksum (e.g. a misfiled key) is quarantined
+            # with its typed reason, same as the scrub round.
+            for tier_name, tier_dir in (("hot", db.paths.hot),
+                                        ("cold", db.paths.cold)):
+                scrubber = CorpusScrubber(tier_dir, db.paths.quarantine,
+                                          tmp_grace=tmp_grace)
+                try:
+                    names = sorted(os.listdir(tier_dir))
+                except OSError:
+                    continue
+                for name in names:
+                    if not name.endswith(CORPUS_ENTRY_SUFFIX):
+                        continue
+                    path = os.path.join(tier_dir, name)
+                    label = _deep_verify_entry(name, _read_or_none(path))
+                    if label is None:
+                        continue
+                    report.typed_reasons[f"{tier_name}/{name}"] = label
+                    if scrubber.quarantine(path, label):
+                        report.tiers[tier_name].quarantined += 1
+            # Verification round: after all repair, every entry still in
+            # the store must deep-verify clean; anything here leaked.
+            for tier_name, tier_dir in (("hot", db.paths.hot),
+                                        ("cold", db.paths.cold)):
+                try:
+                    names = sorted(os.listdir(tier_dir))
+                except OSError:
+                    continue
+                for name in names:
+                    if not name.endswith(CORPUS_ENTRY_SUFFIX):
+                        continue
+                    path = os.path.join(tier_dir, name)
+                    label = _deep_verify_entry(name, _read_or_none(path))
+                    if label is None:
+                        report.verified += 1
+                    else:
+                        report.residual[f"{tier_name}/{name}"] = label
+    finally:
+        if take_lock:
+            db.unlock_maintenance()
+    return report, db

@@ -169,6 +169,24 @@ class CheckpointError(ReproError):
     """A campaign checkpoint could not be written, read, or verified."""
 
 
+class CorpusDBError(ReproError):
+    """The cross-campaign corpus database is unusable.
+
+    Raised by :mod:`repro.corpusdb` when the database cannot be opened
+    (missing parent directory, foreign or future on-disk format, held
+    maintenance lock) or an operation exhausted its bounded retries.
+    The engine-side client converts this into graceful degradation — a
+    ``degraded`` trace event and a standalone campaign — never a failed
+    run.
+    """
+
+    def __init__(self, message: str, reason: str = "unavailable") -> None:
+        super().__init__(message)
+        #: machine-readable cause: "missing" / "locked" / "format" /
+        #: "faulting" / "unavailable"
+        self.reason = reason
+
+
 import struct as _struct  # noqa: E402  (kept local to the tuple below)
 
 #: Exceptions that model memory corruption in a C program: a corrupted

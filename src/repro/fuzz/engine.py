@@ -27,7 +27,7 @@ from repro.core.config import FuzzConfig, ImgFuzzMode
 from repro.core.dedup import ImageStore
 from repro.core.storage import TestCaseStorage
 from repro.core.testcase import TestCaseTree
-from repro.errors import FuzzerError, HarnessFaultError
+from repro.errors import FuzzerError, HarnessFaultError, StorageFaultError
 from repro.fuzz.coverage import MAP_SIZE, GlobalCoverage
 from repro.fuzz.executor import CostModel, ExecResult, Executor
 from repro.fuzz.mutators import MutationEngine
@@ -40,7 +40,6 @@ from repro.observe.metrics import MetricsRegistry
 from repro.observe.monitor import StatusWriter, status_name
 from repro.observe.profiler import StageProfiler
 from repro.observe.sink import JsonlTraceSink, shard_name
-from repro.resilience.supervisor import SupervisedExecutor
 from repro.workloads.base import RunOutcome, Workload
 
 #: Basic seed inputs: "a list of basic commands" (Section 5.1).
@@ -84,6 +83,8 @@ class FuzzEngine:
         trace_rotate_bytes: Optional[int] = None,
         profile: bool = False,
         status_every: float = 0.5,
+        corpus_db: Optional[str] = None,
+        corpus_db_every: float = 0.5,
     ) -> None:
         self.workload_factory = workload_factory
         self.config = config
@@ -125,9 +126,13 @@ class FuzzEngine:
         # that had not re-fired since resume would silently lose its
         # checkpointed value.  Static registration also keeps the
         # snapshot key set identical across trace on/off and backends.
-        for stage in ("mutate", "execute", "crashgen", "sync", "checkpoint"):
+        for stage in ("mutate", "execute", "crashgen", "sync", "checkpoint",
+                      "corpusdb"):
             self.profiler.add_vtime(stage, 0.0)
             self.profiler.count_call(stage, 0)
+        for name in ("corpusdb/published", "corpusdb/imported",
+                     "corpusdb/degraded"):
+            self.metrics.counter(name)
         for op in self.mutator.op_names():
             for what in ("execs", "saves"):
                 self._mutop(op, what)
@@ -162,6 +167,10 @@ class FuzzEngine:
         self.stats.isolation_fallback = self._isolation_fallback
         #: Resilience layer: retries transient harness faults, enforces
         #: the per-test-case time budget, quarantines harness killers.
+        # Imported here, not at module level: repro.resilience's package
+        # init pulls repro.fuzz back in, and whichever package is
+        # imported first must be able to finish initializing.
+        from repro.resilience.supervisor import SupervisedExecutor
         self.supervisor = SupervisedExecutor(
             self.executor, stats=self.stats,
             max_retries=max_retries,
@@ -185,6 +194,14 @@ class FuzzEngine:
         self.fleet_sync = None
         self.round_hook = None
         self._fleet_sync_state = None  # stashed by checkpoint restore
+        #: Cross-campaign corpus database client (inert when --corpus-db
+        #: is off; never fails the run — see repro.corpusdb.client).
+        self.corpus_db = None
+        if corpus_db:
+            from repro.corpusdb.client import CorpusDBClient
+            self.corpus_db = CorpusDBClient(corpus_db,
+                                            every=corpus_db_every)
+            self.corpus_db.attach(self)
         #: Graceful-stop flag (first SIGINT/SIGTERM sets it; the loop
         #: finishes the in-flight execution and stops cleanly).
         self._stop_requested = False
@@ -229,6 +246,10 @@ class FuzzEngine:
                 entry = self.queue.add(data, image_id=self._seed_image_id,
                                        branch_favored=True)
                 self._run_one(entry, data)
+        if self.corpus_db is not None:
+            # Warm-start after the seed executions so imports are
+            # coverage-gated against the real baseline maps.
+            self.corpus_db.boot(self)
         self._set_up = True
 
     # ------------------------------------------------------------------
@@ -274,6 +295,8 @@ class FuzzEngine:
             if self.round_hook is not None:
                 self.round_hook(self)
             self._maybe_checkpoint()
+            if self.corpus_db is not None:
+                self.corpus_db.maybe_sync(self)
             entry = self.queue.select(self.rng)
             entry.fuzz_rounds += 1
             for index, data in enumerate(self._children_of(entry)):
@@ -305,6 +328,8 @@ class FuzzEngine:
             self.stats.stop_reason = "budget"
         self.stats.pm_covered_slots = set(self.pm_cov.covered_slots())
         self.stats.branch_covered_slots = set(self.branch_cov.covered_slots())
+        if self.corpus_db is not None:
+            self.corpus_db.final_flush(self)
         self._sample(force=True)
         # Final metrics snapshot lands in the stats object even without
         # a trace directory — comparable() always carries the metrics.
@@ -354,6 +379,20 @@ class FuzzEngine:
         if not target:
             raise FuzzerError("no checkpoint path configured")
         with self.profiler.stage("checkpoint"):
+            # A full disk at checkpoint time costs this one snapshot,
+            # never the campaign: the previous checkpoint (and its
+            # .prev rotation) still exists, so resume stays possible.
+            # Drawn from the host fault stream *before* the event is
+            # emitted, so a skipped snapshot leaves no trace-seq gap.
+            if self.env_faults is not None:
+                try:
+                    self.env_faults.check_host("disk-full")
+                except StorageFaultError as exc:
+                    self.stats.disk_full_faults += 1
+                    self.trace.emit("fault_injected", self.vclock,
+                                    fault="disk-full",
+                                    detail=f"checkpoint skipped: {exc}")
+                    return ""
             # Emit *before* capturing so the snapshotted bus sequence
             # already covers this event: a resumed member continues at
             # the same seq as an uninterrupted run (merge dedup relies
@@ -478,6 +517,11 @@ class FuzzEngine:
                 # is a candidate for publication to the shared corpus at
                 # the next epoch boundary.
                 self.fleet_sync.record_saved(saved, result)
+            if self.corpus_db is not None:
+                # Same contract toward the cross-campaign database: the
+                # entry is buffered now (bytes resolved fault-free) and
+                # published at the next sync round.
+                self.corpus_db.record_saved(saved, result)
         # Mutation-operator effectiveness: which operators produced the
         # children we ran, and which of those children earned a queue
         # slot.  Deterministic (a function of the seeded campaign only).

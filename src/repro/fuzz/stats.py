@@ -75,6 +75,18 @@ class FuzzStats:
     members_retired: list = field(default_factory=list)  #: circuit-broken
     member_restarts: int = 0  #: supervised restarts across the fleet
 
+    # Corpus-database counters (maintained by repro.corpusdb.client).
+    corpusdb_published: int = 0  #: entries published to the shared DB
+    corpusdb_imported: int = 0  #: DB entries imported (coverage-gated in)
+    corpusdb_import_rejected: int = 0  #: DB entries gated out / unusable
+    corpusdb_warm_start: int = 0  #: imports done during boot warm-start
+    corpusdb_quarantined: int = 0  #: damaged DB entries quarantined
+    corpusdb_degraded: int = 0  #: 1 if the DB client gave up and the
+    #: campaign continued standalone (missing/locked/persistently
+    #: faulting database)
+    corpusdb_retries: int = 0  #: DB I/O attempts retried (host-dependent)
+    disk_full_faults: int = 0  #: injected/real ENOSPC hits absorbed
+
     # Observability snapshots (maintained by repro.observe).
     #: deterministic metrics registry snapshot (per-stage vtime,
     #: mutation-operator effectiveness, queue depth, map density, exec
@@ -99,6 +111,10 @@ class FuzzStats:
         "isolation_backend", "isolation_fallback", "watchdog_kills",
         "worker_crashes", "worker_recycles", "triage_bundles",
         "member_restarts", "sync_barrier_timeouts", "metrics_host",
+        # Wall-clock artifacts of corpus-database hosting: retry counts
+        # follow real I/O contention, and ENOSPC hits at the checkpoint
+        # surface follow the (host-chosen) checkpoint cadence.
+        "corpusdb_retries", "disk_full_faults",
     )
 
     def comparable(self) -> dict:

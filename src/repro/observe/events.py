@@ -31,6 +31,8 @@ EVENT_KINDS = frozenset({
     "checkpoint",      # campaign state snapshotted to disk
     "stage_enter",     # pipeline / profiling stage opened
     "stage_exit",      # pipeline / profiling stage closed
+    "corpusdb",        # corpus-database activity: warm-start / sync / flush
+    "degraded",        # a subsystem gave up; the campaign continues without
 })
 
 

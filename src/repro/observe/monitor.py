@@ -136,17 +136,65 @@ def render_status(snapshots: List[dict]) -> str:
     return "\n".join(lines)
 
 
+def wait_for_campaign(trace_dir: str, wait: float, out=None,
+                      poll: float = 0.1, what: str = "status") -> bool:
+    """Bounded retry-with-backoff until the campaign produces data.
+
+    A monitor or report started *before* (or racing) the campaign sees
+    a missing directory, no status files, or a half-written shard; this
+    polls — backing off from ``poll`` up to 2 s — until either a
+    readable status snapshot or a trace shard appears, printing one
+    clear "waiting for campaign" line instead of failing.  Returns True
+    when data showed up within ``wait`` seconds.
+    """
+    import sys
+
+    from repro.observe.sink import shard_files
+
+    out = out or sys.stdout
+
+    def has_data() -> bool:
+        if any(read_status(p) is not None for p in status_files(trace_dir)):
+            return True
+        return bool(shard_files(trace_dir))
+
+    if has_data():
+        return True
+    if wait <= 0:
+        return False
+    deadline = time.monotonic() + wait
+    print(f"waiting for campaign: no {what} under {trace_dir} yet "
+          f"(retrying for up to {wait:.0f}s)", file=out, flush=True)
+    delay = max(poll, 0.01)
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            print(f"waiting for campaign timed out after {wait:.0f}s: "
+                  f"still no {what} under {trace_dir}", file=out,
+                  flush=True)
+            return False
+        time.sleep(min(delay, remaining))
+        delay = min(delay * 1.5, 2.0)
+        if has_data():
+            return True
+
+
 def monitor_loop(trace_dir: str, interval: float = 1.0,
                  once: bool = False, max_frames: Optional[int] = None,
-                 out=None) -> int:
+                 out=None, wait: float = 0.0) -> int:
     """Tail the status files; returns a shell exit status.
 
     ``once`` renders a single frame (CI smoke / scripting);
-    ``max_frames`` bounds the loop for tests.
+    ``max_frames`` bounds the loop for tests.  ``wait`` tolerates a
+    campaign that has not started yet: up to that many wall seconds of
+    bounded-backoff retry before the first frame, with a "waiting for
+    campaign" message instead of an immediate failure.
     """
     import sys
 
     out = out or sys.stdout
+    if wait > 0:
+        wait_for_campaign(trace_dir, wait, out=out)
     frames = 0
     while True:
         snapshots = [s for s in (read_status(p)

@@ -39,6 +39,9 @@ _SUMMED_FIELDS = (
     "watchdog_kills", "worker_crashes", "worker_recycles", "triage_bundles",
     "sync_published", "sync_imported", "sync_import_rejected",
     "sync_barrier_timeouts", "corpus_quarantined",
+    "corpusdb_published", "corpusdb_imported", "corpusdb_import_rejected",
+    "corpusdb_warm_start", "corpusdb_quarantined", "corpusdb_degraded",
+    "corpusdb_retries", "disk_full_faults",
 )
 
 

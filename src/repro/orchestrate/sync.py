@@ -161,6 +161,12 @@ class CorpusSyncer:
             "sync_epoch", self.engine.vclock, epoch=epoch,
             published=published,
             imported=self.engine.stats.sync_imported - imported_before)
+        # Cross-campaign corpus database, if attached: the epoch
+        # boundary doubles as a forced DB sync round, so a fleet member
+        # both publishes its epoch discoveries beyond the fleet and
+        # pulls in what strangers found since the last barrier.
+        if getattr(self.engine, "corpus_db", None) is not None:
+            self.engine.corpus_db.maybe_sync(self.engine, force=True)
 
     def _publish(self, epoch: int) -> None:
         stats = self.engine.stats

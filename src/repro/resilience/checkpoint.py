@@ -161,6 +161,12 @@ def capture_state(engine) -> dict:
         # publications — is campaign state.
         "fleet": (engine.fleet_sync.getstate()
                   if engine.fleet_sync is not None else None),
+        # Corpus-database client progress (None when --corpus-db is
+        # off).  Like the fleet syncer, the client object is rebuilt
+        # from the engine kwargs; only its progress — seen keys,
+        # buffered publishes, sync schedule, degradation — is state.
+        "corpusdb": (engine.corpus_db.getstate()
+                     if engine.corpus_db is not None else None),
         # Observability: metrics registry values plus the trace bus
         # sequence/sampling phase, so a resumed member replays its
         # interrupted tail with identical metric totals and identical
@@ -242,6 +248,12 @@ def restore_state(engine, state: dict) -> None:
     if engine.fleet_sync is not None and engine._fleet_sync_state is not None:
         engine.fleet_sync.setstate(engine._fleet_sync_state)
         engine._fleet_sync_state = None
+    # Corpus-database client: rebuilt by the engine constructor from the
+    # checkpointed kwargs; restore its progress (the database itself is
+    # reopened lazily at the next sync round).
+    corpusdb_state = state.get("corpusdb")
+    if engine.corpus_db is not None and corpusdb_state is not None:
+        engine.corpus_db.setstate(corpusdb_state)
 
 
 def write_engine_checkpoint(path: str, engine) -> None:

@@ -35,13 +35,30 @@ FAULT_SITES: Tuple[str, ...] = (
     "decompress",      # ImageStore.get: transient LZ77 decompression failure
     "exec-fault",      # Executor.run: the harness process died (fork server)
     "exec-hang",       # Executor.run: virtual-time hang (target never exits)
+    "disk-full",       # ImageStore.put / checkpoint / corpusdb publish: ENOSPC
+    "corpusdb-publish",  # CorpusDatabase.publish: entry write I/O error
+    "corpusdb-read",     # CorpusDatabase.get / scan: read I/O error
+    "corpusdb-journal",  # IntentJournal.begin: intent write I/O error
+    "corpusdb-compact",  # CorpusDatabase.compact: tier-move I/O error
+)
+
+#: Sites drawn from the *host* fault stream (see :meth:`check_host`).
+HOST_FAULT_SITES: Tuple[str, ...] = (
+    "disk-full",
+    "corpusdb-publish",
+    "corpusdb-read",
+    "corpusdb-journal",
+    "corpusdb-compact",
 )
 
 #: Spec-string aliases expanding to groups of sites.
 SITE_GROUPS: Dict[str, Tuple[str, ...]] = {
     "all": FAULT_SITES,
-    "storage": ("storage-save", "storage-load", "storage-corrupt"),
+    "storage": ("storage-save", "storage-load", "storage-corrupt",
+                "disk-full"),
     "exec": ("exec-fault", "exec-hang"),
+    "corpusdb": ("corpusdb-publish", "corpusdb-read", "corpusdb-journal",
+                 "corpusdb-compact"),
 }
 
 
@@ -114,42 +131,79 @@ class EnvFaultInjector:
     backoff, quarantine — lives in the supervisor.
     """
 
+    #: XOR'd into the plan seed to derive the independent host stream.
+    _HOST_STREAM_SALT = 0x5D15C
+
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._rng = random.Random(plan.seed)
+        #: Second, independent RNG for *host-side* sites (checkpoint
+        #: writes, corpus-database I/O).  Those sites are consulted on a
+        #: cadence that depends on host configuration (checkpoint
+        #: interval, ``--corpus-db`` on/off), so drawing them from the
+        #: campaign fault stream would shift every later campaign-class
+        #: draw and break the bit-identity contracts.  A separate stream
+        #: keeps the campaign draws untouched no matter how often the
+        #: host sites fire.
+        self._host_rng = random.Random(plan.seed ^ self._HOST_STREAM_SALT)
         self._specs: Dict[str, FaultSpec] = {s.site: s for s in plan.specs}
-        #: remaining forced faults per site (burst mode).
+        #: remaining forced faults per site (burst mode), per stream.
         self._burst_left: Dict[str, int] = {}
+        self._host_burst_left: Dict[str, int] = {}
         #: faults actually fired, per site (observability + tests).
         self.fired: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def should_fault(self, site: str) -> bool:
-        """One deterministic draw for ``site`` (burst-aware)."""
+    def _draw(self, site: str, rng: random.Random,
+              burst_left: Dict[str, int]) -> bool:
         spec = self._specs.get(site)
         if spec is None:
             return False
-        if self._burst_left.get(site, 0) > 0:
-            self._burst_left[site] -= 1
-        elif self._rng.random() < spec.rate:
-            self._burst_left[site] = spec.burst - 1
+        if burst_left.get(site, 0) > 0:
+            burst_left[site] -= 1
+        elif rng.random() < spec.rate:
+            burst_left[site] = spec.burst - 1
         else:
             return False
         self.fired[site] = self.fired.get(site, 0) + 1
         return True
 
-    def check(self, site: str) -> None:
-        """Raise the site's error class if a fault fires here."""
-        if not self.should_fault(site):
-            return
+    def should_fault(self, site: str) -> bool:
+        """One deterministic draw for ``site`` (burst-aware)."""
+        return self._draw(site, self._rng, self._burst_left)
+
+    def should_fault_host(self, site: str) -> bool:
+        """Like :meth:`should_fault` but drawn from the host stream."""
+        return self._draw(site, self._host_rng, self._host_burst_left)
+
+    def _raise_for(self, site: str) -> None:
         if site == "exec-hang":
             raise ExecTimeoutError(site=site)
         if site == "exec-fault":
             raise HarnessFaultError(
                 "injected harness death (fork server lost the target)",
                 site=site, transient=True)
+        if site == "disk-full":
+            raise StorageFaultError(
+                "injected ENOSPC: no space left on device",
+                site=site, transient=True)
         raise StorageFaultError(f"injected storage fault at {site}",
                                 site=site, transient=True)
+
+    def check(self, site: str) -> None:
+        """Raise the site's error class if a fault fires here."""
+        if self.should_fault(site):
+            self._raise_for(site)
+
+    def check_host(self, site: str) -> None:
+        """:meth:`check`, but drawn from the host fault stream.
+
+        Used by the checkpoint writer and the corpus database, whose
+        consultation cadence is a host configuration choice rather than
+        part of the deterministic campaign trajectory.
+        """
+        if self.should_fault_host(site):
+            self._raise_for(site)
 
     def filter_bytes(self, site: str, data: bytes) -> bytes:
         """Return ``data``, possibly truncated or bit-flipped.
@@ -173,12 +227,16 @@ class EnvFaultInjector:
         return sum(self.fired.values())
 
     def getstate(self):
-        """Checkpointable snapshot (RNG + burst + fired counters)."""
+        """Checkpointable snapshot (both RNG streams + burst + fired)."""
         return (self._rng.getstate(), dict(self._burst_left),
-                dict(self.fired))
+                dict(self.fired), self._host_rng.getstate(),
+                dict(self._host_burst_left))
 
     def setstate(self, state) -> None:
-        rng_state, burst, fired = state
+        rng_state, burst, fired = state[:3]
         self._rng.setstate(rng_state)
         self._burst_left = dict(burst)
         self.fired = dict(fired)
+        if len(state) > 3:  # pre-host-stream checkpoints carry 3 fields
+            self._host_rng.setstate(state[3])
+            self._host_burst_left = dict(state[4])

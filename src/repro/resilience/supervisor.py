@@ -167,6 +167,8 @@ class SupervisedExecutor:
                     recovery_cost + self.exec_vtime_budget, str(exc))
             except HarnessFaultError as exc:
                 self._count("harness_faults")
+                if getattr(exc, "site", "") == "disk-full":
+                    self._count("disk_full_faults")
                 self._emit_fault("harness_fault", str(exc))
                 if exc.transient and attempt < self.max_retries:
                     attempt += 1
@@ -235,6 +237,8 @@ class SupervisedExecutor:
                 return io_fn(), recovery_cost
             except HarnessFaultError as exc:
                 self._count("harness_faults")
+                if getattr(exc, "site", "") == "disk-full":
+                    self._count("disk_full_faults")
                 self._emit_fault("storage_fault", str(exc))
                 if exc.transient and attempt < self.max_retries:
                     attempt += 1

@@ -1,0 +1,105 @@
+"""Headline robustness acceptance test for the corpus database.
+
+A campaign populates the DB; the DB then takes SIGKILL-shaped damage
+(kills mid-publish and mid-compaction, plus bit rot); ``scrub --verify``
+repairs and quarantines everything with typed reasons; a second campaign
+warm-started from the healed DB produces ``comparable()`` stats
+identical to a warm-start from an uncorrupted copy; and with the DB
+directory removed entirely, the same campaign still completes standalone
+with a ``degraded`` event and exit code 0.
+"""
+
+import os
+import pickle
+import shutil
+import time
+
+from repro._util import atomic_write_bytes, pack_checksummed
+from repro.core.pmfuzz import run_campaign
+from repro.core.storage import CORPUS_ENTRY_MAGIC
+from repro.corpusdb.db import CorpusDatabase
+from repro.corpusdb.scrub import scrub_database
+
+SEED = 0xC0FFEE
+
+
+def _blob(payload):
+    return pack_checksummed(CORPUS_ENTRY_MAGIC,
+                            pickle.dumps(payload, protocol=4))
+
+
+def _inflict_kill_damage(db):
+    """The on-disk residue of kills mid-publish and mid-compaction."""
+    hot = sorted(os.listdir(db.paths.hot))
+    assert hot, "campaign A published nothing"
+    live_key = hot[0][:-len(".entry")]
+
+    # Kill mid-compaction: intent journaled, os.replace never ran.
+    db.journal.begin("compact", live_key)
+    # Kill mid-publish, before the rename: orphaned stale .tmp ...
+    stale_tmp = db.hot_path("e" * 64) + ".tmp"
+    with open(stale_tmp, "wb") as fh:
+        fh.write(b"half a publish")
+    old = time.time() - 3600
+    os.utime(stale_tmp, (old, old))
+    # ... and a dead publish intent with no entry behind it.
+    db.journal.begin("publish", "f" * 64)
+
+    # Bit rot, under bogus keys so campaign A's real discoveries stay
+    # intact: torn, wrong-magic, and same-length bit-flipped entries.
+    torn = _blob({"key": "1" * 64, "data": b"x", "image": b"",
+                  "branch": [], "pm": []})
+    atomic_write_bytes(db.hot_path("1" * 64), torn[:len(torn) - 25])
+    atomic_write_bytes(db.hot_path("2" * 64), b"never was an entry")
+    flipped = bytearray(_blob({"key": "3" * 64, "data": b"y", "image": b"",
+                               "branch": [], "pm": []}))
+    flipped[-4] ^= 0x02
+    atomic_write_bytes(db.cold_path("3" * 64), bytes(flipped))
+    return live_key
+
+
+class TestHeadlineAcceptance:
+    def test_kill_scrub_warm_start_equivalence_and_degradation(
+            self, tmp_path, capsys):
+        dbparent = tmp_path / "dbparent"
+        dbparent.mkdir()
+        db_root = str(dbparent / "db")
+
+        # --- Campaign A populates the database. -----------------------
+        first = run_campaign("btree", "pmfuzz", 0.6, seed=SEED,
+                             corpus_db=db_root)
+        assert first.corpusdb_published > 0
+        db_copy = str(tmp_path / "db_copy")
+        shutil.copytree(db_root, db_copy)
+
+        # --- SIGKILL-shaped damage. -----------------------------------
+        db = CorpusDatabase.open(db_root)
+        live_key = _inflict_kill_damage(db)
+
+        # --- scrub --verify repairs with typed reasons. ---------------
+        report, healed = scrub_database(db_root, verify=True)
+        assert report.replay.completed >= 1  # the compact move finished
+        assert report.replay.rolled_back >= 1  # the dead publish intent
+        assert os.path.exists(healed.cold_path(live_key))
+        labels = set(report.typed_reasons.values())
+        assert {"truncated", "wrong-magic", "bit-flipped"} <= labels
+        assert report.cleaned_tmp == 1
+        assert report.ok, f"residual damage: {report.residual}"
+        assert report.verified == first.corpusdb_published
+
+        # --- Warm-start equivalence: healed DB == pristine copy. ------
+        from_healed = run_campaign("btree", "pmfuzz", 0.4, seed=SEED + 1,
+                                   corpus_db=db_root)
+        from_copy = run_campaign("btree", "pmfuzz", 0.4, seed=SEED + 1,
+                                 corpus_db=db_copy)
+        assert from_healed.corpusdb_warm_start > 0
+        assert from_healed.comparable() == from_copy.comparable()
+
+        # --- DB removed entirely: degraded, standalone, exit 0. -------
+        shutil.rmtree(str(dbparent))
+        from repro.cli import main
+        code = main(["fuzz", "--workload", "btree", "--budget", "0.3",
+                     "--corpus-db", db_root])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "degraded" in out

@@ -1,0 +1,190 @@
+"""Engine-side DB client: retry, degradation ladder, checkpoint state.
+
+Acceptance: a campaign pointed at a missing, locked, wrong-format, or
+persistently faulting database logs a ``degraded`` event and finishes
+standalone — the database can never fail a run.
+"""
+
+import pytest
+
+from repro.core.config import config_by_name
+from repro.core.pmfuzz import build_engine
+from repro.corpusdb.client import CorpusDBClient
+from repro.corpusdb.db import CorpusDatabase
+from repro.errors import CorpusDBError, StorageFaultError
+from repro.fuzz.stats import FuzzStats
+from repro.observe.metrics import MetricsRegistry
+
+PMFUZZ = config_by_name("pmfuzz")
+
+
+class _Trace:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, kind, vclock, **fields):
+        self.events.append((kind, fields))
+
+
+class _FakeEngine:
+    """The slice of the engine surface ``_io``/``_degrade`` touch."""
+
+    def __init__(self):
+        self.stats = FuzzStats(config_name="pmfuzz", workload_name="btree")
+        self.metrics = MetricsRegistry()
+        self.trace = _Trace()
+        self.vclock = 0.0
+
+
+def _client(**kwargs):
+    kwargs.setdefault("max_retries", 2)
+    kwargs.setdefault("backoff_s", 0.0001)
+    kwargs.setdefault("degrade_threshold", 2)
+    client = CorpusDBClient("/nonexistent", **kwargs)
+    client.attach(_FakeEngine())
+    return client
+
+
+class TestBoundedRetry:
+    def test_transient_failure_retries_then_succeeds(self):
+        client = _client()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("contended")
+            return "value"
+
+        ok, value = client._io("publish", flaky)
+        assert (ok, value) == (True, "value")
+        assert client.engine.stats.corpusdb_retries == 2
+        assert client._failed_rounds == 0
+        assert not client.degraded
+
+    def test_exhaustion_strikes_and_degrades_at_threshold(self):
+        client = _client(degrade_threshold=2)
+
+        def doomed():
+            raise StorageFaultError("injected", site="corpusdb-publish")
+
+        ok, _ = client._io("publish", doomed)
+        assert ok is False
+        assert client._failed_rounds == 1
+        assert not client.degraded
+        client._io("publish", doomed)
+        assert client.degraded
+        assert client.degrade_reason == "faulting"
+        stats = client.engine.stats
+        assert stats.corpusdb_degraded == 1
+        kinds = [k for k, _ in client.engine.trace.events]
+        assert "degraded" in kinds
+
+    def test_unusable_db_error_is_not_retried(self):
+        client = _client()
+        calls = {"n": 0}
+
+        def unusable():
+            calls["n"] += 1
+            raise CorpusDBError("locked", reason="locked")
+
+        with pytest.raises(CorpusDBError):
+            client._io("open", unusable)
+        assert calls["n"] == 1  # no blind retry against a typed verdict
+
+    def test_degrade_is_sticky_and_emitted_once(self):
+        client = _client()
+        client._degrade("missing", "gone")
+        client._degrade("locked", "second verdict ignored")
+        assert client.degrade_reason == "missing"
+        kinds = [k for k, _ in client.engine.trace.events]
+        assert kinds.count("degraded") == 1
+
+
+class TestDegradationLadder:
+    """Full campaigns against unusable databases always finish."""
+
+    def _run(self, tmp_path, db_path, budget=0.3, **engine_kwargs):
+        engine = build_engine("btree", PMFUZZ, corpus_db=db_path,
+                              **engine_kwargs)
+        stats = engine.run(budget)
+        assert stats.stop_reason  # the campaign completed regardless
+        return engine, stats
+
+    def test_missing_parent_degrades(self, tmp_path):
+        _, stats = self._run(tmp_path, str(tmp_path / "gone" / "db"))
+        assert stats.corpusdb_degraded == 1
+
+    def test_locked_db_degrades(self, tmp_path):
+        root = str(tmp_path / "db")
+        CorpusDatabase.open(root).lock_maintenance()
+        engine, stats = self._run(tmp_path, root)
+        assert stats.corpusdb_degraded == 1
+        assert engine.corpus_db.degrade_reason == "locked"
+
+    def test_wrong_format_degrades(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = CorpusDatabase.open(root)
+        with open(db.paths.meta, "wb") as fh:
+            fh.write(b'{"version": 999}')
+        engine, stats = self._run(tmp_path, root)
+        assert stats.corpusdb_degraded == 1
+        assert engine.corpus_db.degrade_reason == "format"
+
+    def test_persistent_faults_degrade_mid_campaign(self, tmp_path):
+        root = str(tmp_path / "db")
+        CorpusDatabase.open(root)
+        engine, stats = self._run(
+            tmp_path, root, budget=1.0, fault_plan="corpusdb:1.0",
+            corpus_db_every=0.2)
+        assert stats.corpusdb_degraded == 1
+        assert engine.corpus_db.degrade_reason == "faulting"
+        assert stats.corpusdb_retries > 0
+
+    def test_healthy_db_publishes_and_warm_starts(self, tmp_path):
+        root = str(tmp_path / "db")
+        CorpusDatabase.open(root)
+        _, first = self._run(tmp_path, root, budget=0.6)
+        assert first.corpusdb_degraded == 0
+        assert first.corpusdb_published > 0
+        _, second = self._run(tmp_path, root, budget=0.3)
+        assert second.corpusdb_warm_start > 0
+        assert second.corpusdb_imported >= second.corpusdb_warm_start
+
+
+class TestCheckpointState:
+    def test_state_roundtrip_defers_reopen(self):
+        client = _client()
+        client._warm_started = True
+        client._next_sync = 2.5
+        client._pending = [{"key": "k", "data": b"d"}]
+        state = client.getstate()
+
+        fresh = _client()
+        fresh.setstate(state)
+        assert fresh._warm_started
+        assert fresh._next_sync == 2.5
+        assert fresh._pending == [{"key": "k", "data": b"d"}]
+        assert fresh._opened is False and fresh.db is None
+
+    def test_engine_checkpoint_carries_client_state(self, tmp_path):
+        root = str(tmp_path / "db")
+        CorpusDatabase.open(root)
+        ckpt = str(tmp_path / "c.ckpt")
+        engine = build_engine("btree", PMFUZZ, corpus_db=root,
+                              checkpoint_path=ckpt)
+        engine.run(0.6)
+        assert engine.corpus_db._warm_started
+        engine.checkpoint()
+
+        from repro.fuzz.engine import FuzzEngine
+        resumed = FuzzEngine.resume(ckpt)
+        assert resumed.corpus_db is not None
+        assert resumed.corpus_db._warm_started
+        # The DB reopens lazily; the restored seen-set stops the resumed
+        # campaign from re-importing history it already has.
+        resumed.corpus_db.boot(resumed)
+        assert resumed.corpus_db.listener is not None
+        before = resumed.stats.corpusdb_imported
+        resumed.corpus_db._import_new(warm=False)
+        assert resumed.stats.corpusdb_imported == before

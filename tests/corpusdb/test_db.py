@@ -1,0 +1,240 @@
+"""The corpus database proper: open policy, tiers, compaction, listener."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.corpusdb.db import (DB_FORMAT_VERSION, CorpusDatabase,
+                               CorpusDBPaths, CorpusListener, entry_key)
+from repro.errors import CorpusCorruptionError, CorpusDBError
+from repro.resilience.faults import EnvFaultInjector, FaultPlan
+
+
+def _payload(key, data=b"input"):
+    return {"key": key, "data": data, "image": b"img", "branch": [1],
+            "pm": [2]}
+
+
+@pytest.fixture
+def db(tmp_path):
+    return CorpusDatabase.open(str(tmp_path / "db"))
+
+
+class TestEntryKey:
+    def test_length_framing_prevents_boundary_collisions(self):
+        assert entry_key(b"ab", b"c") != entry_key(b"a", b"bc")
+
+    def test_stable_and_hex(self):
+        key = entry_key(b"data", b"image")
+        assert key == entry_key(b"data", b"image")
+        assert len(key) == 64 and int(key, 16) >= 0
+
+
+class TestOpenPolicy:
+    def test_create_makes_leaf_only(self, tmp_path):
+        root = str(tmp_path / "gone" / "db")
+        # Parent missing: treated as a missing database, never silently
+        # recreated somewhere nothing else will look.
+        with pytest.raises(CorpusDBError) as err:
+            CorpusDatabase.open(root)
+        assert err.value.reason == "missing"
+
+    def test_open_without_create_requires_existing(self, tmp_path):
+        with pytest.raises(CorpusDBError) as err:
+            CorpusDatabase.open(str(tmp_path / "db"), create=False)
+        assert err.value.reason == "missing"
+
+    def test_meta_written_once_and_version_checked(self, tmp_path):
+        root = str(tmp_path / "db")
+        CorpusDatabase.open(root)
+        paths = CorpusDBPaths(root)
+        with open(paths.meta, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+        assert meta["version"] == DB_FORMAT_VERSION
+        CorpusDatabase.open(root)  # reopen same version: fine
+        meta["version"] = DB_FORMAT_VERSION + 1
+        with open(paths.meta, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh)
+        with pytest.raises(CorpusDBError) as err:
+            CorpusDatabase.open(root)
+        assert err.value.reason == "format"
+
+    def test_garbage_meta_is_format_error(self, tmp_path):
+        root = str(tmp_path / "db")
+        CorpusDatabase.open(root)
+        with open(CorpusDBPaths(root).meta, "wb") as fh:
+            fh.write(b"not json {")
+        with pytest.raises(CorpusDBError) as err:
+            CorpusDatabase.open(root)
+        assert err.value.reason == "format"
+
+    def test_fresh_lock_blocks_open(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = CorpusDatabase.open(root)
+        db.lock_maintenance()
+        with pytest.raises(CorpusDBError) as err:
+            CorpusDatabase.open(root)
+        assert err.value.reason == "locked"
+        # The scrubber itself gets in with ignore_lock.
+        CorpusDatabase.open(root, ignore_lock=True)
+        db.unlock_maintenance()
+        CorpusDatabase.open(root)
+
+    def test_stale_lock_is_presumed_abandoned(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = CorpusDatabase.open(root)
+        db.lock_maintenance()
+        old = time.time() - 3600
+        os.utime(db.paths.lock, (old, old))
+        CorpusDatabase.open(root, lock_ttl=900.0)  # does not raise
+
+
+class TestPublishGetRetire:
+    def test_publish_lands_hot_and_dedupes(self, db):
+        key = entry_key(b"in", b"img")
+        assert db.publish(_payload(key)) is True
+        assert db.publish(_payload(key)) is False  # content-addressed dedup
+        assert os.path.exists(db.hot_path(key))
+        assert db.get(key)["data"] == b"input"
+        assert db.info()["journal_pending"] == 0
+
+    def test_get_missing_key_is_typed(self, db):
+        with pytest.raises(CorpusDBError) as err:
+            db.get("0" * 64)
+        assert err.value.reason == "missing"
+
+    def test_get_damaged_entry_is_corruption_error(self, db):
+        key = "a" * 64
+        db.publish(_payload(key))
+        with open(db.hot_path(key), "r+b") as fh:
+            blob = bytearray(fh.read())
+            blob[-2] ^= 0x40
+            fh.seek(0)
+            fh.write(bytes(blob))
+        with pytest.raises(CorpusCorruptionError):
+            db.get(key)
+
+    def test_retire_clears_both_tiers(self, db):
+        key = "b" * 64
+        db.publish(_payload(key))
+        os.replace(db.hot_path(key), db.cold_path(key))
+        db.publish(_payload(key))
+        assert db.retire(key) is True
+        assert db.retire(key) is False
+        assert db.find(key) is None
+
+    def test_keys_union_is_sorted_across_tiers(self, db):
+        for i, key in enumerate(("d" * 64, "a" * 64, "c" * 64)):
+            db.publish(_payload(key, data=bytes([i])))
+        os.replace(db.hot_path("c" * 64), db.cold_path("c" * 64))
+        assert db.keys() == sorted(["a" * 64, "c" * 64, "d" * 64])
+        info = db.info()
+        assert (info["hot"], info["cold"], info["entries"]) == (2, 1, 3)
+        assert info["bytes"] > 0
+
+
+class TestCompaction:
+    def _fill(self, db, n):
+        keys = []
+        for i in range(n):
+            key = entry_key(b"%04d" % i, b"")
+            db.publish(_payload(key, data=b"%04d" % i))
+            # Distinct mtimes so oldest-first is well defined.
+            stamp = time.time() - (n - i)
+            os.utime(db.hot_path(key), (stamp, stamp))
+            keys.append(key)
+        return keys
+
+    def test_moves_oldest_excess_to_cold(self, db):
+        keys = self._fill(db, 6)
+        assert db.compact(hot_limit=4) == 2
+        info = db.info()
+        assert (info["hot"], info["cold"]) == (4, 2)
+        # The two oldest went cold; everything stays addressable.
+        for key in keys[:2]:
+            assert os.path.exists(db.cold_path(key))
+        for key in keys:
+            assert db.get(key)["key"] == key
+
+    def test_under_limit_is_noop(self, db):
+        self._fill(db, 3)
+        assert db.compact(hot_limit=4) == 0
+
+    def test_max_moves_bounds_one_pass(self, db):
+        self._fill(db, 8)
+        assert db.compact(hot_limit=0, max_moves=3) == 3
+        assert db.info()["cold"] == 3
+
+    def test_racing_compactor_loses_gracefully(self, db, monkeypatch):
+        """The os.replace IS the claim: the loser observes ENOENT."""
+        self._fill(db, 2)
+        real_replace = os.replace
+        raced = {"n": 0}
+
+        def stolen_first(src, dst):
+            # Only hijack tier moves; atomic_write_bytes renames (the
+            # journal intents) go through untouched.
+            if raced["n"] == 0 and dst.startswith(db.paths.cold):
+                raced["n"] += 1
+                real_replace(src, dst)  # the racing winner moved it...
+                raise FileNotFoundError(src)  # ...so this claimant loses
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.corpusdb.db.os.replace", stolen_first)
+        # The lost claim is not counted as a move, not an error, and its
+        # intent still commits — nothing left for replay.
+        assert db.compact(hot_limit=0) == 1
+        assert db.info()["cold"] == 2
+        assert db.info()["journal_pending"] == 0
+
+    def test_compact_then_replay_is_stable(self, db):
+        self._fill(db, 5)
+        db.compact(hot_limit=2)
+        report = db.replay_journal()
+        assert (report.completed, report.rolled_back) == (0, 0)
+        assert db.info()["journal_pending"] == 0
+
+
+class TestHostFaultStream:
+    def test_db_ops_draw_from_host_stream_only(self, tmp_path):
+        """Corpus-DB fault draws never perturb the campaign stream."""
+        plan = FaultPlan.parse("corpusdb:1.0", seed=5)
+        inj = EnvFaultInjector(plan)
+        baseline = EnvFaultInjector(plan)
+        db = CorpusDatabase.open(str(tmp_path / "db"), env_faults=inj)
+        from repro.errors import StorageFaultError
+        with pytest.raises(StorageFaultError) as err:
+            db.publish(_payload("a" * 64))
+        assert getattr(err.value, "site", "").startswith("corpusdb")
+        # The main campaign stream is untouched by the host draws.
+        seq = [inj.should_fault("exec-fault") for _ in range(64)]
+        assert seq == [baseline.should_fault("exec-fault")
+                       for _ in range(64)]
+
+
+class TestListener:
+    def test_poll_reports_fresh_keys_once_in_sorted_order(self, db):
+        listener = CorpusListener(db)
+        assert listener.poll() == []
+        for key in ("b" * 64, "a" * 64):
+            db.publish(_payload(key))
+        assert listener.poll() == ["a" * 64, "b" * 64]
+        assert listener.poll() == []
+        db.publish(_payload("c" * 64))
+        assert listener.poll() == ["c" * 64]
+
+    def test_prime_marks_warm_start_history(self, db):
+        db.publish(_payload("a" * 64))
+        listener = CorpusListener(db)
+        listener.prime(["a" * 64])
+        assert listener.poll() == []
+
+    def test_state_roundtrip(self, db):
+        db.publish(_payload("a" * 64))
+        listener = CorpusListener(db)
+        listener.poll()
+        fresh = CorpusListener(db)
+        fresh.setstate(listener.getstate())
+        assert fresh.poll() == []

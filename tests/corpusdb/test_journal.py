@@ -1,0 +1,124 @@
+"""Write-ahead intent journal: begin/commit, replay semantics per op.
+
+Every database mutation is intent -> one atomic FS op -> commit; a kill
+between any two steps leaves a pending intent that replay resolves
+without knowing where the kill landed, and replaying twice converges.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro._util import atomic_write_bytes, pack_checksummed
+from repro.corpusdb.db import CorpusDatabase
+from repro.corpusdb.journal import INTENT_MAGIC, INTENT_SUFFIX, IntentJournal
+
+
+@pytest.fixture
+def db(tmp_path):
+    return CorpusDatabase.open(str(tmp_path / "db"))
+
+
+def _publish(db, key, data=b"payload"):
+    return db.publish({"key": key, "data": data, "image": b"", "branch": [],
+                       "pm": []})
+
+
+class TestIntentLifecycle:
+    def test_begin_writes_deterministic_checksummed_record(self, db):
+        path = db.journal.begin("publish", "k" * 64)
+        assert os.path.basename(path) == "publish-" + "k" * 64 + INTENT_SUFFIX
+        # Same (op, key) -> same path, so re-journaling after a kill is
+        # idempotent rather than accumulating records.
+        assert db.journal.begin("publish", "k" * 64) == path
+        pending = db.journal.pending()
+        assert pending == [(path, "publish", "k" * 64)]
+
+    def test_commit_is_idempotent(self, db):
+        path = db.journal.begin("retire", "abc")
+        db.journal.commit(path)
+        db.journal.commit(path)  # a concurrent replayer already won
+        assert db.journal.pending() == []
+
+    def test_missing_journal_dir_is_empty(self, tmp_path):
+        assert IntentJournal(str(tmp_path / "nope")).pending() == []
+
+
+class TestReplay:
+    def test_completed_publish_intent_is_acknowledged(self, db):
+        _publish(db, "a" * 64)
+        # Simulate a kill after the entry rename but before commit.
+        path = db.journal.begin("publish", "a" * 64)
+        report = db.replay_journal()
+        assert report.completed == 1
+        assert report.by_op == {"publish": 1}
+        assert not os.path.exists(path)
+        assert db.find("a" * 64) is not None
+
+    def test_dead_publish_intent_rolls_back(self, db):
+        # Kill landed before the entry rename: nothing to redo.
+        db.journal.begin("publish", "b" * 64)
+        report = db.replay_journal()
+        assert report.rolled_back == 1
+        assert db.journal.pending() == []
+
+    def test_interrupted_compact_is_finished_forward(self, db):
+        _publish(db, "c" * 64)
+        # Intent written, os.replace never ran: entry still hot.
+        db.journal.begin("compact", "c" * 64)
+        report = db.replay_journal()
+        assert report.completed == 1
+        assert os.path.exists(db.cold_path("c" * 64))
+        assert not os.path.exists(db.hot_path("c" * 64))
+
+    def test_compact_intent_after_move_already_landed(self, db):
+        _publish(db, "d" * 64)
+        os.replace(db.hot_path("d" * 64), db.cold_path("d" * 64))
+        db.journal.begin("compact", "d" * 64)
+        report = db.replay_journal()
+        assert report.completed == 1
+        assert os.path.exists(db.cold_path("d" * 64))
+
+    def test_compact_intent_for_vanished_entry_rolls_back(self, db):
+        db.journal.begin("compact", "e" * 64)
+        report = db.replay_journal()
+        assert report.rolled_back == 1
+
+    def test_retire_intent_removes_both_tiers(self, db):
+        _publish(db, "f" * 64)
+        os.replace(db.hot_path("f" * 64), db.cold_path("f" * 64))
+        _publish(db, "f" * 64)  # re-published hot after the move
+        db.journal.begin("retire", "f" * 64)
+        report = db.replay_journal()
+        assert report.completed == 1
+        assert db.find("f" * 64) is None
+
+    def test_damaged_intent_is_dropped_not_fatal(self, db):
+        path = os.path.join(db.paths.journal, "publish-xx" + INTENT_SUFFIX)
+        with open(path, "wb") as fh:
+            fh.write(b"torn interm")  # no magic, no checksum
+        report = db.replay_journal()
+        assert report.dropped_damaged == 1
+        assert not os.path.exists(path)
+
+    def test_malformed_but_checksummed_record_is_dropped(self, db):
+        blob = pack_checksummed(
+            INTENT_MAGIC,
+            b'{"op": "explode", "key": "zz"}')  # unknown op
+        atomic_write_bytes(
+            os.path.join(db.paths.journal, "explode-zz" + INTENT_SUFFIX),
+            blob)
+        report = db.replay_journal()
+        assert report.dropped_damaged == 1
+
+    def test_double_replay_converges(self, db):
+        _publish(db, "1" * 64)
+        db.journal.begin("compact", "1" * 64)
+        db.journal.begin("publish", "2" * 64)
+        first = db.replay_journal()
+        assert first.completed == 1 and first.rolled_back == 1
+        second = db.replay_journal()
+        assert (second.completed, second.rolled_back,
+                second.dropped_damaged) == (0, 0, 0)
+        assert os.path.exists(db.cold_path("1" * 64))

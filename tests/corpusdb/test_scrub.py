@@ -1,0 +1,220 @@
+"""Database scrub: typed damage reasons, deep verify, live-publisher race.
+
+Satellite acceptance: a scrub racing a live publisher must neither
+quarantine fresh work (``.tmp`` present, rename pending) nor miss
+genuinely torn entries.
+"""
+
+import os
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro._util import atomic_write_bytes, pack_checksummed
+from repro.core.storage import CORPUS_ENTRY_MAGIC
+from repro.corpusdb.db import CorpusDatabase, entry_key
+from repro.corpusdb.scrub import (DAMAGE_BIT_FLIPPED, DAMAGE_KEY_MISMATCH,
+                                  classify_entry_damage, scrub_database)
+from repro.errors import CorpusDBError
+
+
+def _entry_blob(key, data=b"input", image=b"img"):
+    return pack_checksummed(
+        CORPUS_ENTRY_MAGIC,
+        pickle.dumps({"key": key, "data": data, "image": image,
+                      "branch": [], "pm": []}, protocol=4))
+
+
+def _good_key(data=b"input", image=b"img"):
+    return entry_key(data, image)
+
+
+@pytest.fixture
+def db(tmp_path):
+    db = CorpusDatabase.open(str(tmp_path / "db"))
+    key = _good_key()
+    atomic_write_bytes(db.hot_path(key), _entry_blob(key))
+    return db
+
+
+class TestClassifyEntryDamage:
+    def test_healthy_is_none(self):
+        key = _good_key()
+        assert classify_entry_damage(_entry_blob(key)) is None
+
+    def test_wrong_magic(self):
+        assert classify_entry_damage(b"NOTMAGIC" + b"x" * 100) \
+            == "wrong-magic"
+
+    def test_magic_prefix_cut_is_truncated(self):
+        assert classify_entry_damage(CORPUS_ENTRY_MAGIC[:4]) == "truncated"
+
+    def test_torn_write_is_truncated(self):
+        blob = _entry_blob(_good_key())
+        assert classify_entry_damage(blob[:len(blob) - 30]) == "truncated"
+
+    def test_same_length_flip_is_bit_flipped(self):
+        blob = bytearray(_entry_blob(_good_key()))
+        blob[-5] ^= 0x08
+        assert classify_entry_damage(bytes(blob)) == DAMAGE_BIT_FLIPPED
+
+    def test_unreadable_is_typed(self):
+        assert classify_entry_damage(None) == "unreadable"
+
+
+class TestScrubDatabase:
+    def test_clean_store_scrubs_clean(self, db):
+        report, _ = scrub_database(db.paths.root)
+        assert (report.scanned, report.quarantined) == (1, 0)
+        assert report.ok
+        assert "scanned=1" in report.summary()
+
+    def test_typed_reasons_per_tier(self, db):
+        # One torn entry hot, one flipped entry cold, garbage cold.
+        torn = db.hot_path("1" * 64)
+        blob = _entry_blob("1" * 64, data=b"torn")
+        atomic_write_bytes(torn, blob[:len(blob) - 20])
+        flipped = bytearray(_entry_blob("2" * 64, data=b"flip"))
+        flipped[-3] ^= 0x20
+        atomic_write_bytes(db.cold_path("2" * 64), bytes(flipped))
+        atomic_write_bytes(db.cold_path("3" * 64), b"junk file")
+
+        report, _ = scrub_database(db.paths.root)
+
+        assert report.quarantined == 3
+        assert report.typed_reasons["hot/" + "1" * 64 + ".entry"] \
+            == "truncated"
+        assert report.typed_reasons["cold/" + "2" * 64 + ".entry"] \
+            == DAMAGE_BIT_FLIPPED
+        assert report.typed_reasons["cold/" + "3" * 64 + ".entry"] \
+            == "wrong-magic"
+        # Quarantine holds the bodies plus a .reason sidecar each.
+        names = os.listdir(db.paths.quarantine)
+        assert "1" * 64 + ".entry" in names
+        assert "1" * 64 + ".entry.reason" in names
+
+    def test_journal_replayed_before_judging(self, db):
+        # An interrupted compact (intent, entry still hot) must finish
+        # forward, not show up as damage.
+        key = _good_key()
+        db.journal.begin("compact", key)
+        report, healed = scrub_database(db.paths.root)
+        assert report.replay.completed == 1
+        assert report.quarantined == 0
+        assert os.path.exists(healed.cold_path(key))
+
+    def test_verify_catches_misfiled_key(self, db):
+        # Valid container, valid payload, filed under the wrong content
+        # address: only the deep pass can see it.
+        atomic_write_bytes(db.hot_path("9" * 64), _entry_blob("9" * 64))
+        shallow, _ = scrub_database(db.paths.root)
+        assert shallow.quarantined == 0
+
+        atomic_write_bytes(db.hot_path("9" * 64), _entry_blob("9" * 64))
+        deep, _ = scrub_database(db.paths.root, verify=True)
+        assert deep.typed_reasons["hot/" + "9" * 64 + ".entry"] \
+            == DAMAGE_KEY_MISMATCH
+        # Repaired (quarantined), so nothing residual leaks.
+        assert deep.ok
+        assert deep.verified == 1  # the legitimate entry
+
+    def test_verify_counts_every_survivor(self, db):
+        key2 = _good_key(data=b"other")
+        atomic_write_bytes(db.cold_path(key2), _entry_blob(key2, b"other"))
+        report, _ = scrub_database(db.paths.root, verify=True)
+        assert report.verified == 2
+        assert report.ok
+        assert "residual-damage=0" in report.summary()
+
+    def test_lock_held_during_scrub_and_released(self, db):
+        seen = {}
+
+        def peek(*a, **k):
+            seen["locked"] = os.path.exists(db.paths.lock)
+            return []
+
+        # Observe the lock from inside the pass via the journal scan.
+        orig = CorpusDatabase.replay_journal
+        try:
+            CorpusDatabase.replay_journal = lambda self: peek()
+            scrub_database(db.paths.root)
+        finally:
+            CorpusDatabase.replay_journal = orig
+        assert seen["locked"] is True
+        assert not os.path.exists(db.paths.lock)
+
+    def test_missing_db_raises_typed(self, tmp_path):
+        with pytest.raises(CorpusDBError) as err:
+            scrub_database(str(tmp_path / "nope"))
+        assert err.value.reason == "missing"
+
+
+class TestScrubVsLivePublisher:
+    """Satellite 3: scrub racing entries that are mid-publish."""
+
+    def test_fresh_tmp_is_spared_stale_tmp_cleaned(self, db):
+        # A publisher mid-write: tmp exists, rename pending.
+        fresh = db.hot_path("a" * 64) + ".tmp"
+        with open(fresh, "wb") as fh:
+            fh.write(b"half an entry")
+        stale = db.hot_path("b" * 64) + ".tmp"
+        with open(stale, "wb") as fh:
+            fh.write(b"orphaned long ago")
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+
+        report, _ = scrub_database(db.paths.root, tmp_grace=60.0)
+
+        assert report.cleaned_tmp == 1
+        assert os.path.exists(fresh)  # in-flight writer left alone
+        assert not os.path.exists(stale)
+        # The .tmp was never judged as an entry, fresh or stale.
+        assert report.quarantined == 0
+
+    def test_torn_entry_is_still_caught_next_to_fresh_tmp(self, db):
+        fresh = db.hot_path("a" * 64) + ".tmp"
+        with open(fresh, "wb") as fh:
+            fh.write(b"in flight")
+        blob = _entry_blob("c" * 64, data=b"torn")
+        atomic_write_bytes(db.hot_path("c" * 64), blob[:len(blob) // 2])
+
+        report, _ = scrub_database(db.paths.root)
+
+        assert report.typed_reasons["hot/" + "c" * 64 + ".entry"] \
+            == "truncated"
+        assert os.path.exists(fresh)
+
+    def test_concurrent_publisher_loses_nothing(self, tmp_path):
+        """Scrub loops while a thread publishes; no fresh work is lost."""
+        root = str(tmp_path / "db")
+        db = CorpusDatabase.open(root)
+        published = []
+        stop = threading.Event()
+
+        def publisher():
+            i = 0
+            while not stop.is_set() and i < 50:
+                data = b"input-%03d" % i
+                key = entry_key(data, b"img")
+                db.publish({"key": key, "data": data, "image": b"img",
+                            "branch": [], "pm": []})
+                published.append(key)
+                i += 1
+
+        thread = threading.Thread(target=publisher)
+        thread.start()
+        try:
+            for _ in range(5):
+                # take_lock=False: the lock is advisory for campaigns
+                # opening the DB; here the publisher is already inside.
+                scrub_database(root, verify=True, take_lock=False)
+        finally:
+            stop.set()
+            thread.join()
+        # Every published entry survived every scrub pass, and nothing
+        # healthy was quarantined (atomic publishes are never torn).
+        final = CorpusDatabase.open(root)
+        assert set(published) <= set(final.keys())
+        assert os.listdir(db.paths.quarantine) == []

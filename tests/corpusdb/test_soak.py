@@ -1,0 +1,74 @@
+"""Corpus-database soak: shared DB under faults, SIGKILLed compactor.
+
+Satellite 5's pytest half (the CI workflow drives the same shape via the
+CLI): two sequential campaigns share one database while ``corpusdb-*``
+and ``disk-full`` faults fire, a compactor child is SIGKILLed mid-move,
+and ``scrub --verify`` must report zero undetected corruption.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.pmfuzz import run_campaign
+from repro.corpusdb.db import CorpusDatabase
+from repro.corpusdb.scrub import scrub_database
+
+
+def _slow_compactor(root):
+    """Child process: a compactor whose every rename takes 50 ms, so a
+    SIGKILL from the parent reliably lands between two instructions of
+    the intent -> replace -> commit sequence."""
+    real_replace = os.replace
+
+    def slow_replace(src, dst):
+        time.sleep(0.05)
+        return real_replace(src, dst)
+
+    os.replace = slow_replace
+    db = CorpusDatabase.open(root)
+    db.compact(hot_limit=0)
+
+
+@pytest.mark.slow
+class TestCorpusDBSoak:
+    def test_two_campaigns_faults_and_a_killed_compactor(self, tmp_path):
+        root = str(tmp_path / "db")
+        CorpusDatabase.open(root)
+
+        # Campaign 1 populates the DB while corpusdb and disk-full
+        # faults fire; moderate rates, so retries absorb most of them.
+        first = run_campaign(
+            "btree", "pmfuzz", 1.5, seed=101, corpus_db=root,
+            fault_plan="corpusdb:0.02,disk-full:0.01")
+        assert first.stop_reason == "budget"
+        assert first.corpusdb_published > 0
+        entries_before = CorpusDatabase.open(root).info()["entries"]
+
+        # A compactor is SIGKILLed mid-move (kill-safe at any
+        # instruction: the journal intent survives the kill).
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_slow_compactor, args=(root,))
+        child.start()
+        time.sleep(0.12)
+        os.kill(child.pid, signal.SIGKILL)
+        child.join(timeout=10)
+
+        # Campaign 2 shares the same DB (journal replay at boot heals
+        # the interrupted move before warm-starting).
+        second = run_campaign(
+            "btree", "pmfuzz", 1.0, seed=202, corpus_db=root,
+            fault_plan="corpusdb:0.02,disk-full:0.01")
+        assert second.stop_reason == "budget"
+        assert second.corpusdb_warm_start > 0
+
+        # The gate: full-store verification, zero undetected corruption.
+        report, healed = scrub_database(root, verify=True)
+        assert report.ok, f"residual damage: {report.residual}"
+        assert healed.info()["journal_pending"] == 0
+        # Compaction moves entries between tiers; it never loses one.
+        assert healed.info()["entries"] >= entries_before
+        assert report.verified == healed.info()["entries"]

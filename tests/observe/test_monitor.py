@@ -114,3 +114,73 @@ class TestRenderAndLoop:
         out = io.StringIO()
         assert monitor_loop(str(tmp_path), interval=0.01, out=out) == 0
         assert "stopped" in out.getvalue()
+
+
+class TestWaitForCampaign:
+    """Satellite: monitor/report racing a campaign that has not started
+    must retry with backoff and a clear message, never traceback."""
+
+    def test_no_wait_and_no_data_returns_false(self, tmp_path):
+        from repro.observe.monitor import wait_for_campaign
+        out = io.StringIO()
+        assert wait_for_campaign(str(tmp_path / "nope"), 0.0, out=out) \
+            is False
+        assert out.getvalue() == ""  # no wait requested, no noise
+
+    def test_existing_status_returns_immediately(self, tmp_path):
+        from repro.observe.monitor import wait_for_campaign
+        StatusWriter(str(tmp_path / "status.json")).maybe_write(
+            _stats(), 1.0, force=True)
+        assert wait_for_campaign(str(tmp_path), 5.0) is True
+
+    def test_timeout_prints_waiting_message_not_traceback(self, tmp_path):
+        from repro.observe.monitor import wait_for_campaign
+        out = io.StringIO()
+        assert wait_for_campaign(str(tmp_path / "nope"), 0.05, out=out,
+                                 poll=0.01) is False
+        text = out.getvalue()
+        assert "waiting for campaign" in text
+        assert "timed out" in text
+
+    def test_data_appearing_mid_wait_is_picked_up(self, tmp_path):
+        import threading
+        from repro.observe.monitor import wait_for_campaign
+
+        def publish_late():
+            StatusWriter(str(tmp_path / "status.json")).maybe_write(
+                _stats(), 1.0, force=True)
+
+        timer = threading.Timer(0.05, publish_late)
+        timer.start()
+        try:
+            out = io.StringIO()
+            assert wait_for_campaign(str(tmp_path), 5.0, out=out,
+                                     poll=0.01) is True
+            assert "waiting for campaign" in out.getvalue()
+        finally:
+            timer.cancel()
+
+    def test_half_written_status_is_ignored_until_valid(self, tmp_path):
+        from repro.observe.monitor import wait_for_campaign
+        # A torn status.json (not valid JSON) must read as "no data
+        # yet", not crash the reader.
+        with open(tmp_path / "status.json", "w") as fh:
+            fh.write('{"version": 1, "work')
+        out = io.StringIO()
+        assert wait_for_campaign(str(tmp_path), 0.05, out=out,
+                                 poll=0.01) is False
+        assert "waiting for campaign" in out.getvalue()
+
+    def test_trace_shards_also_count_as_data(self, tmp_path):
+        from repro.observe.monitor import wait_for_campaign
+        from repro.observe.sink import shard_name
+        (tmp_path / shard_name(-1)).write_text("")
+        assert wait_for_campaign(str(tmp_path), 5.0) is True
+
+    def test_monitor_loop_wait_then_frame(self, tmp_path):
+        StatusWriter(str(tmp_path / "status.json")).maybe_write(
+            _stats(), 1.0, force=True)
+        out = io.StringIO()
+        assert monitor_loop(str(tmp_path), once=True, wait=1.0,
+                            out=out) == 0
+        assert "btree" in out.getvalue()

@@ -11,7 +11,7 @@ from repro.cli import main
 class TestRunner:
     def test_registry_covers_the_promised_suite(self):
         assert {"pmem_ops", "ranges", "executor", "crashgen",
-                "campaign"} <= set(BENCHMARKS)
+                "corpusdb", "campaign"} <= set(BENCHMARKS)
 
     def test_run_benchmark_reports_median_of_repeats(self):
         doc = run_benchmark("ranges", quick=True, repeats=3)
