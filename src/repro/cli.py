@@ -31,8 +31,20 @@ The reproduction's equivalent of the artifact's driver scripts
     Inspect (``info``), heal (``scrub [--verify]``), or compact a
     durable cross-campaign corpus database (see :mod:`repro.corpusdb`).
 
+``serve``
+    Run the campaign-as-a-service daemon: accept submissions over a
+    localhost REST API, execute them in a supervised pool, and survive
+    daemon crashes without losing accepted work (see
+    :mod:`repro.serve`).
+
 ``workloads``
     List the available PM programs and their bug flags.
+
+Exit codes follow one convention across every subcommand (the table in
+README.md is the contract): 0 success, 1 domain failure (a missed bug,
+residual damage, a reproduced crash, no data yet), 2 usage or
+configuration error — always with a one-line ``error:`` on stderr,
+never a traceback — and 130 on interrupt.
 """
 
 from __future__ import annotations
@@ -41,9 +53,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.analysis.figures import render_coverage_figure
 from repro.core.config import CONFIGS, config_by_name
-from repro.errors import CheckpointError, FuzzerError
+from repro.errors import FuzzerError, ReproError
 from repro.core.pipeline import FuzzAndDetectPipeline
 from repro.core.pmfuzz import run_campaign
 from repro.workloads import workload_names
@@ -229,13 +242,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     if not args.resume and not args.workload:
-        print("fuzz: --workload is required (unless resuming with "
+        print("error: fuzz: --workload is required (unless resuming with "
               "--resume)", file=sys.stderr)
         return 2
     if args.fleet > 1:
         if args.resume:
-            print("fuzz: --resume is for solo campaigns; a fleet resumes "
-                  "by re-running with the same --fleet-dir",
+            print("error: fuzz: --resume is for solo campaigns; a fleet "
+                  "resumes by re-running with the same --fleet-dir",
                   file=sys.stderr)
             return 2
         return _cmd_fleet(args)
@@ -468,6 +481,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        args.dir,
+        host=args.host, port=args.port,
+        max_running=args.max_running,
+        tenant_quota=args.tenant_quota,
+        queue_limit=args.queue_limit,
+        max_budget=args.max_budget,
+        lease_s=args.lease,
+        kill_grace=args.kill_grace,
+        max_deaths=args.max_deaths,
+        checkpoint_every=args.checkpoint_every,
+        fault_plan=args.fault_plan,
+        enable_chaos=args.enable_chaos,
+        exit_when_idle=args.exit_when_idle,
+        quiet=args.quiet,
+    )
+    return daemon.run()
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     for name in workload_names():
         flags = sorted(b.flag for b in ALL_REAL_BUGS if b.workload == name)
@@ -481,6 +516,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PMFuzz reproduction driver",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     fuzz = sub.add_parser("fuzz", help="run one fuzzing campaign")
@@ -691,6 +728,59 @@ def build_parser() -> argparse.ArgumentParser:
                             "('' disables; default: benchmarks/baseline)")
     bench.set_defaults(func=_cmd_bench)
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the campaign-as-a-service daemon")
+    srv.add_argument("dir",
+                     help="serve directory (submission journal, "
+                          "per-tenant campaign state); created on "
+                          "first use, replayed on every start")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: localhost only)")
+    srv.add_argument("--port", type=int, default=8765,
+                     help="TCP port (0 = kernel-assigned; the live "
+                          "address is published to <dir>/endpoint.json)")
+    srv.add_argument("--max-running", type=int, default=2, metavar="N",
+                     help="campaign runner processes in flight at once")
+    srv.add_argument("--tenant-quota", type=int, default=2, metavar="N",
+                     help="active (queued+running) campaigns allowed "
+                          "per tenant; beyond it submissions get 429")
+    srv.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                     help="total active campaigns before the daemon "
+                          "applies 429 backpressure")
+    srv.add_argument("--max-budget", type=float, default=120.0,
+                     metavar="VSECONDS",
+                     help="largest virtual budget one submission may ask "
+                          "for")
+    srv.add_argument("--lease", type=float, default=5.0, metavar="SECONDS",
+                     help="heartbeat lease; a campaign silent this long "
+                          "is escalated SIGTERM then SIGKILL")
+    srv.add_argument("--kill-grace", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="wall seconds between the watchdog's SIGTERM "
+                          "and its SIGKILL")
+    srv.add_argument("--max-deaths", type=int, default=3, metavar="N",
+                     help="circuit breaker: deaths within the window "
+                          "before a campaign is retired")
+    srv.add_argument("--checkpoint-every", type=float, default=0.25,
+                     metavar="VSECONDS",
+                     help="checkpoint cadence for hosted campaigns "
+                          "(the granularity of crash recovery)")
+    srv.add_argument("--fault-plan", default=None, metavar="SPEC",
+                     help="seeded fault plan for the daemon's own "
+                          "failure paths, e.g. 'serve:0.05' or "
+                          "'serve-journal:0.1:2'")
+    srv.add_argument("--enable-chaos", action="store_true",
+                     help="accept submissions carrying chaos hooks "
+                          "(wedge-once, fail) — soak testing only")
+    srv.add_argument("--exit-when-idle", action="store_true",
+                     help="exit 0 once every known campaign is "
+                          "terminal (scripting/CI; default is to serve "
+                          "until signalled)")
+    srv.add_argument("--quiet", action="store_true",
+                     help="suppress per-request and lifecycle logging")
+    srv.set_defaults(func=_cmd_serve)
+
     wl = sub.add_parser("workloads", help="list PM programs")
     wl.set_defaults(func=_cmd_workloads)
     return parser
@@ -702,15 +792,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             config_by_name(args.config)  # fail fast on unknown names
         except KeyError as exc:
-            print(exc, file=sys.stderr)
+            print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
     try:
         return args.func(args)
-    except (CheckpointError, FuzzerError) as exc:
-        # Bad fault plans and damaged/missing checkpoints are user
-        # input errors: one clean line, not a traceback.
+    except ReproError as exc:
+        # Bad fault plans, damaged/missing checkpoints, unusable corpus
+        # databases, rejected submissions: user input or environment
+        # errors get one clean line and the documented status, never a
+        # traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("error: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -88,13 +88,29 @@ class StatusWriter:
 # ----------------------------------------------------------------------
 # Reader / terminal renderer
 # ----------------------------------------------------------------------
-def read_status(path: str) -> Optional[dict]:
-    """Load one status file; None when absent or unreadable."""
-    try:
-        with open(path, "r", encoding="utf-8") as fh:
-            return json.load(fh)
-    except (OSError, ValueError):
-        return None
+def read_status(path: str, retries: int = 3,
+                retry_delay: float = 0.02) -> Optional[dict]:
+    """Load one status file; None when absent or unreadable.
+
+    A JSON parse failure on an *existing* file is treated as a torn
+    read from a concurrent writer — the engine publishes via atomic
+    rename, but network and overlay filesystems do not all honor
+    rename atomicity for readers — and retried a bounded number of
+    times before giving up.  Every reader (``monitor``, ``report``,
+    the serve daemon's status endpoint) shares this policy, so a torn
+    read costs one stale frame, never a traceback.
+    """
+    for attempt in range(retries + 1):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except OSError:
+            return None  # absent (campaign not started) — no retry
+        except ValueError:
+            if attempt >= retries:
+                return None
+            time.sleep(retry_delay)
+    return None
 
 
 def status_files(trace_dir: str) -> List[str]:

@@ -40,6 +40,9 @@ FAULT_SITES: Tuple[str, ...] = (
     "corpusdb-read",     # CorpusDatabase.get / scan: read I/O error
     "corpusdb-journal",  # IntentJournal.begin: intent write I/O error
     "corpusdb-compact",  # CorpusDatabase.compact: tier-move I/O error
+    "serve-journal",     # SubmissionJournal.append: intent write I/O error
+    "serve-accept",      # daemon admission path: transient accept failure
+    "serve-spawn",       # daemon campaign spawn: fork/launch failure
 )
 
 #: Sites drawn from the *host* fault stream (see :meth:`check_host`).
@@ -49,6 +52,9 @@ HOST_FAULT_SITES: Tuple[str, ...] = (
     "corpusdb-read",
     "corpusdb-journal",
     "corpusdb-compact",
+    "serve-journal",
+    "serve-accept",
+    "serve-spawn",
 )
 
 #: Spec-string aliases expanding to groups of sites.
@@ -59,6 +65,7 @@ SITE_GROUPS: Dict[str, Tuple[str, ...]] = {
     "exec": ("exec-fault", "exec-hang"),
     "corpusdb": ("corpusdb-publish", "corpusdb-read", "corpusdb-journal",
                  "corpusdb-compact"),
+    "serve": ("serve-journal", "serve-accept", "serve-spawn"),
 }
 
 
@@ -104,8 +111,13 @@ class FaultPlan:
             if len(fields) not in (2, 3):
                 raise FuzzerError(
                     f"bad fault spec {part!r}: expected site:rate[:burst]")
-            site, rate = fields[0], float(fields[1])
-            burst = int(fields[2]) if len(fields) == 3 else 1
+            try:
+                site, rate = fields[0], float(fields[1])
+                burst = int(fields[2]) if len(fields) == 3 else 1
+            except ValueError:
+                raise FuzzerError(
+                    f"bad fault spec {part!r}: rate must be a number "
+                    f"and burst an integer") from None
             for expanded in SITE_GROUPS.get(site, (site,)):
                 specs.append(FaultSpec(expanded, rate, burst))
         if not specs:

@@ -1,0 +1,36 @@
+"""Campaign-as-a-service: the crash-recoverable serving plane.
+
+``python -m repro serve <dir>`` runs a long-lived multi-tenant daemon
+that accepts campaign submissions over a localhost REST API, executes
+them in supervised runner processes, and survives its own SIGKILL
+without losing a single accepted submission:
+
+* :mod:`repro.serve.journal` — durable write-ahead submission journal
+  (corpusdb intent-record format);
+* :mod:`repro.serve.admission` — request validation, tenant sandboxing,
+  quotas, and bounded-queue backpressure;
+* :mod:`repro.serve.state` — the serve-directory layout and the
+  artifact-derived campaign lifecycle;
+* :mod:`repro.serve.runner` — one supervised campaign child
+  (checkpoint slices, heartbeat lease, drain exit);
+* :mod:`repro.serve.daemon` — the pool supervisor: recovery, watchdog
+  escalation, circuit breaker, two-stage drain;
+* :mod:`repro.serve.api` — the stdlib ``http.server`` REST surface.
+
+See DESIGN.md §12 for the journal format, admission rules, drain
+semantics, and the failure matrix.
+"""
+
+from repro.serve.admission import (AdmissionError, AdmissionPolicy,
+                                   Submission)
+from repro.serve.daemon import ServeDaemon
+from repro.serve.journal import SubmissionJournal
+from repro.serve.runner import DRAIN_EXIT, runner_main
+from repro.serve.state import CampaignRecord, ServePaths, campaign_id
+
+__all__ = [
+    "AdmissionError", "AdmissionPolicy", "Submission",
+    "ServeDaemon", "SubmissionJournal",
+    "DRAIN_EXIT", "runner_main",
+    "CampaignRecord", "ServePaths", "campaign_id",
+]

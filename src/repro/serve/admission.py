@@ -1,0 +1,186 @@
+"""Admission control: validate, sandbox, and rate-limit submissions.
+
+Everything a hostile (or merely confused) client can put in a POST body
+is checked here, *before* any disk write:
+
+* **Schema** — required fields, types, unknown-field rejection.
+* **Registry** — the workload must exist in the workload registry and
+  the configuration in the Table-2 config table; a ``fault_plan`` must
+  parse under the ``site:rate[:burst]`` grammar.
+* **Tenancy** — tenant names are confined to ``[a-z0-9][a-z0-9_-]*``
+  (max 32 chars), which is what makes the per-tenant directory layout
+  safe: a tenant name can never traverse out of ``tenants/``.
+* **Budget bounds** — a budget must be positive and below the daemon's
+  ceiling, so one submission cannot monopolize the pool for hours.
+
+Quota enforcement (per-tenant concurrency, global queue depth) lives in
+:meth:`AdmissionPolicy.check_quota`, separated from validation because
+it depends on live daemon state; its rejections are explicitly
+*retryable* (HTTP 429 with a Retry-After), unlike validation failures
+(400, permanent).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import config_by_name
+from repro.errors import FuzzerError, ReproError
+from repro.resilience.faults import as_fault_plan
+from repro.workloads import workload_names
+
+TENANT_RE = re.compile(r"^[a-z0-9][a-z0-9_-]{0,31}$")
+
+#: Fields a submission body may carry (everything else is rejected —
+#: a typo like "buget" should fail loudly, not silently default).
+ALLOWED_FIELDS = ("tenant", "workload", "config", "budget", "seed",
+                  "fault_plan", "chaos")
+
+#: Chaos hooks a test-mode daemon accepts (see ServeDaemon.enable_chaos).
+CHAOS_KINDS = ("wedge-once", "fail")
+
+
+class AdmissionError(ReproError):
+    """A submission was rejected; carries the HTTP status to return."""
+
+    def __init__(self, message: str, http_status: int = 400,
+                 retryable: bool = False) -> None:
+        super().__init__(message)
+        self.http_status = http_status
+        self.retryable = retryable
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One validated, normalized campaign submission."""
+
+    tenant: str
+    workload: str
+    config: str
+    budget: float
+    seed: int
+    fault_plan: Optional[str] = None
+    chaos: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form, the shape journaled and re-validated on
+        recovery (``None`` fields omitted so records stay minimal)."""
+        out: Dict[str, object] = {
+            "tenant": self.tenant, "workload": self.workload,
+            "config": self.config, "budget": self.budget, "seed": self.seed,
+        }
+        if self.fault_plan is not None:
+            out["fault_plan"] = self.fault_plan
+        if self.chaos is not None:
+            out["chaos"] = self.chaos
+        return out
+
+
+class AdmissionPolicy:
+    """The daemon's standing admission rules."""
+
+    def __init__(self, max_budget: float = 120.0,
+                 tenant_quota: int = 2,
+                 queue_limit: int = 32,
+                 allow_chaos: bool = False) -> None:
+        self.max_budget = max_budget
+        self.tenant_quota = tenant_quota
+        self.queue_limit = queue_limit
+        self.allow_chaos = allow_chaos
+
+    # ------------------------------------------------------------------
+    def validate(self, body: object) -> Submission:
+        """Normalize one request body; raises :class:`AdmissionError`."""
+        if not isinstance(body, dict):
+            raise AdmissionError("request body must be a JSON object")
+        unknown = sorted(set(body) - set(ALLOWED_FIELDS))
+        if unknown:
+            raise AdmissionError(f"unknown fields: {', '.join(unknown)} "
+                                 f"(allowed: {', '.join(ALLOWED_FIELDS)})")
+
+        tenant = body.get("tenant", "default")
+        if not isinstance(tenant, str) or not TENANT_RE.match(tenant):
+            raise AdmissionError(
+                f"invalid tenant {tenant!r}: must match "
+                f"{TENANT_RE.pattern} (lowercase, digits, - and _)")
+
+        workload = body.get("workload")
+        if workload not in workload_names():
+            raise AdmissionError(
+                f"unknown workload {workload!r}; "
+                f"known: {', '.join(workload_names())}")
+
+        config = body.get("config", "pmfuzz")
+        if not isinstance(config, str):
+            raise AdmissionError(f"config must be a string, got {config!r}")
+        try:
+            config_by_name(config)
+        except KeyError:
+            raise AdmissionError(f"unknown config {config!r}")
+
+        try:
+            budget = float(body.get("budget", 0))
+        except (TypeError, ValueError):
+            raise AdmissionError(
+                f"budget must be a number, got {body.get('budget')!r}")
+        if not budget > 0:
+            raise AdmissionError(f"budget must be > 0, got {budget}")
+        if budget > self.max_budget:
+            raise AdmissionError(
+                f"budget {budget} exceeds this daemon's ceiling "
+                f"of {self.max_budget} virtual seconds")
+
+        seed = body.get("seed", 0x504D465A)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise AdmissionError(f"seed must be an integer, got {seed!r}")
+
+        fault_plan = body.get("fault_plan")
+        if fault_plan is not None:
+            if not isinstance(fault_plan, str):
+                raise AdmissionError("fault_plan must be a spec string")
+            try:
+                as_fault_plan(fault_plan)
+            except FuzzerError as exc:
+                raise AdmissionError(f"bad fault_plan: {exc}")
+
+        chaos = body.get("chaos")
+        if chaos is not None:
+            if not self.allow_chaos:
+                raise AdmissionError(
+                    "chaos hooks are disabled on this daemon "
+                    "(start it with --enable-chaos)")
+            if chaos not in CHAOS_KINDS:
+                raise AdmissionError(
+                    f"unknown chaos kind {chaos!r}; "
+                    f"known: {', '.join(CHAOS_KINDS)}")
+
+        return Submission(tenant=tenant, workload=workload,
+                          config=config, budget=budget, seed=seed,
+                          fault_plan=fault_plan, chaos=chaos)
+
+    # ------------------------------------------------------------------
+    def check_quota(self, submission: Submission, records) -> None:
+        """Backpressure against the live campaign table.
+
+        ``records`` is the daemon's id → :class:`CampaignRecord` map.
+        Raises a *retryable* :class:`AdmissionError` (HTTP 429) when the
+        global queue or the tenant's concurrency slice is full — the
+        work already accepted is preserved; this submission simply has
+        to come back later.
+        """
+        active = [r for r in records.values() if not r.terminal]
+        if len(active) >= self.queue_limit:
+            raise AdmissionError(
+                f"queue full: {len(active)} campaigns queued or running "
+                f"(limit {self.queue_limit})",
+                http_status=429, retryable=True)
+        tenant_active = sum(1 for r in active
+                            if r.tenant == submission.tenant)
+        if tenant_active >= self.tenant_quota:
+            raise AdmissionError(
+                f"tenant {submission.tenant!r} already has "
+                f"{tenant_active} active campaigns "
+                f"(quota {self.tenant_quota})",
+                http_status=429, retryable=True)

@@ -1,0 +1,151 @@
+"""Localhost REST API for the serve daemon (stdlib ``http.server``).
+
+Endpoints (all JSON):
+
+=====================  ======================================================
+``GET /healthz``        liveness: 200 whenever the process can answer
+``GET /readyz``         readiness: 200 while accepting, 503 once draining
+``GET /v1/campaigns``   every campaign this serve directory knows about
+``POST /v1/campaigns``  submit one campaign; 201 accepted (durably
+                        journaled), 400 invalid, 429 quota/queue
+                        backpressure (with ``Retry-After``), 503
+                        draining or transient accept/journal fault
+``GET /v1/campaigns/<id>``  lifecycle state + the campaign's live
+                        ``status.json`` (torn-read hardened) + a result
+                        summary once terminal
+=====================  ======================================================
+
+The handler threads only ever touch the daemon through its lock-guarded
+methods; supervision stays on the daemon's main loop.  Responses carry
+explicit machine-readable bodies (``{"error": ..., "retryable": true}``)
+because the admission contract — *a 201 means the submission is durable,
+anything else means it was never accepted* — is what clients build
+retry loops against.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.errors import HarnessFaultError
+from repro.serve.admission import AdmissionError
+
+#: Largest accepted request body; a submission is a few hundred bytes.
+MAX_BODY_BYTES = 64 * 1024
+
+#: Suggested client backoff for 429/503 responses, in seconds.
+RETRY_AFTER_S = 1
+
+
+class ServeAPIHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the owning :class:`ServeDaemon`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The daemon is attached to the server object by make_server().
+    @property
+    def daemon(self):
+        return self.server.serve_daemon
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.daemon.quiet:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _respond(self, status: int, payload: dict,
+                 retry_after: Optional[int] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except BrokenPipeError:
+            pass  # client went away; nothing to clean up
+
+    def _read_body(self) -> Optional[object]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._respond(400, {"error": "bad Content-Length"})
+            return None
+        if length <= 0:
+            self._respond(400, {"error": "empty request body"})
+            return None
+        if length > MAX_BODY_BYTES:
+            self._respond(413, {"error": f"body exceeds {MAX_BODY_BYTES} "
+                                         "bytes"})
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._respond(400, {"error": "request body is not valid JSON"})
+            return None
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._respond(200, {"ok": True})
+            return
+        if path == "/readyz":
+            if self.daemon.accepting:
+                self._respond(200, {"ready": True})
+            else:
+                self._respond(503, {"ready": False, "draining": True},
+                              retry_after=RETRY_AFTER_S)
+            return
+        if path == "/v1/campaigns":
+            self._respond(200, {"campaigns": self.daemon.list_view()})
+            return
+        if path.startswith("/v1/campaigns/"):
+            cid = path[len("/v1/campaigns/"):]
+            view = self.daemon.campaign_view(cid)
+            if view is None:
+                self._respond(404, {"error": f"no campaign {cid!r}"})
+            else:
+                self._respond(200, view)
+            return
+        self._respond(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path.rstrip("/") != "/v1/campaigns":
+            self._respond(404, {"error": f"no route {self.path!r}"})
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            record = self.daemon.submit(body)
+        except AdmissionError as exc:
+            status = exc.http_status
+            self._respond(status,
+                          {"error": str(exc), "retryable": exc.retryable},
+                          retry_after=RETRY_AFTER_S if exc.retryable
+                          else None)
+            return
+        except HarnessFaultError as exc:
+            # Injected serve-accept/serve-journal fault: nothing was
+            # accepted; the client retries against an intact daemon.
+            self._respond(503, {"error": f"transient accept failure: {exc}",
+                                "retryable": True},
+                          retry_after=RETRY_AFTER_S)
+            return
+        self._respond(201, {"id": record.cid, "state": record.state,
+                            "tenant": record.tenant})
+
+
+def make_server(daemon, host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """Bind the API server (port 0 = kernel-assigned) for ``daemon``."""
+    server = ThreadingHTTPServer((host, port), ServeAPIHandler)
+    server.daemon_threads = True
+    server.serve_daemon = daemon
+    return server

@@ -1,0 +1,135 @@
+"""Durable write-ahead submission journal for the serve daemon.
+
+An HTTP submission is *accepted* only after an intent record for it has
+been durably appended here — the same write-ahead discipline (and the
+same on-disk container: checksummed ``<op>-<key>.intent`` records in
+the :data:`~repro.corpusdb.journal.INTENT_MAGIC` format, written
+write-tmp+fsync+rename) that makes the corpus database's mutations
+crash-atomic.  The shared format means the same damage taxonomy applies
+and the same tooling heals it: an unreadable or torn intent is detected
+by checksum, dropped, and counted, exactly as
+:meth:`repro.corpusdb.journal.IntentJournal.pending` does.
+
+The record carries the *complete* normalized submission, so a SIGKILLed
+daemon restarts with nothing but this directory plus the per-campaign
+artifacts and can re-queue (or resume, or mark terminal) every accepted
+campaign:
+
+* intent present + loadable ``stats.bin``/``retired`` marker → the
+  campaign already reached its terminal state; the intent is committed.
+* intent present + ``campaign.ckpt`` → the runner died mid-campaign;
+  re-queue with resume (bit-identical replay, PR-1 contract).
+* intent present + nothing else → accepted but never started; re-queue
+  fresh.
+
+Replay is idempotent: an intent is removed exactly once (``os.remove``
+— concurrent removers observe FileNotFoundError as already-committed),
+and re-running a partially-completed campaign from its checkpoint
+converges on the same terminal artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Tuple
+
+from repro._util import atomic_write_bytes, pack_checksummed, \
+    unpack_checksummed
+from repro.corpusdb.journal import INTENT_MAGIC, INTENT_SUFFIX
+
+#: The single operation this journal records.
+SUBMIT_OP = "submit"
+
+
+class SubmissionJournal:
+    """Directory of per-submission intent records.
+
+    ``injector`` (an :class:`~repro.resilience.faults.EnvFaultInjector`
+    or None) is consulted at the ``serve-journal`` host fault site
+    before every append, so the daemon's own durability path is
+    testable under the seeded injector: a fired fault raises before
+    anything lands on disk, the submission is *not* accepted, and the
+    client gets an explicit retryable error.
+    """
+
+    def __init__(self, directory: str, injector=None) -> None:
+        self.directory = directory
+        self.injector = injector
+        self.dropped_damaged = 0  #: unreadable intents dropped by pending()
+
+    # ------------------------------------------------------------------
+    def path_for(self, cid: str) -> str:
+        return os.path.join(self.directory,
+                            f"{SUBMIT_OP}-{cid}{INTENT_SUFFIX}")
+
+    def append(self, cid: str, request: dict) -> str:
+        """Durably record the accepted submission; returns the path.
+
+        Raises :class:`~repro.errors.StorageFaultError` when the
+        ``serve-journal`` fault site fires (the caller maps this to a
+        retryable 503 — the submission was never accepted).
+        """
+        if self.injector is not None:
+            self.injector.check_host("serve-journal")
+        record = json.dumps({"op": SUBMIT_OP, "key": cid,
+                             "request": request},
+                            sort_keys=True).encode("utf-8")
+        path = self.path_for(cid)
+        atomic_write_bytes(path, pack_checksummed(INTENT_MAGIC, record))
+        return path
+
+    def commit(self, path: str) -> None:
+        """Drop a terminal campaign's intent (idempotent)."""
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    def pending(self) -> List[Tuple[str, Optional[str], Optional[dict]]]:
+        """Sorted ``(path, campaign_id, request)`` for every intent.
+
+        A record that cannot be read, verified, or parsed yields
+        ``(path, None, None)``; :meth:`recover_pending` drops those (a
+        lost intent can only lose a submission the daemon never
+        acknowledged durably — acceptance *is* the journal append).
+        """
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        out: List[Tuple[str, Optional[str], Optional[dict]]] = []
+        for name in names:
+            if not name.endswith(INTENT_SUFFIX):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "rb") as fh:
+                    blob = unpack_checksummed(INTENT_MAGIC, fh.read(),
+                                              what=name)
+                record = json.loads(blob.decode("utf-8"))
+                if record.get("op") != SUBMIT_OP:
+                    raise ValueError(f"not a submission intent: {record!r}")
+                cid, request = record["key"], record["request"]
+                if not isinstance(cid, str) or not isinstance(request, dict):
+                    raise ValueError(f"malformed intent record {record!r}")
+            except (OSError, ValueError, KeyError, TypeError):
+                out.append((path, None, None))
+                continue
+            out.append((path, cid, request))
+        return out
+
+    def recover_pending(self) -> List[Tuple[str, str, dict]]:
+        """:meth:`pending` minus damaged records, which are removed."""
+        healthy: List[Tuple[str, str, dict]] = []
+        for path, cid, request in self.pending():
+            if cid is None or request is None:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                self.dropped_damaged += 1
+                continue
+            healthy.append((path, cid, request))
+        return healthy

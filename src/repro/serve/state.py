@@ -1,0 +1,207 @@
+"""On-disk layout and lifecycle records for the serving plane.
+
+One daemon owns one *serve directory*; everything the daemon must not
+lose across its own crashes lives under it, each artifact with the same
+crash-safety discipline as the campaign data it manages:
+
+``journal/``
+    The durable submission journal (:mod:`repro.serve.journal`): one
+    checksummed intent per accepted-but-not-yet-terminal campaign.
+``tenants/<tenant>/<campaign-id>/``
+    One directory per accepted campaign, holding the engine checkpoint
+    (``campaign.ckpt``), the live ``status.json``/trace shards (the
+    existing observe data plane), the heartbeat lease, and — once the
+    campaign reaches a terminal state — either the final stats
+    (``stats.bin``, same checksummed container as a fleet member's) or
+    a ``retired`` marker from the watchdog's circuit breaker.
+``endpoint.json``
+    Where the daemon is actually listening (the kernel picks the port
+    when ``--port 0``), published atomically so scripts and tests can
+    discover it without racing the bind.
+
+A campaign's *state* is never stored in daemon memory alone: it is a
+pure function of these files, which is what makes the daemon
+crash-recoverable — a restarted daemon rebuilds the exact queue from
+journal + checkpoints + terminal artifacts (see
+:meth:`repro.serve.daemon.ServeDaemon.recover`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._util import atomic_write_bytes
+from repro.orchestrate.member import read_member_stats, write_member_stats
+
+#: Campaign lifecycle states (terminal: done / retired).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+RETIRED = "retired"
+
+#: States in which the journal intent has been committed and the
+#: campaign will never run again.
+TERMINAL_STATES = (DONE, RETIRED)
+
+#: ``<tenant>-c<seq>`` — tenant names are admission-validated, so the
+#: trailing ``-cNNNNNN`` is unambiguous.
+CAMPAIGN_ID_RE = re.compile(r"^([a-z0-9][a-z0-9_-]*)-c(\d{6})$")
+
+
+def campaign_id(tenant: str, seq: int) -> str:
+    return f"{tenant}-c{seq:06d}"
+
+
+def parse_campaign_id(cid: str):
+    """``(tenant, seq)`` or None for a string that is not a campaign id."""
+    match = CAMPAIGN_ID_RE.match(cid)
+    if not match:
+        return None
+    return match.group(1), int(match.group(2))
+
+
+class ServePaths:
+    """The serve directory layout one daemon lives in."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.journal = os.path.join(self.root, "journal")
+        self.tenants = os.path.join(self.root, "tenants")
+        self.endpoint = os.path.join(self.root, "endpoint.json")
+
+    def make_dirs(self) -> None:
+        for path in (self.journal, self.tenants):
+            os.makedirs(path, exist_ok=True)
+
+    # -- per-campaign artifacts ----------------------------------------
+    def tenant_dir(self, tenant: str) -> str:
+        return os.path.join(self.tenants, tenant)
+
+    def campaign_dir(self, cid: str) -> str:
+        parsed = parse_campaign_id(cid)
+        tenant = parsed[0] if parsed else "unknown"
+        return os.path.join(self.tenant_dir(tenant), cid)
+
+    def checkpoint(self, cid: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "campaign.ckpt")
+
+    def heartbeat(self, cid: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "heartbeat.json")
+
+    def stats_file(self, cid: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "stats.bin")
+
+    def retired_marker(self, cid: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "retired")
+
+    def request_file(self, cid: str) -> str:
+        return os.path.join(self.campaign_dir(cid), "request.json")
+
+    def status_file(self, cid: str) -> str:
+        # Solo campaigns (member_index -1) publish plain status.json.
+        return os.path.join(self.campaign_dir(cid), "status.json")
+
+    # -- endpoint discovery --------------------------------------------
+    def publish_endpoint(self, host: str, port: int) -> None:
+        blob = json.dumps({"host": host, "port": port, "pid": os.getpid(),
+                           "written_at": time.time()},
+                          sort_keys=True).encode("utf-8")
+        atomic_write_bytes(self.endpoint, blob, fsync=False)
+
+    def read_endpoint(self) -> Optional[dict]:
+        try:
+            with open(self.endpoint, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    # -- state reconstruction ------------------------------------------
+    def terminal_state(self, cid: str) -> Optional[str]:
+        """The campaign's terminal state from its artifacts, or None.
+
+        ``stats.bin`` must *load* (checksummed container), not merely
+        exist: a half-written stats file from a killed runner means the
+        campaign is not terminal and must be resumed.
+        """
+        if read_member_stats(self.stats_file(cid)) is not None:
+            return DONE
+        if os.path.exists(self.retired_marker(cid)):
+            return RETIRED
+        return None
+
+    def write_retired(self, cid: str) -> None:
+        # fsynced: the journal intent commit follows this marker, and a
+        # crash that lost the marker after dropping the intent would
+        # forget the campaign entirely (the one unacceptable outcome).
+        os.makedirs(self.campaign_dir(cid), exist_ok=True)
+        atomic_write_bytes(self.retired_marker(cid), b"")
+
+    def load_stats(self, cid: str):
+        return read_member_stats(self.stats_file(cid))
+
+    def write_stats(self, cid: str, stats) -> None:
+        os.makedirs(self.campaign_dir(cid), exist_ok=True)
+        write_member_stats(self.stats_file(cid), stats)
+
+    def max_seq(self) -> int:
+        """Highest campaign sequence number ever allocated under this
+        root (journal keys + tenant directories), so a restarted daemon
+        never reuses an id."""
+        highest = 0
+        names: List[str] = []
+        try:
+            for tenant in os.listdir(self.tenants):
+                tdir = os.path.join(self.tenants, tenant)
+                if os.path.isdir(tdir):
+                    names.extend(os.listdir(tdir))
+        except OSError:
+            pass
+        for name in names:
+            parsed = parse_campaign_id(name)
+            if parsed:
+                highest = max(highest, parsed[1])
+        return highest
+
+
+@dataclass
+class CampaignRecord:
+    """Daemon-side lifecycle state for one accepted campaign."""
+
+    cid: str
+    tenant: str
+    request: dict
+    state: str = QUEUED
+    intent_path: str = ""
+    accepted_at: float = field(default_factory=time.time)
+    # Runtime supervision fields (main loop only).
+    pid: Optional[int] = None
+    spawned_at: float = 0.0
+    term_sent_at: float = 0.0  #: monotonic instant SIGTERM was escalated
+    restarts: int = 0
+    deaths: List[float] = field(default_factory=list)
+    backoff: float = 0.0
+    restart_at: float = 0.0
+    last_exit: str = ""
+    drained: bool = False  #: runner checkpointed and exited for drain
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def public_view(self) -> Dict[str, object]:
+        """The JSON shape the REST API exposes for this campaign."""
+        return {
+            "id": self.cid,
+            "tenant": self.tenant,
+            "state": self.state,
+            "workload": self.request.get("workload"),
+            "config": self.request.get("config"),
+            "budget": self.request.get("budget"),
+            "restarts": self.restarts,
+            "accepted_at": self.accepted_at,
+        }

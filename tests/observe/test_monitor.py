@@ -184,3 +184,45 @@ class TestWaitForCampaign:
         assert monitor_loop(str(tmp_path), once=True, wait=1.0,
                             out=out) == 0
         assert "btree" in out.getvalue()
+
+
+class TestTornStatusReads:
+    """``read_status`` retry policy: a JSON parse failure on an existing
+    file is a torn read racing a concurrent writer — retried a bounded
+    number of times; absence is answered immediately."""
+
+    TORN = '{"version": 1, "executions"'
+
+    def test_absent_file_is_none_without_retrying(self, tmp_path,
+                                                  monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.observe.monitor.time.sleep",
+                            sleeps.append)
+        assert read_status(str(tmp_path / "status.json")) is None
+        assert sleeps == []
+
+    def test_torn_file_healed_by_the_writer_wins_a_retry(self, tmp_path,
+                                                         monkeypatch):
+        path = str(tmp_path / "status.json")
+        with open(path, "w") as fh:
+            fh.write(self.TORN)
+
+        def writer_completes(_delay):
+            with open(path, "w") as fh:
+                json.dump({"version": 1, "executions": 42}, fh)
+
+        monkeypatch.setattr("repro.observe.monitor.time.sleep",
+                            writer_completes)
+        snapshot = read_status(path)
+        assert snapshot == {"version": 1, "executions": 42}
+
+    def test_permanently_torn_file_gives_up_bounded(self, tmp_path,
+                                                    monkeypatch):
+        path = str(tmp_path / "status.json")
+        with open(path, "w") as fh:
+            fh.write(self.TORN)
+        sleeps = []
+        monkeypatch.setattr("repro.observe.monitor.time.sleep",
+                            sleeps.append)
+        assert read_status(path, retries=3) is None
+        assert len(sleeps) == 3  # bounded: retries, then None

@@ -57,6 +57,13 @@ class TestFaultPlanParse:
             with pytest.raises(FuzzerError):
                 FaultPlan.parse(bad)
 
+    def test_non_numeric_rate_or_burst_rejected(self):
+        # These must surface as FuzzerError (one-line CLI error, rc 2),
+        # never as a bare ValueError traceback.
+        for bad in ("storage-load:xx", "all:0.1:many", "exec-fault:0..1"):
+            with pytest.raises(FuzzerError):
+                FaultPlan.parse(bad)
+
     def test_as_fault_plan_coercion(self):
         assert as_fault_plan(None) is None
         plan = FaultPlan.parse("all:0.01")
@@ -127,3 +134,36 @@ class TestEnvFaultInjector:
         fresh.setstate(state)
         assert [fresh.should_fault("exec-fault") for _ in range(100)] == tail
         assert fresh.fired == inj.fired
+
+
+class TestSiteGroupRegistry:
+    """The group aliases must track FAULT_SITES automatically: adding a
+    new site (as the serving plane did with serve-*) must flow into
+    ``all:`` plans without anyone remembering to update a list."""
+
+    def test_all_alias_is_the_fault_sites_tuple_itself(self):
+        # Identity, not equality: "all" can never drift out of date.
+        assert SITE_GROUPS["all"] is FAULT_SITES
+
+    def test_all_plan_covers_every_site_including_serve(self):
+        covered = {s.site for s in FaultPlan.parse("all:0.5").specs}
+        assert covered == set(FAULT_SITES)
+        assert {"serve-journal", "serve-accept", "serve-spawn"} <= covered
+
+    def test_host_sites_are_a_subset_of_fault_sites(self):
+        from repro.resilience.faults import HOST_FAULT_SITES
+        assert set(HOST_FAULT_SITES) <= set(FAULT_SITES)
+
+    def test_every_group_expands_to_known_sites_only(self):
+        for name, sites in SITE_GROUPS.items():
+            assert set(sites) <= set(FAULT_SITES), name
+            # Every alias must parse as a plan in its own right.
+            parsed = {s.site for s in FaultPlan.parse(f"{name}:0.1").specs}
+            assert parsed == set(sites), name
+
+    def test_serve_group_matches_the_serve_prefixed_sites(self):
+        assert set(SITE_GROUPS["serve"]) == \
+            {site for site in FAULT_SITES if site.startswith("serve-")}
+
+    def test_fault_sites_have_no_duplicates(self):
+        assert len(FAULT_SITES) == len(set(FAULT_SITES))

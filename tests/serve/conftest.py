@@ -1,0 +1,143 @@
+"""Shared helpers for the serving-plane tests.
+
+Two ways to stand a daemon up:
+
+* ``daemon_thread`` — run :meth:`ServeDaemon.run` on a thread inside
+  the test process (no signal handlers).  Fast, and the test can poke
+  daemon internals; used for API/behavioral tests.
+* ``fork_daemon`` — fork a real daemon process, discover its endpoint
+  via ``endpoint.json``.  The only way to test SIGKILL recovery and
+  drain exit codes for real.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeDaemon
+from repro.serve.state import ServePaths
+
+#: Small enough to keep tier-1 fast, big enough to cross several
+#: checkpoint slices (checkpoint_every=0.1 below).
+TINY_BUDGET = 0.4
+
+
+def http_json(ep, method: str, path: str, body=None, timeout: float = 10.0):
+    """One request against a daemon endpoint; ``(status, parsed-body)``."""
+    conn = http.client.HTTPConnection(ep["host"], ep["port"],
+                                      timeout=timeout)
+    try:
+        payload = None if body is None else json.dumps(body)
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+def campaign_states(ep):
+    _, body = http_json(ep, "GET", "/v1/campaigns")
+    return {c["id"]: c["state"] for c in body["campaigns"]}
+
+
+def wait_until(predicate, timeout: float = 60.0, poll: float = 0.02,
+               what: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll)
+    raise AssertionError(f"timed out after {timeout}s waiting for {what}")
+
+
+class DaemonThread:
+    """A ServeDaemon running on a thread in this process."""
+
+    def __init__(self, daemon: ServeDaemon) -> None:
+        self.daemon = daemon
+        self.exit_status = None
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        self.exit_status = self.daemon.run(install_signals=False)
+
+    def start(self):
+        self.thread.start()
+        ep = wait_until(self.daemon.paths.read_endpoint,
+                        what="endpoint.json")
+        return ep
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self.thread.is_alive():
+            self.daemon.request_drain()
+            self.thread.join(timeout=timeout)
+        assert not self.thread.is_alive(), "daemon thread failed to drain"
+
+
+@pytest.fixture
+def daemon_thread(tmp_path):
+    """Factory: start an in-process daemon; drained at test exit."""
+    started = []
+
+    def start(**kwargs) -> DaemonThread:
+        kwargs.setdefault("poll_interval", 0.02)
+        kwargs.setdefault("checkpoint_every", 0.1)
+        kwargs.setdefault("quiet", True)
+        root = kwargs.pop("root", str(tmp_path / f"serve{len(started)}"))
+        handle = DaemonThread(ServeDaemon(root, port=0, **kwargs))
+        started.append(handle)
+        return handle
+
+    yield start
+    for handle in started:
+        handle.stop()
+
+
+def fork_daemon(root: str, **kwargs):
+    """Fork a real daemon process; returns ``(pid, endpoint)``.
+
+    The endpoint is trusted only once its ``pid`` field matches the
+    fresh child, so a restart never reads the previous incarnation's
+    stale ``endpoint.json``.
+    """
+    kwargs.setdefault("poll_interval", 0.02)
+    kwargs.setdefault("checkpoint_every", 0.1)
+    kwargs.setdefault("quiet", True)
+    pid = os.fork()
+    if pid == 0:
+        status = 1
+        try:
+            status = ServeDaemon(root, port=0, **kwargs).run()
+        except BaseException:
+            import traceback
+            traceback.print_exc()
+        finally:
+            os._exit(status)
+    paths = ServePaths(root)
+    ep = wait_until(
+        lambda: (lambda e: e if e and e.get("pid") == pid else None)(
+            paths.read_endpoint()),
+        what=f"endpoint.json from daemon pid {pid}")
+    return pid, ep
+
+
+def wait_exit(pid: int) -> int:
+    _, status = os.waitpid(pid, 0)
+    assert os.WIFEXITED(status), f"daemon killed by signal: {status:#o}"
+    return os.WEXITSTATUS(status)
+
+
+def kill_daemon(pid: int) -> None:
+    try:
+        os.kill(pid, signal.SIGKILL)
+        os.waitpid(pid, 0)
+    except (ProcessLookupError, ChildProcessError):
+        pass

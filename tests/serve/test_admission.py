@@ -1,0 +1,126 @@
+"""Admission control: schema, tenancy sandbox, quotas, backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import (AdmissionError, AdmissionPolicy,
+                                   Submission)
+from repro.serve.state import CampaignRecord, DONE
+
+VALID = {"tenant": "acme", "workload": "btree", "budget": 2.0, "seed": 1}
+
+
+@pytest.fixture
+def policy():
+    return AdmissionPolicy(max_budget=10.0, tenant_quota=2, queue_limit=4)
+
+
+def admission_error(policy, body):
+    with pytest.raises(AdmissionError) as excinfo:
+        policy.validate(body)
+    return excinfo.value
+
+
+def test_valid_body_normalizes(policy):
+    sub = policy.validate(dict(VALID))
+    assert sub == Submission(tenant="acme", workload="btree",
+                             config="pmfuzz", budget=2.0, seed=1)
+
+
+def test_defaults_applied(policy):
+    sub = policy.validate({"workload": "btree", "budget": 1.0})
+    assert sub.tenant == "default"
+    assert sub.config == "pmfuzz"
+    assert isinstance(sub.seed, int)
+
+
+def test_as_dict_revalidates_to_the_same_submission(policy):
+    """The journaled shape must re-admit identically on recovery."""
+    sub = policy.validate({"workload": "btree", "budget": 1.5,
+                           "fault_plan": "storage-load:0.1"})
+    assert policy.validate(sub.as_dict()) == sub
+
+
+@pytest.mark.parametrize("body", [
+    "not a dict",
+    {**VALID, "buget": 3},                       # typo'd field
+    {**VALID, "tenant": "../../etc"},            # traversal attempt
+    {**VALID, "tenant": "UPPER"},
+    {**VALID, "tenant": "x" * 33},
+    {**VALID, "tenant": ""},
+    {**VALID, "workload": "no-such-workload"},
+    {"tenant": "acme", "budget": 1.0},           # workload missing
+    {**VALID, "config": "no-such-config"},
+    {**VALID, "config": 7},
+    {**VALID, "budget": 0},
+    {**VALID, "budget": -1},
+    {**VALID, "budget": "lots"},
+    {**VALID, "budget": 11.0},                   # over the ceiling
+    {**VALID, "seed": "seven"},
+    {**VALID, "seed": True},
+    {**VALID, "fault_plan": "bogus-site:0.5"},
+    {**VALID, "fault_plan": 3},
+])
+def test_rejected_bodies(policy, body):
+    exc = admission_error(policy, body)
+    assert exc.http_status == 400
+    assert not exc.retryable
+
+
+def test_tenant_name_cannot_escape_tenants_dir(policy):
+    """Any tenant the validator passes maps inside ``tenants/``."""
+    import os
+    from repro.serve.state import ServePaths, campaign_id
+    paths = ServePaths("/srv/fuzz")
+    for tenant in ("acme", "a", "t-1_2", "0x"):
+        sub = policy.validate({**VALID, "tenant": tenant})
+        cdir = paths.campaign_dir(campaign_id(sub.tenant, 1))
+        assert os.path.commonpath([cdir, paths.tenants]) == paths.tenants
+
+
+def test_chaos_gated_behind_enable_chaos(policy):
+    exc = admission_error(policy, {**VALID, "chaos": "fail"})
+    assert "chaos" in str(exc)
+    chaotic = AdmissionPolicy(allow_chaos=True)
+    assert chaotic.validate({**VALID, "chaos": "fail"}).chaos == "fail"
+    with pytest.raises(AdmissionError):
+        chaotic.validate({**VALID, "chaos": "segfault-everything"})
+
+
+# ----------------------------------------------------------------------
+# Quotas (live-state backpressure: retryable 429s)
+# ----------------------------------------------------------------------
+def records_for(*tenants, state="queued"):
+    out = {}
+    for index, tenant in enumerate(tenants, start=1):
+        cid = f"{tenant}-c{index:06d}"
+        out[cid] = CampaignRecord(cid=cid, tenant=tenant, request={},
+                                  state=state)
+    return out
+
+
+def test_queue_limit_is_retryable_429(policy):
+    sub = policy.validate(dict(VALID))
+    full = records_for("a", "b", "c", "d")
+    with pytest.raises(AdmissionError) as excinfo:
+        policy.check_quota(sub, full)
+    assert excinfo.value.http_status == 429
+    assert excinfo.value.retryable
+
+
+def test_tenant_quota_is_per_tenant(policy):
+    sub = policy.validate(dict(VALID))  # tenant acme
+    records = records_for("acme", "acme", "beta")
+    with pytest.raises(AdmissionError) as excinfo:
+        policy.check_quota(sub, records)
+    assert excinfo.value.http_status == 429
+    # Another tenant still fits.
+    other = policy.validate({**VALID, "tenant": "gamma"})
+    policy.check_quota(other, records)
+
+
+def test_terminal_campaigns_do_not_count_against_quotas(policy):
+    sub = policy.validate(dict(VALID))
+    finished = records_for("acme", "acme", "acme", "acme", state=DONE)
+    policy.check_quota(sub, finished)

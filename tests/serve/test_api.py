@@ -1,0 +1,161 @@
+"""REST surface: health, submission contract, errors, backpressure."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+
+import pytest
+
+from tests.serve.conftest import (TINY_BUDGET, campaign_states, http_json,
+                                  wait_until)
+
+VALID = {"tenant": "acme", "workload": "btree", "budget": TINY_BUDGET,
+         "seed": 11}
+
+
+def http_raw(ep, method, path, body=None, headers=None):
+    """Like http_json but also returns the response headers."""
+    conn = http.client.HTTPConnection(ep["host"], ep["port"], timeout=10)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return (response.status, json.loads(response.read() or b"{}"),
+                dict(response.getheaders()))
+    finally:
+        conn.close()
+
+
+def test_healthz_and_readyz(daemon_thread):
+    handle = daemon_thread()
+    ep = handle.start()
+    assert http_json(ep, "GET", "/healthz") == (200, {"ok": True})
+    assert http_json(ep, "GET", "/readyz") == (200, {"ready": True})
+
+
+def test_submit_runs_to_done_with_result_summary(daemon_thread):
+    handle = daemon_thread()
+    ep = handle.start()
+    status, body = http_json(ep, "POST", "/v1/campaigns", VALID)
+    assert status == 201
+    cid = body["id"]
+    assert body == {"id": cid, "state": "queued", "tenant": "acme"}
+    # Durably journaled before the 201 was sent.
+    assert handle.daemon.journal.pending() != []
+
+    status, listing = http_json(ep, "GET", "/v1/campaigns")
+    assert status == 200
+    assert [c["id"] for c in listing["campaigns"]] == [cid]
+
+    wait_until(lambda: campaign_states(ep).get(cid) == "done",
+               what=f"{cid} done")
+    status, view = http_json(ep, "GET", f"/v1/campaigns/{cid}")
+    assert status == 200
+    assert view["state"] == "done"
+    assert view["result"]["stop_reason"] == "budget"
+    assert view["result"]["executions"] > 0
+    # Live status.json made it through the torn-read-hardened reader.
+    assert view["status"]["workload"] == "btree"
+    # Terminal: the journal intent was committed.
+    assert handle.daemon.journal.pending() == []
+
+
+def test_unknown_routes_and_campaigns_404(daemon_thread):
+    handle = daemon_thread()
+    ep = handle.start()
+    assert http_json(ep, "GET", "/v2/nope")[0] == 404
+    assert http_json(ep, "GET", "/v1/campaigns/acme-c000099")[0] == 404
+    assert http_json(ep, "POST", "/v1/other", VALID)[0] == 404
+
+
+def test_malformed_bodies_rejected(daemon_thread):
+    handle = daemon_thread()
+    ep = handle.start()
+    status, body, _ = http_raw(ep, "POST", "/v1/campaigns", b"{not json")
+    assert status == 400
+    status, body, _ = http_raw(ep, "POST", "/v1/campaigns", b"")
+    assert status == 400
+    status, body, _ = http_raw(ep, "POST", "/v1/campaigns",
+                               b"x" * (64 * 1024 + 1))
+    assert status == 413
+    status, body = http_json(ep, "POST", "/v1/campaigns",
+                             {**VALID, "workload": "nope"})
+    assert status == 400
+    assert not body["retryable"]
+    # Nothing was accepted by any of those.
+    assert handle.daemon.records == {}
+    assert handle.daemon.journal.pending() == []
+
+
+def test_tenant_quota_backpressure_with_retry_after(daemon_thread):
+    handle = daemon_thread(tenant_quota=1)
+    ep = handle.start()
+    slow = {**VALID, "budget": 30.0}
+    assert http_json(ep, "POST", "/v1/campaigns", slow)[0] == 201
+    status, body, headers = http_raw(ep, "POST", "/v1/campaigns",
+                                     json.dumps(slow))
+    assert status == 429
+    assert body["retryable"]
+    assert "Retry-After" in headers
+    # A different tenant still gets in.
+    other = {**slow, "tenant": "beta"}
+    assert http_json(ep, "POST", "/v1/campaigns", other)[0] == 201
+
+
+def test_drain_flips_readyz_and_rejects_submissions(daemon_thread):
+    # Tight watchdog: if the runner ever goes silent, the escalation
+    # ladder resolves it in ~2s, far inside the join timeout below.
+    handle = daemon_thread(lease_s=1.0, kill_grace=0.5)
+    ep = handle.start()
+    slow = {**VALID, "budget": 30.0}
+    status, body = http_json(ep, "POST", "/v1/campaigns", slow)
+    assert status == 201
+    cid = body["id"]
+    wait_until(lambda: campaign_states(ep).get(cid) == "running",
+               what=f"{cid} running")
+    # Drain only once the first checkpoint exists: that proves the
+    # runner is past startup and inside its epoch loop with the
+    # SIGTERM handler installed, so the drain signal always parks the
+    # campaign rather than racing process bring-up.
+    wait_until(lambda: os.path.exists(handle.daemon.paths.checkpoint(cid)),
+               what=f"{cid} first checkpoint")
+    # While a campaign is live, drain keeps the API up: readyz goes
+    # 503, submissions bounce retryable, existing work checkpoints.
+    handle.daemon.request_drain()
+    status, body, headers = http_raw(ep, "GET", "/readyz")
+    assert status == 503
+    assert body["draining"]
+    status, body = http_json(ep, "POST", "/v1/campaigns", VALID)
+    assert status == 503
+    assert body["retryable"]
+    handle.thread.join(timeout=30)
+    assert not handle.thread.is_alive()
+    assert handle.exit_status == 0
+    # The campaign checkpointed for the next start: intent still
+    # pending, checkpoint on disk, no stats published.
+    record = handle.daemon.records[cid]
+    assert record.state == "queued" and record.drained
+    assert os.path.exists(handle.daemon.paths.checkpoint(cid))
+    assert handle.daemon.journal.pending() != []
+    assert handle.daemon.paths.load_stats(cid) is None
+
+
+def test_injected_serve_accept_fault_is_retryable_503(daemon_thread):
+    handle = daemon_thread(fault_plan="serve-accept:1")
+    ep = handle.start()
+    status, body = http_json(ep, "POST", "/v1/campaigns", VALID)
+    assert status == 503
+    assert body["retryable"]
+    # Nothing was accepted: no record, no journal entry.
+    assert handle.daemon.records == {}
+    assert handle.daemon.journal.pending() == []
+
+
+def test_injected_serve_journal_fault_is_retryable_503(daemon_thread):
+    handle = daemon_thread(fault_plan="serve-journal:1")
+    ep = handle.start()
+    status, body = http_json(ep, "POST", "/v1/campaigns", VALID)
+    assert status == 503
+    assert body["retryable"]
+    assert handle.daemon.journal.pending() == []

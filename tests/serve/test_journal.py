@@ -1,0 +1,97 @@
+"""Submission journal: durability container, replay, damage, faults."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro._util import unpack_checksummed
+from repro.corpusdb.journal import INTENT_MAGIC, INTENT_SUFFIX
+from repro.errors import StorageFaultError
+from repro.resilience.faults import EnvFaultInjector, as_fault_plan
+from repro.serve.journal import SubmissionJournal
+
+REQUEST = {"tenant": "acme", "workload": "btree", "config": "pmfuzz",
+           "budget": 1.0, "seed": 7}
+
+
+@pytest.fixture
+def journal(tmp_path):
+    directory = str(tmp_path / "journal")
+    os.makedirs(directory)
+    return SubmissionJournal(directory)
+
+
+def test_append_is_a_checksummed_intent(journal):
+    path = journal.append("acme-c000001", REQUEST)
+    assert path.endswith(INTENT_SUFFIX)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    # Same container as the corpusdb intent journal: shared tooling.
+    unpack_checksummed(INTENT_MAGIC, blob, what="intent")
+
+
+def test_pending_round_trips_the_request(journal):
+    journal.append("acme-c000002", REQUEST)
+    journal.append("acme-c000001", REQUEST)
+    pending = journal.pending()
+    assert [cid for _, cid, _ in pending] == ["acme-c000001", "acme-c000002"]
+    assert all(request == REQUEST for _, _, request in pending)
+
+
+def test_commit_is_idempotent(journal):
+    path = journal.append("acme-c000001", REQUEST)
+    journal.commit(path)
+    assert journal.pending() == []
+    journal.commit(path)  # second commit: already-removed is fine
+
+
+def test_damaged_intent_is_flagged_then_dropped(journal):
+    good = journal.append("acme-c000001", REQUEST)
+    bad = journal.append("acme-c000002", REQUEST)
+    with open(bad, "r+b") as fh:
+        fh.seek(0, os.SEEK_END)
+        fh.truncate(fh.tell() // 2)
+    flagged = {cid for _, cid, _ in journal.pending()}
+    assert flagged == {"acme-c000001", None}
+    healthy = journal.recover_pending()
+    assert [cid for _, cid, _ in healthy] == ["acme-c000001"]
+    assert journal.dropped_damaged == 1
+    assert not os.path.exists(bad)
+    assert os.path.exists(good)
+
+
+def test_wrong_op_is_treated_as_damage(journal, tmp_path):
+    from repro._util import atomic_write_bytes, pack_checksummed
+    import json
+    path = os.path.join(journal.directory, f"publish-x{INTENT_SUFFIX}")
+    record = json.dumps({"op": "publish", "key": "x",
+                         "request": {}}).encode()
+    atomic_write_bytes(path, pack_checksummed(INTENT_MAGIC, record))
+    assert journal.recover_pending() == []
+    assert journal.dropped_damaged == 1
+
+
+def test_serve_journal_fault_fires_before_any_write(tmp_path):
+    directory = str(tmp_path / "journal")
+    os.makedirs(directory)
+    injector = EnvFaultInjector(as_fault_plan("serve-journal:1"))
+    journal = SubmissionJournal(directory, injector)
+    with pytest.raises(StorageFaultError):
+        journal.append("acme-c000001", REQUEST)
+    # Nothing landed: the submission was never accepted.
+    assert os.listdir(directory) == []
+
+
+def test_serve_journal_fault_uses_the_host_stream(tmp_path):
+    """serve-journal draws from the host RNG, not the campaign stream."""
+    directory = str(tmp_path / "journal")
+    os.makedirs(directory)
+    injector = EnvFaultInjector(as_fault_plan("serve-journal:1"))
+    campaign_state_before = injector._rng.getstate()
+    journal = SubmissionJournal(directory, injector)
+    with pytest.raises(StorageFaultError):
+        journal.append("acme-c000001", REQUEST)
+    assert injector._rng.getstate() == campaign_state_before
+    assert injector.fired == {"serve-journal": 1}

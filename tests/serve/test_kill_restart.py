@@ -1,0 +1,145 @@
+"""The headline robustness contract: SIGKILL the daemon mid-flight,
+restart it, and every accepted campaign reaches a terminal state exactly
+once — no loss, no duplicates — with per-campaign ``comparable()`` stats
+identical to a daemon that was never killed.  Runs with the ``serve-*``
+fault plan active, so acceptance and spawning are themselves under
+injected fire while the invariant is proven.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+import time
+
+import pytest
+
+from repro.serve.state import ServePaths
+from tests.serve.conftest import (campaign_states, fork_daemon, http_json,
+                                  kill_daemon, wait_exit, wait_until)
+
+#: Three campaigns across two tenants; ~0.5 s wall each, two at a time.
+SUBMISSIONS = [
+    {"tenant": "acme", "workload": "btree", "budget": 0.5, "seed": 1},
+    {"tenant": "acme", "workload": "skiplist", "budget": 0.5, "seed": 2},
+    {"tenant": "beta", "workload": "btree", "budget": 0.5, "seed": 3},
+]
+
+#: serve-accept/serve-journal faults bounce submissions with retryable
+#: 503s; serve-spawn faults force death/backoff cycles.  max_deaths is
+#: high so injected spawn faults exercise backoff, not the breaker.
+DAEMON_KW = dict(fault_plan="serve:0.2", max_deaths=50,
+                 restart_backoff=0.01, death_window=300.0)
+
+
+def submit_with_retry(ep, body, attempts=50):
+    """The client loop the 503 contract tells users to write."""
+    for _ in range(attempts):
+        status, response = http_json(ep, "POST", "/v1/campaigns", body)
+        if status == 201:
+            return response["id"]
+        assert status == 503 and response["retryable"], (status, response)
+        time.sleep(0.01)
+    raise AssertionError(f"submission never accepted: {body}")
+
+
+def submit_all(ep):
+    return [submit_with_retry(ep, body) for body in SUBMISSIONS]
+
+
+def collect_stats(root):
+    paths = ServePaths(root)
+    out = {}
+    for cdir in glob.glob(os.path.join(root, "tenants", "*", "*")):
+        out[os.path.basename(cdir)] = paths.load_stats(os.path.basename(cdir))
+    return out
+
+
+def pending_intents(root):
+    return glob.glob(os.path.join(root, "journal", "*.intent"))
+
+
+def run_baseline(root):
+    """Accepted → all done → graceful drain; daemon exits 0."""
+    pid, ep = fork_daemon(root, **DAEMON_KW)
+    cids = submit_all(ep)
+    wait_until(lambda: all(s == "done"
+                           for s in campaign_states(ep).values()),
+               timeout=90, what="all campaigns done")
+    os.kill(pid, signal.SIGTERM)
+    assert wait_exit(pid) == 0
+    return cids
+
+
+def test_sigkill_midflight_terminal_exactly_once_and_deterministic(
+        tmp_path):
+    base_root = str(tmp_path / "base")
+    kill_root = str(tmp_path / "kill")
+
+    base_cids = run_baseline(base_root)
+    assert pending_intents(base_root) == []
+
+    # Same submissions against an identical daemon, but SIGKILL it as
+    # soon as work is demonstrably mid-flight (a checkpoint exists and
+    # a campaign is running).
+    pid, ep = fork_daemon(kill_root, **DAEMON_KW)
+    kill_cids = submit_all(ep)
+    wait_until(
+        lambda: glob.glob(os.path.join(kill_root, "tenants", "*", "*",
+                                       "campaign.ckpt"))
+        and "running" in campaign_states(ep).values(),
+        timeout=60, what="a running campaign with a checkpoint")
+    kill_daemon(pid)
+
+    # Acceptance was durable: every non-terminal campaign still has its
+    # intent journaled.
+    survivors = pending_intents(kill_root)
+    assert survivors, "SIGKILLed daemon lost its journal"
+
+    # Restart; recovery resumes/re-queues everything and the daemon
+    # exits 0 once the table is fully terminal.
+    pid, ep = fork_daemon(kill_root, exit_when_idle=True, **DAEMON_KW)
+    assert wait_exit(pid) == 0
+
+    # Exactly once: same campaign ids, every one terminal, journal
+    # empty, and no duplicate campaign directories anywhere.
+    base, killed = collect_stats(base_root), collect_stats(kill_root)
+    assert sorted(base_cids) == sorted(kill_cids) == sorted(killed)
+    assert pending_intents(kill_root) == []
+    for cid in killed:
+        assert killed[cid] is not None, f"{cid} never reached terminal"
+        assert killed[cid].stop_reason == "budget"
+
+    # Determinism: the kill+restart trajectory is indistinguishable
+    # from the undisturbed one, campaign by campaign.
+    for cid in base:
+        assert base[cid].comparable() == killed[cid].comparable(), cid
+
+
+def test_graceful_drain_checkpoints_and_resumes(tmp_path):
+    root = str(tmp_path / "drain")
+    pid, ep = fork_daemon(root)
+    body = {"tenant": "acme", "workload": "btree", "budget": 3.0,
+            "seed": 9}
+    status, response = http_json(ep, "POST", "/v1/campaigns", body)
+    assert status == 201
+    cid = response["id"]
+    paths = ServePaths(root)
+    wait_until(lambda: os.path.exists(paths.checkpoint(cid)),
+               timeout=30, what="first checkpoint")
+    # One SIGTERM: graceful drain — checkpoint everything, exit 0.
+    os.kill(pid, signal.SIGTERM)
+    assert wait_exit(pid) == 0
+    assert os.path.exists(paths.checkpoint(cid))
+    assert paths.load_stats(cid) is None  # not terminal, just parked
+    assert len(pending_intents(root)) == 1
+
+    # The next start resumes the parked campaign bit-for-bit and runs
+    # the remaining budget to a normal terminal state.
+    pid, ep = fork_daemon(root, exit_when_idle=True)
+    assert wait_exit(pid) == 0
+    stats = paths.load_stats(cid)
+    assert stats is not None
+    assert stats.stop_reason == "budget"
+    assert pending_intents(root) == []

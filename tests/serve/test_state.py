@@ -1,0 +1,80 @@
+"""Serve-directory layout: ids, artifact-derived state, discovery."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fuzz.stats import FuzzStats
+from repro.serve.state import (DONE, RETIRED, ServePaths, campaign_id,
+                               parse_campaign_id)
+
+
+@pytest.fixture
+def paths(tmp_path):
+    paths = ServePaths(str(tmp_path / "serve"))
+    paths.make_dirs()
+    return paths
+
+
+def test_campaign_id_round_trip():
+    cid = campaign_id("acme", 42)
+    assert cid == "acme-c000042"
+    assert parse_campaign_id(cid) == ("acme", 42)
+
+
+@pytest.mark.parametrize("bad", [
+    "acme", "acme-c12", "acme-cABCDEF", "-c000001", "Acme-c000001",
+    "a/b-c000001", "", "acme-c0000001x",
+])
+def test_bad_campaign_ids_do_not_parse(bad):
+    assert parse_campaign_id(bad) is None
+
+
+def test_campaign_dir_nests_under_the_tenant(paths):
+    cdir = paths.campaign_dir("acme-c000001")
+    assert cdir == os.path.join(paths.tenants, "acme", "acme-c000001")
+
+
+def test_terminal_state_from_artifacts(paths):
+    cid = campaign_id("acme", 1)
+    assert paths.terminal_state(cid) is None
+    paths.write_stats(cid, FuzzStats(workload_name="btree"))
+    assert paths.terminal_state(cid) == DONE
+    assert paths.load_stats(cid).workload_name == "btree"
+
+
+def test_truncated_stats_is_not_terminal(paths):
+    """stats.bin must *load*, not merely exist (half-written = resume)."""
+    cid = campaign_id("acme", 2)
+    paths.write_stats(cid, FuzzStats())
+    with open(paths.stats_file(cid), "r+b") as fh:
+        fh.seek(0, os.SEEK_END)
+        fh.truncate(fh.tell() // 2)
+    assert paths.terminal_state(cid) is None
+
+
+def test_retired_marker_is_terminal(paths):
+    cid = campaign_id("beta", 3)
+    paths.write_retired(cid)
+    assert paths.terminal_state(cid) == RETIRED
+
+
+def test_max_seq_spans_tenants(paths):
+    for tenant, seq in (("acme", 1), ("beta", 7), ("acme", 3)):
+        os.makedirs(paths.campaign_dir(campaign_id(tenant, seq)))
+    os.makedirs(os.path.join(paths.tenants, "acme", "not-a-campaign"))
+    assert paths.max_seq() == 7
+
+
+def test_max_seq_empty_root(tmp_path):
+    assert ServePaths(str(tmp_path / "fresh")).max_seq() == 0
+
+
+def test_endpoint_publish_read(paths):
+    assert paths.read_endpoint() is None
+    paths.publish_endpoint("127.0.0.1", 4321)
+    ep = paths.read_endpoint()
+    assert (ep["host"], ep["port"], ep["pid"]) == \
+        ("127.0.0.1", 4321, os.getpid())
