@@ -97,25 +97,92 @@ def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
 
     A kill at any point leaves either the old file or the new one, never
     a torn file.  The temp file lives in the target directory so the
-    rename never crosses filesystems.
+    rename never crosses filesystems.  All mutations go through the
+    process VFS seam (:mod:`repro._vfs`) so the durability auditor can
+    record and crash-test the exact operation order.
     """
+    from repro._vfs import current_vfs
+
+    vfs = current_vfs()
     directory = os.path.dirname(os.path.abspath(path))
     tmp_path = os.path.join(directory, os.path.basename(path) + ".tmp")
-    with open(tmp_path, "wb") as fh:
-        fh.write(data)
-        fh.flush()
-        if fsync:
-            os.fsync(fh.fileno())
-    os.replace(tmp_path, path)
+    vfs.write_bytes(tmp_path, data)
     if not fsync:
+        vfs.replace(tmp_path, path)
         return
-    # Persist the rename itself (directory entry) — best effort on
-    # platforms whose directories cannot be opened.
+    vfs.fsync(tmp_path)
+    replace_durable(tmp_path, path)
+
+
+def replace_durable(src: str, dst: str) -> None:
+    """``os.replace`` followed by a parent-directory fsync.
+
+    The rename itself is atomic in the *live* namespace, but after a
+    crash it is durable only once the directory entry reaches stable
+    storage — a bare ``os.replace`` leaves a window where later,
+    durable operations are on disk while the rename is not (the
+    ordering-bug class the durability auditor enumerates).  Every
+    crash-critical same-directory rename in the repo routes through
+    here.  When ``src`` and ``dst`` have different parents both are
+    fsynced (destination first, so the new name can never be the one
+    that is lost) — but see :func:`move_durable` for why a
+    cross-directory *move* should not use a rename at all.
+    """
+    from repro._vfs import current_vfs
+
+    vfs = current_vfs()
+    vfs.replace(src, dst)
+    dst_dir = os.path.dirname(os.path.abspath(dst))
+    src_dir = os.path.dirname(os.path.abspath(src))
+    vfs.fsync_dir(dst_dir)
+    if src_dir != dst_dir:
+        vfs.fsync_dir(src_dir)
+
+
+def move_durable(src: str, dst: str) -> None:
+    """Crash-safe cross-directory move: link, fsync, then unlink.
+
+    A cross-directory ``os.replace`` updates *two* directories; a crash
+    may persist the source-side removal without the destination-side
+    insertion (the two directory blocks reach disk independently),
+    silently losing the file.  No after-the-fact fsync closes that
+    window, so the move is decomposed into operations that are
+    individually safe at every crash point:
+
+    1. ``link(src, dst)`` — the file now has two names; losing the new
+       one costs nothing.
+    2. ``fsync(dst parent)`` — the new name is durable.
+    3. ``unlink(src)`` — only now may the old name disappear; a crash
+       that persists this step cannot lose the file, and a crash that
+       drops it merely leaves the file visible under both names (the
+       caller's recovery path removes the leftover).
+
+    Raises the same exceptions as ``os.replace`` for a missing ``src``
+    (``FileNotFoundError``), which callers use as a race claim.  Falls
+    back to :func:`replace_durable` where hardlinks are unsupported.
+    """
+    from repro._vfs import current_vfs
+
+    vfs = current_vfs()
+    if os.path.exists(dst):
+        # Content-addressed stores only move a key between tiers; an
+        # existing destination is the same payload (or a racing mover's
+        # completed work) — dropping the source finishes the move.
+        vfs.unlink(src)
+        vfs.fsync_dir(os.path.dirname(os.path.abspath(src)))
+        return
     try:
-        dir_fd = os.open(directory, os.O_RDONLY)
+        vfs.link(src, dst)
+    except FileNotFoundError:
+        raise
     except OSError:
+        # Filesystem without hardlink support: the atomic-but-less-
+        # crash-ordered rename is still strictly better than tearing.
+        replace_durable(src, dst)
         return
+    vfs.fsync_dir(os.path.dirname(os.path.abspath(dst)))
     try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
+        vfs.unlink(src)
+    except FileNotFoundError:
+        pass  # a racing mover finished step 3 first; dst is durable
+    vfs.fsync_dir(os.path.dirname(os.path.abspath(src)))

@@ -1,0 +1,79 @@
+"""Typed per-component recovery invariants and their violations.
+
+A :class:`RecoveryInvariant` is a named predicate over a recovered
+crash state: given the state's root directory, the protocol's setup
+context, and whatever the recovery entry point returned, it yields
+``None`` (holds) or a one-line detail string (violated).  The auditor
+wraps violated checks into :class:`Violation` records, which are what
+``python -m repro audit`` reports and bundles.
+
+Also here: the byte-exact directory-tree snapshot the generic
+*recovery-idempotence* check compares — running a component's recovery
+twice must leave the tree byte-identical to running it once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class RecoveryInvariant:
+    """One named recovery property of a durable protocol."""
+
+    name: str
+    description: str
+    check: Callable[[str, dict, object], Optional[str]] = \
+        field(compare=False)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant that failed to hold in one crash state."""
+
+    component: str
+    state_id: str
+    invariant: str
+    detail: str
+
+    def render(self) -> str:
+        return (f"{self.component}/{self.state_id}: "
+                f"{self.invariant}: {self.detail}")
+
+
+# ----------------------------------------------------------------------
+# Byte-exact tree identity (the idempotence check's equality)
+# ----------------------------------------------------------------------
+def snapshot_tree(root: str) -> Dict[str, bytes]:
+    """Map of relpath -> file bytes for every regular file under root.
+
+    Directories appear as ``path/`` -> ``b""`` entries so an empty
+    directory created or removed by a second recovery pass still
+    breaks identity.
+    """
+    tree: Dict[str, bytes] = {}
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel = os.path.relpath(dirpath, root)
+        if rel != ".":
+            tree[rel + os.sep] = b""
+        for name in filenames:
+            path = os.path.join(dirpath, name)
+            with open(path, "rb") as fh:
+                tree[os.path.relpath(path, root)] = fh.read()
+    return tree
+
+
+def diff_trees(before: Dict[str, bytes],
+               after: Dict[str, bytes]) -> Optional[str]:
+    """One-line description of the first difference, or None."""
+    for path in sorted(set(before) | set(after)):
+        if path not in after:
+            return f"{path} disappeared on the second recovery pass"
+        if path not in before:
+            return f"{path} appeared on the second recovery pass"
+        if before[path] != after[path]:
+            return (f"{path} changed bytes on the second recovery pass "
+                    f"({len(before[path])}B -> {len(after[path])}B)")
+    return None

@@ -50,6 +50,7 @@ never a traceback — and 130 on interrupt.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -503,6 +504,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return daemon.run()
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit import DurabilityAuditor
+    from repro.audit.protocols import COMPONENTS
+
+    components = list(COMPONENTS) if args.component == "all" \
+        else [args.component]
+    bus = None
+    if args.trace_dir:
+        from repro.observe.bus import TraceBus
+        from repro.observe.sink import JsonlTraceSink, shard_name
+        bus = TraceBus(sink=JsonlTraceSink(
+            os.path.join(args.trace_dir, shard_name(-1))), flush_every=1)
+    auditor = DurabilityAuditor(args.out, budget=args.budget, bus=bus)
+    report = auditor.audit(components)
+    if bus is not None:
+        bus.close()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.resilience.faults import (FAULT_SITE_DESCRIPTIONS,
+                                         FAULT_SITES, HOST_FAULT_SITES,
+                                         SITE_GROUPS)
+
+    # `faults list`: the injectable surface, host/campaign stream
+    # membership, and the spec-string group aliases.
+    print("fault sites (site:rate[:burst] in --fault-plan):")
+    for site in FAULT_SITES:
+        stream = "host" if site in HOST_FAULT_SITES else "campaign"
+        print(f"  {site:<18} [{stream:<8}] "
+              f"{FAULT_SITE_DESCRIPTIONS.get(site, '')}")
+    print("group aliases:")
+    for alias, members in SITE_GROUPS.items():
+        print(f"  {alias:<18} -> {', '.join(members)}")
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     for name in workload_names():
         flags = sorted(b.flag for b in ALL_REAL_BUGS if b.workload == name)
@@ -780,6 +819,34 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--quiet", action="store_true",
                      help="suppress per-request and lifecycle logging")
     srv.set_defaults(func=_cmd_serve)
+
+    audit = sub.add_parser(
+        "audit",
+        help="crash-test every durable store by systematic enumeration")
+    audit.add_argument("--component", default="all",
+                       choices=["all", "checkpoint", "corpus", "corpusdb",
+                                "serve", "storage", "sink"],
+                       help="which durable protocol to audit "
+                            "(default: all)")
+    audit.add_argument("--budget", type=int, default=0, metavar="N",
+                       help="max crash states checked per component, "
+                            "sampled deterministically and evenly "
+                            "(0 = exhaustive, the default)")
+    audit.add_argument("--out", default="audit-out", metavar="DIR",
+                       help="output directory; violating crash states "
+                            "are preserved there as replayable bundles "
+                            "(default: ./audit-out)")
+    audit.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="also emit per-component audit events to a "
+                            "JSONL trace shard under DIR")
+    audit.set_defaults(func=_cmd_audit)
+
+    faults = sub.add_parser(
+        "faults", help="inspect the fault-injection surface")
+    faults.add_argument("action", choices=["list"],
+                        help="list: every fault site, its stream "
+                             "(host vs campaign), and group aliases")
+    faults.set_defaults(func=_cmd_faults)
 
     wl = sub.add_parser("workloads", help="list PM programs")
     wl.set_defaults(func=_cmd_workloads)

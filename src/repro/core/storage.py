@@ -22,7 +22,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro._util import sha256_hex, unpack_checksummed
+from repro._util import move_durable, sha256_hex, unpack_checksummed
+from repro._vfs import current_vfs
 from repro.core.dedup import ImageStore
 from repro.pmem.image import PMImage
 
@@ -187,11 +188,11 @@ class CorpusScrubber:
     Walks every ``*.entry`` file, verifies its checksummed container
     (magic, header, SHA-256 over the full payload — which covers both
     truncation and bit-flips), and *quarantines* damaged files instead
-    of letting them kill an importer: a bad entry is claimed by an
-    atomic ``os.rename`` into the quarantine directory (claim-by-rename
-    — when several fleet members scrub concurrently, exactly one wins
-    the rename and counts the entry; the losers observe ``ENOENT`` and
-    move on).  Orphaned ``*.tmp`` files older than ``tmp_grace`` seconds
+    of letting them kill an importer: a bad entry is claimed by a
+    durable move (:func:`~repro._util.move_durable`) into the
+    quarantine directory (claim-by-rename — when several fleet members
+    scrub concurrently, exactly one wins the claim and counts the
+    entry; the losers observe ``ENOENT`` and move on).  Orphaned ``*.tmp`` files older than ``tmp_grace`` seconds
     (leftovers of a member killed mid-``atomic_write_bytes``; younger
     ones may be in-flight writes) are deleted.
 
@@ -226,18 +227,28 @@ class CorpusScrubber:
         return None
 
     def quarantine(self, path: str, reason: str) -> bool:
-        """Claim a damaged entry by rename; False if claimed elsewhere."""
-        os.makedirs(self.quarantine_dir, exist_ok=True)
+        """Claim a damaged entry by durable move; False if claimed elsewhere.
+
+        The collision suffix counts up deterministically (``.dup1``,
+        ``.dup2``, ...) so re-running a scrub over the same crash state
+        produces byte-identical quarantine trees — the property the
+        durability auditor's idempotence check verifies.
+        """
+        vfs = current_vfs()
+        vfs.mkdir(self.quarantine_dir)
         target = os.path.join(self.quarantine_dir, os.path.basename(path))
-        if os.path.exists(target):  # same name quarantined before
-            target += f".{int(time.time() * 1000):x}"
+        n = 0
+        while os.path.exists(target):  # same name quarantined before
+            n += 1
+            target = os.path.join(self.quarantine_dir,
+                                  os.path.basename(path) + f".dup{n}")
         try:
-            os.rename(path, target)
+            move_durable(path, target)
         except FileNotFoundError:
             return False
         try:
-            with open(target + ".reason", "w", encoding="utf-8") as fh:
-                fh.write(reason + "\n")
+            vfs.write_bytes(target + ".reason",
+                            (reason + "\n").encode("utf-8"))
         except OSError:
             pass  # the quarantined entry itself is what matters
         return True
@@ -255,7 +266,7 @@ class CorpusScrubber:
             now = time.time()
         try:
             if now - os.path.getmtime(path) > self.tmp_grace:
-                os.remove(path)
+                current_vfs().unlink(path)
                 return True
         except OSError:
             pass  # in-flight write or already gone

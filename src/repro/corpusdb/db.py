@@ -27,8 +27,9 @@ import pickle
 import time
 from typing import Dict, List, Optional
 
-from repro._util import atomic_write_bytes, pack_checksummed, \
-    unpack_checksummed
+from repro._util import atomic_write_bytes, move_durable, \
+    pack_checksummed, unpack_checksummed
+from repro._vfs import current_vfs
 from repro.core.storage import CORPUS_ENTRY_MAGIC, CORPUS_ENTRY_SUFFIX
 from repro.errors import CorpusCorruptionError, CorpusDBError
 
@@ -235,9 +236,10 @@ class CorpusDatabase:
         self._check("corpusdb-journal")
         intent = self.journal.begin("retire", key)
         removed = False
+        vfs = current_vfs()
         for path in (self.hot_path(key), self.cold_path(key)):
             try:
-                os.remove(path)
+                vfs.unlink(path)
                 removed = True
             except FileNotFoundError:
                 pass
@@ -298,12 +300,18 @@ class CorpusDatabase:
                 max_moves: Optional[int] = None) -> int:
         """Move the oldest hot entries cold until ``hot_limit`` remain.
 
-        Each move is journal intent → one atomic cross-directory
-        ``os.replace`` → intent commit, so a SIGKILL between any two
-        instructions leaves either a completed move or an intent that
-        :meth:`replay_journal` finishes.  The ``os.replace`` is also the
-        *claim*: of two racing compactors, exactly one performs the
-        move and the other observes ``FileNotFoundError``.
+        Each move is journal intent → crash-safe tier move
+        (:func:`~repro._util.move_durable`: link into the cold tier,
+        fsync it, unlink the hot name) → intent commit, so a SIGKILL
+        between any two instructions leaves either a completed move, a
+        benign both-tiers duplicate the journal replay collapses, or an
+        intent that :meth:`replay_journal` finishes.  A bare
+        cross-directory ``os.replace`` here would let a crash persist
+        the hot-side removal without the cold-side insertion and lose
+        the entry — the exact ordering bug the durability auditor
+        (:mod:`repro.audit`) enumerates.  The move is also the *claim*:
+        of two racing compactors, exactly one performs it and the other
+        observes ``FileNotFoundError``.
         """
         try:
             names = [n for n in os.listdir(self.paths.hot)
@@ -329,7 +337,7 @@ class CorpusDatabase:
             self._check("corpusdb-compact")
             intent = self.journal.begin("compact", key)
             try:
-                os.replace(self.hot_path(key), self.cold_path(key))
+                move_durable(self.hot_path(key), self.cold_path(key))
                 moved += 1
             except FileNotFoundError:
                 pass  # a racing compactor (or replay) claimed the move

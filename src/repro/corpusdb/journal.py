@@ -3,9 +3,9 @@
 Every database mutation follows the same discipline:
 
 1. write an *intent* record (atomic: write-tmp + fsync + rename);
-2. perform the mutation, itself a single atomic filesystem operation
-   (``atomic_write_bytes`` for a publish, one ``os.replace`` for a
-   compaction move, ``os.remove`` for a retire);
+2. perform the mutation, itself built from individually-safe atomic
+   filesystem operations (``atomic_write_bytes`` for a publish,
+   ``move_durable`` for a compaction move, ``unlink`` for a retire);
 3. delete the intent.
 
 A kill between any two steps leaves the store in a state
@@ -24,8 +24,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro._util import atomic_write_bytes, pack_checksummed, \
-    unpack_checksummed
+from repro._util import atomic_write_bytes, move_durable, \
+    pack_checksummed, unpack_checksummed
+from repro._vfs import current_vfs
 
 #: Container magic for intent records.
 INTENT_MAGIC = b"PMFZCDBJ1\n"
@@ -73,7 +74,7 @@ class IntentJournal:
     def commit(self, path: str) -> None:
         """Drop a completed intent (idempotent)."""
         try:
-            os.remove(path)
+            current_vfs().unlink(path)
         except FileNotFoundError:
             pass  # a concurrent replayer already committed it
 
@@ -118,14 +119,17 @@ class IntentJournal:
           died before the rename and there is nothing to redo (an
           orphaned ``.tmp`` is the scrubber's job).
         * ``compact``: finish the hot→cold move if the entry is still
-          hot; a kill after the ``os.replace`` already left it cold.
+          hot; a kill mid-:func:`~repro._util.move_durable` left it
+          cold already (possibly under both names — the leftover hot
+          link is removed here).
         * ``retire``: remove the entry from both tiers.
         """
         report = JournalReplayReport()
+        vfs = current_vfs()
         for path, op, key in self.pending():
             if op is None or key is None:
                 try:
-                    os.remove(path)
+                    vfs.unlink(path)
                 except OSError:
                     pass
                 report.dropped_damaged += 1
@@ -140,10 +144,18 @@ class IntentJournal:
                 hot = db.hot_path(key)
                 cold = db.cold_path(key)
                 if os.path.exists(cold):
+                    # The cold name landed; a crash between the durable
+                    # move's fsync and its unlink can leave the hot
+                    # hardlink behind — collapse the duplicate.
+                    try:
+                        vfs.unlink(hot)
+                        vfs.fsync_dir(os.path.dirname(hot))
+                    except OSError:
+                        pass
                     report.completed += 1
                 else:
                     try:
-                        os.replace(hot, cold)
+                        move_durable(hot, cold)
                         report.completed += 1
                     except FileNotFoundError:
                         # Neither tier holds it: the entry was retired
@@ -153,7 +165,7 @@ class IntentJournal:
                 removed_any = False
                 for target in (db.hot_path(key), db.cold_path(key)):
                     try:
-                        os.remove(target)
+                        vfs.unlink(target)
                         removed_any = True
                     except FileNotFoundError:
                         pass

@@ -33,6 +33,7 @@ EVENT_KINDS = frozenset({
     "stage_exit",      # pipeline / profiling stage closed
     "corpusdb",        # corpus-database activity: warm-start / sync / flush
     "degraded",        # a subsystem gave up; the campaign continues without
+    "audit",           # durability-audit result for one component
 })
 
 

@@ -26,6 +26,8 @@ import os
 import re
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro._util import replace_durable
+from repro._vfs import current_vfs
 from repro.observe.events import TraceEvent
 
 #: Shard file name for one trace writer (member -1 = solo campaign).
@@ -56,10 +58,10 @@ class JsonlTraceSink:
         if not lines:
             return
         self._maybe_rotate()
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write("\n".join(lines) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        vfs = current_vfs()
+        data = ("\n".join(lines) + "\n").encode("utf-8")
+        vfs.append_bytes(self.path, data)
+        vfs.fsync(self.path)
         self.lines_written += len(lines)
 
     def _maybe_rotate(self) -> None:
@@ -71,10 +73,23 @@ class JsonlTraceSink:
             return
         if size < self.rotate_bytes:
             return
-        n = 1
-        while os.path.exists(f"{self.path}.{n}"):
-            n += 1
-        os.replace(self.path, f"{self.path}.{n}")
+        # Number the rotation one past the *highest* existing suffix,
+        # never into a hole: a crash (or cleanup) that removed `.2`
+        # while `.3` survived must not make the next rotation `.2` —
+        # the merge order (rotations oldest-first by number) would put
+        # newer events before older ones.
+        n = 0
+        directory = os.path.dirname(os.path.abspath(self.path))
+        base = os.path.basename(self.path)
+        try:
+            for name in os.listdir(directory):
+                if name.startswith(base + "."):
+                    suffix = name[len(base) + 1:]
+                    if suffix.isdigit():
+                        n = max(n, int(suffix))
+        except OSError:
+            pass
+        replace_durable(self.path, f"{self.path}.{n + 1}")
 
 
 # ----------------------------------------------------------------------

@@ -37,7 +37,8 @@ from collections import OrderedDict
 from typing import Optional
 
 from repro._util import (atomic_write_bytes, pack_checksummed,
-                         unpack_checksummed)
+                         replace_durable, unpack_checksummed)
+from repro._vfs import current_vfs
 from repro.errors import CheckpointError
 
 _MAGIC = b"PMFZCKPT1\n"
@@ -68,21 +69,41 @@ def rotate_previous(path: str) -> None:
     """
     if not os.path.exists(path):
         return
+    vfs = current_vfs()
     prev = path + ".prev"
     tmp = prev + ".tmp"
     try:
         if os.path.exists(tmp):
-            os.unlink(tmp)
-        os.link(path, tmp)
-        os.replace(tmp, prev)
+            vfs.unlink(tmp)
+        vfs.link(path, tmp)
+        replace_durable(tmp, prev)
     except OSError:
         # Filesystems without hardlink support get a byte copy; `path`
         # itself is still only ever replaced atomically.
         try:
             shutil.copyfile(path, tmp)
-            os.replace(tmp, prev)
+            replace_durable(tmp, prev)
         except OSError:
             pass  # rotation is best-effort; the primary write proceeds
+
+
+def read_checkpoint_with_fallback(path: str,
+                                  allow_previous: bool = True) -> dict:
+    """Load ``path``, falling back to its ``.prev`` rotation on damage.
+
+    This is the checkpoint store's *recovery entry point*: a torn or
+    bit-rotted primary falls back to the rotation written just before
+    it; only when both are unusable does :class:`CheckpointError`
+    propagate.  :func:`resume_campaign` builds on this, and the
+    durability auditor drives it against every enumerated crash state.
+    """
+    try:
+        return read_checkpoint(path)
+    except CheckpointError:
+        prev = path + ".prev"
+        if not allow_previous or not os.path.exists(prev):
+            raise
+        return read_checkpoint(prev)
 
 
 def read_checkpoint(path: str) -> dict:
@@ -292,13 +313,8 @@ def resume_campaign(path: str, injector=None, allow_previous: bool = True):
     from repro.core.config import config_by_name
     from repro.core.pmfuzz import build_engine
 
-    try:
-        payload = read_checkpoint(path)
-    except CheckpointError:
-        prev = path + ".prev"
-        if not allow_previous or not os.path.exists(prev):
-            raise
-        payload = read_checkpoint(prev)
+    payload = read_checkpoint_with_fallback(path,
+                                            allow_previous=allow_previous)
     meta = payload["meta"]
     if not meta.get("workload"):
         raise CheckpointError(

@@ -45,6 +45,24 @@ FAULT_SITES: Tuple[str, ...] = (
     "serve-spawn",       # daemon campaign spawn: fork/launch failure
 )
 
+#: One-line description per fault site (``python -m repro faults list``).
+FAULT_SITE_DESCRIPTIONS: Dict[str, str] = {
+    "storage-save": "ImageStore.put: write I/O error (EIO on the SSD tier)",
+    "storage-load": "ImageStore.get: read I/O error",
+    "storage-corrupt": "ImageStore.get: truncated/corrupted stored bytes",
+    "decompress": "ImageStore.get: transient LZ77 decompression failure",
+    "exec-fault": "Executor.run: the harness process died (fork server)",
+    "exec-hang": "Executor.run: virtual-time hang (target never exits)",
+    "disk-full": "ImageStore.put / checkpoint / corpusdb publish: ENOSPC",
+    "corpusdb-publish": "CorpusDatabase.publish: entry write I/O error",
+    "corpusdb-read": "CorpusDatabase.get / scan: read I/O error",
+    "corpusdb-journal": "IntentJournal.begin: intent write I/O error",
+    "corpusdb-compact": "CorpusDatabase.compact: tier-move I/O error",
+    "serve-journal": "SubmissionJournal.append: intent write I/O error",
+    "serve-accept": "daemon admission path: transient accept failure",
+    "serve-spawn": "daemon campaign spawn: fork/launch failure",
+}
+
 #: Sites drawn from the *host* fault stream (see :meth:`check_host`).
 HOST_FAULT_SITES: Tuple[str, ...] = (
     "disk-full",

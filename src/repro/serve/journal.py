@@ -36,6 +36,7 @@ from typing import List, Optional, Tuple
 
 from repro._util import atomic_write_bytes, pack_checksummed, \
     unpack_checksummed
+from repro._vfs import current_vfs
 from repro.corpusdb.journal import INTENT_MAGIC, INTENT_SUFFIX
 
 #: The single operation this journal records.
@@ -82,7 +83,7 @@ class SubmissionJournal:
     def commit(self, path: str) -> None:
         """Drop a terminal campaign's intent (idempotent)."""
         try:
-            os.remove(path)
+            current_vfs().unlink(path)
         except FileNotFoundError:
             pass
 
@@ -126,7 +127,7 @@ class SubmissionJournal:
         for path, cid, request in self.pending():
             if cid is None or request is None:
                 try:
-                    os.remove(path)
+                    current_vfs().unlink(path)
                 except OSError:
                     pass
                 self.dropped_damaged += 1

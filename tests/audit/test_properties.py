@@ -1,0 +1,66 @@
+"""Property test: recovery is idempotent on every enumerated crash state.
+
+The auditor checks this exhaustively per run; here hypothesis roams the
+(component x crash-state) space directly so shrinking hands back the
+single smallest failing state when the property ever breaks.
+"""
+
+import os
+import shutil
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro._vfs import install_vfs
+from repro.audit.invariants import diff_trees, snapshot_tree
+from repro.audit.protocols import COMPONENTS, build_protocol
+from repro.audit.states import CrashStateEnumerator
+from repro.audit.trace import TracingVFS
+
+
+@pytest.fixture(scope="session")
+def audit_traces(tmp_path_factory):
+    """Lazily trace each protocol once; hand out (enum, states, ...)."""
+    cache = {}
+
+    def get(component):
+        if component not in cache:
+            root = tmp_path_factory.mktemp(f"audit-prop-{component}")
+            protocol = build_protocol(component)
+            base = str(root / "base")
+            os.makedirs(base)
+            ctx = protocol.setup(base)
+            snapshot = str(root / "snapshot")
+            shutil.copytree(base, snapshot)
+            tracer = TracingVFS(base)
+            old = install_vfs(tracer)
+            try:
+                protocol.run(base, ctx)
+            finally:
+                install_vfs(old)
+            enum = CrashStateEnumerator(tracer.ops)
+            cache[component] = (protocol, ctx, snapshot, enum,
+                                enum.enumerate(), str(root))
+        return cache[component]
+
+    return get
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(component=st.sampled_from(COMPONENTS),
+       pick=st.integers(min_value=0, max_value=10 ** 9))
+def test_recovery_twice_equals_once(audit_traces, component, pick):
+    protocol, ctx, snapshot, enum, states, root = audit_traces(component)
+    state = states[pick % len(states)]
+    work = os.path.join(root, "work")
+    enum.materialize(state, snapshot, work)
+
+    protocol.recover(work, ctx)
+    once = snapshot_tree(work)
+    protocol.recover(work, ctx)
+    drift = diff_trees(once, snapshot_tree(work))
+    assert drift is None, (
+        f"{component}/{state.state_id} ({state.describe(enum.ops)}): "
+        f"second recovery changed the tree: {drift}")

@@ -1,0 +1,132 @@
+"""The VFS seam and the durable helpers routed through it."""
+
+import os
+
+import pytest
+
+from repro._util import atomic_write_bytes, move_durable, replace_durable
+from repro._vfs import OS_VFS, current_vfs, install_vfs
+from repro.audit.trace import TracingVFS
+
+
+@pytest.fixture
+def traced(tmp_path):
+    """Install a TracingVFS rooted at tmp_path for the test's duration."""
+    tracer = TracingVFS(str(tmp_path))
+    old = install_vfs(tracer)
+    try:
+        yield tracer
+    finally:
+        install_vfs(old)
+
+
+def _kinds(tracer):
+    return [op.kind for op in tracer.ops]
+
+
+class TestSeam:
+    def test_default_is_os_vfs(self):
+        assert current_vfs() is OS_VFS
+
+    def test_install_returns_old_and_none_restores(self, tmp_path):
+        tracer = TracingVFS(str(tmp_path))
+        old = install_vfs(tracer)
+        try:
+            assert old is OS_VFS
+            assert current_vfs() is tracer
+        finally:
+            install_vfs(None)
+        assert current_vfs() is OS_VFS
+
+    def test_ops_outside_root_are_performed_but_not_recorded(
+            self, tmp_path, traced):
+        outside = tmp_path.parent / "outside.bin"
+        current_vfs().write_bytes(str(outside), b"x")
+        try:
+            assert outside.read_bytes() == b"x"
+            assert traced.ops == []
+        finally:
+            outside.unlink()
+
+    def test_paths_recorded_root_relative(self, tmp_path, traced):
+        sub = tmp_path / "a"
+        current_vfs().mkdir(str(sub))
+        current_vfs().write_bytes(str(sub / "f.bin"), b"hi")
+        assert [(op.kind, op.path) for op in traced.ops] == [
+            ("mkdir", "a"), ("write", os.path.join("a", "f.bin"))]
+
+
+class TestAtomicWriteBytes:
+    def test_routes_write_fsync_replace_fsyncdir(self, tmp_path, traced):
+        atomic_write_bytes(str(tmp_path / "out.bin"), b"payload")
+        assert _kinds(traced) == ["write", "fsync", "replace", "fsync_dir"]
+        assert (tmp_path / "out.bin").read_bytes() == b"payload"
+
+    def test_no_fsync_variant_skips_both_syncs(self, tmp_path, traced):
+        atomic_write_bytes(str(tmp_path / "out.bin"), b"p", fsync=False)
+        assert _kinds(traced) == ["write", "replace"]
+
+
+class TestReplaceDurable:
+    def test_same_dir_rename_fsyncs_parent_once(self, tmp_path, traced):
+        (tmp_path / "src").write_bytes(b"v")
+        replace_durable(str(tmp_path / "src"), str(tmp_path / "dst"))
+        assert _kinds(traced) == ["replace", "fsync_dir"]
+        assert (tmp_path / "dst").read_bytes() == b"v"
+
+    def test_cross_dir_fsyncs_destination_first(self, tmp_path, traced):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        (tmp_path / "a" / "f").write_bytes(b"v")
+        replace_durable(str(tmp_path / "a" / "f"),
+                        str(tmp_path / "b" / "f"))
+        assert _kinds(traced) == ["replace", "fsync_dir", "fsync_dir"]
+        assert traced.ops[1].path == "b"  # new name durable before old dies
+        assert traced.ops[2].path == "a"
+
+
+class TestMoveDurable:
+    def test_link_fsync_unlink_fsync_protocol(self, tmp_path, traced):
+        (tmp_path / "hot").mkdir()
+        (tmp_path / "cold").mkdir()
+        (tmp_path / "hot" / "k").write_bytes(b"entry")
+        move_durable(str(tmp_path / "hot" / "k"),
+                     str(tmp_path / "cold" / "k"))
+        assert _kinds(traced) == ["link", "fsync_dir", "unlink", "fsync_dir"]
+        assert traced.ops[1].path == "cold"  # new name pinned before unlink
+        assert not (tmp_path / "hot" / "k").exists()
+        assert (tmp_path / "cold" / "k").read_bytes() == b"entry"
+
+    def test_existing_destination_just_drops_source(self, tmp_path, traced):
+        (tmp_path / "hot").mkdir()
+        (tmp_path / "cold").mkdir()
+        (tmp_path / "hot" / "k").write_bytes(b"entry")
+        (tmp_path / "cold" / "k").write_bytes(b"entry")
+        move_durable(str(tmp_path / "hot" / "k"),
+                     str(tmp_path / "cold" / "k"))
+        assert _kinds(traced) == ["unlink", "fsync_dir"]
+        assert not (tmp_path / "hot" / "k").exists()
+
+    def test_missing_source_raises_race_claim(self, tmp_path):
+        (tmp_path / "cold").mkdir()
+        with pytest.raises(FileNotFoundError):
+            move_durable(str(tmp_path / "gone"), str(tmp_path / "cold" / "k"))
+
+    def test_racing_unlink_of_source_is_tolerated(self, tmp_path,
+                                                  monkeypatch):
+        # A racing mover may remove src between our link and our unlink;
+        # dst is already durable, so the move must still succeed.
+        (tmp_path / "hot").mkdir()
+        (tmp_path / "cold").mkdir()
+        src = tmp_path / "hot" / "k"
+        src.write_bytes(b"entry")
+        import repro._vfs as _vfs
+        real_link = os.link
+
+        def link_then_steal(a, b):
+            real_link(a, b)
+            os.remove(a)  # the racing mover finishes first
+
+        monkeypatch.setattr(_vfs.os, "link", link_then_steal)
+        move_durable(str(src), str(tmp_path / "cold" / "k"))
+        assert (tmp_path / "cold" / "k").read_bytes() == b"entry"

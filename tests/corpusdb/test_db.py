@@ -168,21 +168,22 @@ class TestCompaction:
         assert db.info()["cold"] == 3
 
     def test_racing_compactor_loses_gracefully(self, db, monkeypatch):
-        """The os.replace IS the claim: the loser observes ENOENT."""
+        """The durable move IS the claim: the loser observes ENOENT."""
         self._fill(db, 2)
-        real_replace = os.replace
+        real_link = os.link
         raced = {"n": 0}
 
         def stolen_first(src, dst):
-            # Only hijack tier moves; atomic_write_bytes renames (the
-            # journal intents) go through untouched.
+            # Only hijack tier moves (the link step of move_durable);
+            # journal-intent writes go through untouched.
             if raced["n"] == 0 and dst.startswith(db.paths.cold):
                 raced["n"] += 1
-                real_replace(src, dst)  # the racing winner moved it...
+                real_link(src, dst)  # the racing winner moved it...
+                os.remove(src)
                 raise FileNotFoundError(src)  # ...so this claimant loses
-            return real_replace(src, dst)
+            return real_link(src, dst)
 
-        monkeypatch.setattr("repro.corpusdb.db.os.replace", stolen_first)
+        monkeypatch.setattr("repro._vfs.os.link", stolen_first)
         # The lost claim is not counted as a move, not an error, and its
         # intent still commits — nothing left for replay.
         assert db.compact(hot_limit=0) == 1

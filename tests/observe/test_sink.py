@@ -47,6 +47,53 @@ class TestWriteSide:
         assert [e.seq for e in merged] == [0, 1, 2]
 
 
+class TestRotationCrashSafety:
+    def test_rotation_never_fills_a_hole(self, tmp_path):
+        # `.2` vanished (crash or cleanup) while `.3` survived: the next
+        # rotation must take `.4`, not reuse `.2` — merge order sorts
+        # rotations numerically, so filling the hole would put newer
+        # events before older ones.
+        path = str(tmp_path / "trace-m0.jsonl")
+        for suffix in (".1", ".3"):
+            with open(path + suffix, "w", encoding="utf-8") as fh:
+                fh.write(_events(0, [9])[0].to_json() + "\n")
+        sink = JsonlTraceSink(path, rotate_bytes=1)
+        sink.write_events(_events(0, [0]))
+        sink.write_events(_events(0, [1]))  # rotates the live shard
+        assert os.path.exists(path + ".4")
+        assert not os.path.exists(path + ".2")
+
+    def test_rotation_rename_goes_through_the_seam(self, tmp_path):
+        # The rotation rename is crash-critical (a lost rename after the
+        # next batch's fsync would reorder the stream), so it must route
+        # through replace_durable -> the VFS seam, where the durability
+        # auditor can see and crash-test it.
+        from repro._vfs import install_vfs
+        from repro.audit.trace import TracingVFS
+
+        path = str(tmp_path / "trace-m0.jsonl")
+        sink = JsonlTraceSink(path, rotate_bytes=1)
+        sink.write_events(_events(0, [0]))
+        tracer = TracingVFS(str(tmp_path))
+        old = install_vfs(tracer)
+        try:
+            sink.write_events(_events(0, [1]))
+        finally:
+            install_vfs(old)
+        kinds = [op.kind for op in tracer.ops]
+        assert kinds == ["replace", "fsync_dir", "append", "fsync"]
+
+    def test_merge_tolerates_a_missing_rotation(self, tmp_path):
+        path = str(tmp_path / "trace-m0.jsonl")
+        sink = JsonlTraceSink(path, rotate_bytes=1)
+        for s in (0, 1, 2):
+            sink.write_events(_events(0, [s]))
+        os.remove(path + ".2")  # hole in the rotation sequence
+        merged, skipped = merge_shards(str(tmp_path))
+        assert skipped == 0
+        assert [e.seq for e in merged] == [0, 2]
+
+
 class TestReadSide:
     def test_missing_file_reads_empty(self, tmp_path):
         assert read_events(str(tmp_path / "nope.jsonl")) == ([], 0)
