@@ -1,21 +1,24 @@
 """``python -m repro bench`` — the repo's deterministic perf suite.
 
-Four benchmarks, micro to macro:
+Benchmarks, micro to macro:
 
 ``pmem_ops``
-    Persistence-domain operation throughput (store/flush/fence mix, no
-    observers) against a frozen *legacy-behavior* domain that still
+    Persistence-domain operation throughput (mixed-size store/flush/
+    fence mix, no observers): the vectorized core and the scalar
+    reference against a frozen *legacy-behavior* domain that still
     constructs a TraceEvent per op and scans the full line map per
     fence.  This is the hot-path number: every execution in a campaign
     is made of these operations.
 
 ``ranges``
-    ``inconsistent_ranges`` throughput (chunked slice comparison)
-    against the byte-at-a-time reference implementation.
+    ``inconsistent_ranges`` throughput: vectorized (numpy flatnonzero)
+    and chunked-slice scalar against the byte-at-a-time reference.
 
 ``executor``
     Whole-execution throughput (execs/s): parse + open + run + close on
-    the btree workload.
+    the btree workload, plus fork-server dispatch throughput single vs.
+    batched (the shared-memory ring transport amortized over
+    ``batch_execs`` jobs per round-trip).
 
 ``crashgen``
     The macro win this suite exists to defend: crash images per second
@@ -44,6 +47,7 @@ import statistics
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.execcore import HAVE_NUMPY, active_core
 from repro.pmem.persistence import (CACHE_LINE, LineState, PersistenceDomain,
                                     TraceEvent, TraceEventKind)
 
@@ -96,7 +100,7 @@ class _LegacyDomain(PersistenceDomain):
         if redundant:
             self.emit(TraceEventKind.FLUSH_REDUNDANT, addr, size, site)
 
-    def drain(self, site=""):
+    def drain(self, site: Optional[str] = None) -> None:
         for line, state in list(self._lines.items()):
             if state is LineState.FLUSHED:
                 start = line * CACHE_LINE
@@ -104,19 +108,25 @@ class _LegacyDomain(PersistenceDomain):
                 self._media[start:end] = self._volatile[start:end]
                 del self._lines[line]
         self._fence_count += 1
-        self.emit(TraceEventKind.FENCE, 0, 0, site)
+        self.emit(TraceEventKind.FENCE, 0, 0, site or "")
+
+
+#: Mixed store sizes, 32 B to 4 KiB (one line to 64+ lines): campaign
+#: workloads persist both field-sized and object-sized ranges, and the
+#: multi-line stores are where bulk line-state transitions pay off.
+_WORKOUT_SIZES = (32, 256, 1024, 4096)
 
 
 def _domain_workout(domain: PersistenceDomain, ops: int) -> int:
     """A representative store/flush/fence mix; returns ops performed."""
     size = domain.size
-    payload = b"\xA5" * 32
-    addr = 0
+    payloads = [b"\xA5" * n for n in _WORKOUT_SIZES]
     performed = 0
     for i in range(ops):
-        addr = (addr + 96) % (size - 64)
+        payload = payloads[i & 3]
+        addr = (i * 4173) % (size - len(payload))
         domain.store(addr, payload)
-        domain.flush(addr, 32)
+        domain.flush(addr, len(payload))
         performed += 2
         if i % 8 == 7:
             domain.drain()
@@ -124,21 +134,39 @@ def _domain_workout(domain: PersistenceDomain, ops: int) -> int:
     return performed
 
 
+def _vector_domain(size: int):
+    from repro.pmem.vector import VectorPersistenceDomain
+
+    return VectorPersistenceDomain(size)
+
+
 @_bench("pmem_ops")
 def _bench_pmem_ops(quick: bool) -> Dict[str, float]:
-    ops = 4_000 if quick else 40_000
+    ops = 2_000 if quick else 20_000
     size = 256 * 1024
     t0 = time.perf_counter()
     performed = _domain_workout(PersistenceDomain(size), ops)
-    current_s = time.perf_counter() - t0
+    scalar_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     _domain_workout(_LegacyDomain(size), ops)
     legacy_s = time.perf_counter() - t0
-    return {
+    vector_s = None
+    if HAVE_NUMPY:
+        t0 = time.perf_counter()
+        _domain_workout(_vector_domain(size), ops)
+        vector_s = time.perf_counter() - t0
+    current_s = vector_s if (vector_s is not None
+                             and active_core() == "vector") else scalar_s
+    metrics = {
         "ops_per_s": performed / current_s,
+        "scalar_ops_per_s": performed / scalar_s,
         "legacy_ops_per_s": performed / legacy_s,
         "speedup": legacy_s / current_s,
     }
+    if vector_s is not None:
+        metrics["vector_ops_per_s"] = performed / vector_s
+        metrics["vector_vs_scalar"] = scalar_s / vector_s
+    return metrics
 
 
 @_bench("ranges")
@@ -159,11 +187,23 @@ def _bench_ranges(quick: bool) -> Dict[str, float]:
         naive = domain._inconsistent_ranges_naive()
     naive_s = time.perf_counter() - t0
     assert chunked == naive
-    return {
+    metrics = {
         "calls_per_s": calls / current_s,
         "naive_calls_per_s": calls / naive_s,
         "speedup": naive_s / current_s,
     }
+    if HAVE_NUMPY:
+        vdomain = _vector_domain(size)
+        for addr in range(0, size, size // 4):
+            vdomain.store(addr, b"\xFF" * 48)
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            vectored = vdomain.inconsistent_ranges()
+        vector_s = time.perf_counter() - t0
+        assert vectored == chunked
+        metrics["vector_calls_per_s"] = calls / vector_s
+        metrics["vector_vs_scalar"] = current_s / vector_s
+    return metrics
 
 
 def _make_executor():
@@ -193,7 +233,35 @@ def _bench_executor(quick: bool) -> Dict[str, float]:
     for _ in range(execs):
         executor.run(image, data)
     elapsed = time.perf_counter() - t0
-    return {"execs_per_s": execs / elapsed}
+    metrics = {"execs_per_s": execs / elapsed}
+    if hasattr(os, "fork"):
+        from repro.isolation.pool import ForkWorkerPool
+
+        # Dispatch-cost microbenchmark: an invalid raw image is the
+        # cheapest real execution (the direct-image-fuzzing fast path,
+        # outcome INVALID_IMAGE), so the worker round-trip dominates and
+        # the single-vs-batched ratio measures exactly the per-dispatch
+        # overhead that batching over the ring transport amortizes.
+        jobs = 240 if quick else 960
+        job = ("raw", b"not-an-image", b"g 1\n", {})
+        pool = ForkWorkerPool(executor, wall_timeout=60.0,
+                              max_execs_per_worker=1_000_000)
+        try:
+            pool.submit(*job)  # fork + first round-trip outside the clock
+            t0 = time.perf_counter()
+            for _ in range(jobs):
+                pool.submit(*job)
+            single_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            for _ in range(jobs // 8):
+                pool.submit_batch([job] * 8)
+            batch_s = time.perf_counter() - t0
+        finally:
+            pool.close()
+        metrics["fork_dispatch_per_s"] = jobs / single_s
+        metrics["fork_batch_dispatch_per_s"] = jobs / batch_s
+        metrics["dispatch_speedup"] = single_s / batch_s
+    return metrics
 
 
 @_bench("crashgen")
@@ -299,15 +367,42 @@ def _bench_campaign(quick: bool) -> Dict[str, float]:
     from repro.core.pmfuzz import run_campaign
 
     budget = 1.0 if quick else 4.0
-    t0 = time.perf_counter()
-    stats = run_campaign("btree", "pmfuzz", budget)
-    wall = time.perf_counter() - t0
-    return {
+
+    def one(core: str, run_budget: Optional[float] = None):
+        t0 = time.perf_counter()
+        stats = run_campaign("btree", "pmfuzz", run_budget or budget,
+                             exec_core=core)
+        return stats, time.perf_counter() - t0
+
+    # Pin the engine to the suite's active core: the engine resolves
+    # exec_core=None to the *default* core, which would silently undo a
+    # ``--exec-core scalar`` suite run.
+    current = active_core()
+    # The process's first campaign pays one-time costs (page cache,
+    # allocator arenas) that would be charged to whichever core runs
+    # first; a short throwaway run absorbs them.
+    one(current, run_budget=0.25)
+    stats, wall = one(current)
+    metrics = {
         "wall_s": wall,
         "execs": float(stats.executions),
         "execs_per_s": stats.executions / wall,
         "crash_images": float(stats.crash_images_generated),
     }
+    if HAVE_NUMPY:
+        # Run the other core back-to-back so each sample carries a
+        # host-independent scalar-vs-vector campaign ratio: absolute
+        # execs/s swing with machine load, the in-sample ratio does not.
+        other = "scalar" if current == "vector" else "vector"
+        o_stats, o_wall = one(other)
+        rates = {current: stats.executions / wall,
+                 other: o_stats.executions / o_wall}
+        metrics["scalar_execs_per_s"] = rates["scalar"]
+        metrics["vector_execs_per_s"] = rates["vector"]
+        metrics["vector_vs_scalar"] = rates["vector"] / rates["scalar"]
+        from repro.execcore import set_core
+        set_core(current)
+    return metrics
 
 
 # ----------------------------------------------------------------------
@@ -345,16 +440,41 @@ def _fmt(value: float) -> str:
     return f"{value:.2f}"
 
 
+def baseline_deltas(metrics: Dict[str, float],
+                    baseline: Optional[dict]) -> Dict[str, Optional[float]]:
+    """Percent delta per metric against a baseline document.
+
+    Every metric gets a key; the value is ``None`` where the baseline
+    has no comparable number (missing file, new metric, zero baseline),
+    so the result-document schema is identical with and without a
+    baseline — the bench regression test keys on that.
+    """
+    base_metrics = (baseline or {}).get("metrics", {})
+    deltas: Dict[str, Optional[float]] = {}
+    for key, value in metrics.items():
+        base = base_metrics.get(key)
+        deltas[key] = ((value - base) / base * 100.0) if base else None
+    return deltas
+
+
 def run_suite(names: Optional[List[str]] = None, quick: bool = False,
               repeats: Optional[int] = None, out_dir: str = ".",
               baseline_dir: Optional[str] = "benchmarks/baseline",
+              exec_core: Optional[str] = None,
               print_fn: Callable[[str], None] = print) -> List[dict]:
     """Run the suite, write ``BENCH_<name>.json`` files, print a table.
 
     Wall-clock medians are host-dependent; the committed baselines exist
     for the *ratios* (speedup metrics) and for order-of-magnitude drift
-    detection, not for exact cross-host comparison.
+    detection, not for exact cross-host comparison.  Each result
+    document embeds its ``baseline_delta`` (computed against the
+    baseline as it was *before* this run wrote anything, so regenerating
+    the baseline in place still records the old-vs-new delta) and the
+    execution core it ran on.
     """
+    from repro.execcore import set_core
+
+    core = set_core(exec_core)
     selected = names or list(BENCHMARKS)
     unknown = [n for n in selected if n not in BENCHMARKS]
     if unknown:
@@ -364,20 +484,22 @@ def run_suite(names: Optional[List[str]] = None, quick: bool = False,
     os.makedirs(out_dir, exist_ok=True)
     docs = []
     for name in selected:
+        # Load the baseline before writing: out_dir may BE baseline_dir.
+        baseline = load_baseline(baseline_dir, name) if baseline_dir else None
         doc = run_benchmark(name, quick=quick, repeats=repeats)
+        doc["exec_core"] = core
+        doc["baseline_delta"] = baseline_deltas(doc["metrics"], baseline)
         docs.append(doc)
         path = os.path.join(out_dir, f"BENCH_{name}.json")
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        baseline = load_baseline(baseline_dir, name) if baseline_dir else None
-        print_fn(f"{name}  ({doc['repeats']} repeats, median)")
+        print_fn(f"{name}  ({doc['repeats']} repeats, median, "
+                 f"{core} core)")
         for key, value in doc["metrics"].items():
             line = f"  {key:24s} {_fmt(value):>14s}"
-            if baseline and key in baseline.get("metrics", {}):
-                base = baseline["metrics"][key]
-                if base:
-                    delta = (value - base) / base * 100.0
-                    line += f"   {delta:+7.1f}% vs baseline"
+            delta = doc["baseline_delta"].get(key)
+            if delta is not None:
+                line += f"   {delta:+7.1f}% vs baseline"
             print_fn(line)
     return docs

@@ -94,6 +94,24 @@ def _isolation_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _execcore_kwargs(args: argparse.Namespace) -> dict:
+    """Execution-core engine kwargs (empty at the defaults, so checkpoint
+    metadata stays identical to pre-flag campaigns)."""
+    kwargs: dict = {}
+    if getattr(args, "exec_core", None):
+        kwargs["exec_core"] = args.exec_core
+    batch = getattr(args, "batch_execs", None)
+    if batch is not None:
+        if batch < 1:
+            raise FuzzerError(f"--batch-execs must be >= 1, got {batch}")
+        if batch != 8:
+            kwargs["batch_execs"] = batch
+    transport = getattr(args, "transport", None)
+    if transport not in (None, "auto"):
+        kwargs["transport"] = transport
+    return kwargs
+
+
 def _corpusdb_kwargs(args: argparse.Namespace) -> dict:
     """Corpus-database engine kwargs (empty when --corpus-db is off, so
     checkpoint metadata stays identical to pre-flag campaigns)."""
@@ -213,7 +231,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         heartbeat_lease=args.member_lease,
         fault_plan=args.fault_plan,
         engine_kwargs={**_isolation_kwargs(args), **_observe_kwargs(args),
-                       **_crashgen_kwargs(args), **_corpusdb_kwargs(args)},
+                       **_crashgen_kwargs(args), **_corpusdb_kwargs(args),
+                       **_execcore_kwargs(args)},
         kill_plan=_parse_kill_plan(args.fleet_kill),
     )
     print(f"configuration     : {stats.config_name}")
@@ -269,7 +288,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                              **_isolation_kwargs(args),
                              **_observe_kwargs(args),
                              **_crashgen_kwargs(args),
-                             **_corpusdb_kwargs(args))
+                             **_corpusdb_kwargs(args),
+                             **_execcore_kwargs(args))
     if stats.isolation_fallback:
         print(f"warning: fork isolation unavailable "
               f"({stats.isolation_fallback}); ran in-process",
@@ -475,7 +495,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         run_suite(names=args.only or None, quick=args.quick,
                   repeats=args.repeats, out_dir=args.out_dir,
-                  baseline_dir=args.baseline_dir or None)
+                  baseline_dir=args.baseline_dir or None,
+                  exec_core=args.exec_core)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -585,6 +606,21 @@ def build_parser() -> argparse.ArgumentParser:
                            "wall-clock watchdog and RSS ceiling "
                            "(degrades to 'none' where fork is "
                            "unavailable)")
+    fuzz.add_argument("--exec-core", choices=["scalar", "vector"],
+                      default=None,
+                      help="execution core: 'vector' uses the batched "
+                           "numpy persistence-domain/coverage kernels, "
+                           "'scalar' the pure-python reference (default: "
+                           "vector when numpy is available; both produce "
+                           "identical campaigns)")
+    fuzz.add_argument("--batch-execs", type=int, default=8, metavar="N",
+                      help="executions shipped per fork-worker dispatch "
+                           "(fork only; 1 disables batching)")
+    fuzz.add_argument("--transport", choices=["auto", "ring", "pipe"],
+                      default="auto",
+                      help="fork-worker frame transport: shared-memory "
+                           "ring or classic pickled pipe (default: ring "
+                           "where shared mmap is available)")
     fuzz.add_argument("--workers", type=int, default=1,
                       help="fork-server worker pool size")
     fuzz.add_argument("--exec-wall-timeout", type=float, default=10.0,
@@ -761,6 +797,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out-dir", default=".", metavar="DIR",
                        help="where BENCH_<name>.json files are written "
                             "(default: current directory)")
+    bench.add_argument("--exec-core", choices=["scalar", "vector"],
+                       default=None,
+                       help="execution core the campaign benchmarks run "
+                            "on (default: vector when numpy is available)")
     bench.add_argument("--baseline-dir", default="benchmarks/baseline",
                        metavar="DIR",
                        help="committed baseline to print deltas against "

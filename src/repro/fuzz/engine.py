@@ -28,7 +28,8 @@ from repro.core.dedup import ImageStore
 from repro.core.storage import TestCaseStorage
 from repro.core.testcase import TestCaseTree
 from repro.errors import FuzzerError, HarnessFaultError, StorageFaultError
-from repro.fuzz.coverage import MAP_SIZE, GlobalCoverage
+from repro.execcore import make_global_coverage, set_core
+from repro.fuzz.coverage import MAP_SIZE
 from repro.fuzz.executor import CostModel, ExecResult, Executor
 from repro.fuzz.mutators import MutationEngine
 from repro.fuzz.queue import FuzzQueue, QueueEntry
@@ -74,6 +75,9 @@ class FuzzEngine:
         checkpoint_path: Optional[str] = None,
         isolation: str = "none",
         isolation_workers: int = 1,
+        exec_core: Optional[str] = None,
+        batch_execs: int = 8,
+        transport: str = "auto",
         exec_wall_timeout: float = 10.0,
         worker_rss_limit: Optional[int] = None,
         worker_max_execs: int = 256,
@@ -86,6 +90,14 @@ class FuzzEngine:
         corpus_db: Optional[str] = None,
         corpus_db_every: float = 0.5,
     ) -> None:
+        #: Execution core ("scalar" or "vector"): selects the
+        #: persistence-domain / counter-map / coverage implementations
+        #: process-wide.  Both cores are observationally identical (the
+        #: scalar×vector equivalence grid is the contract); the choice
+        #: is recorded here — never in the stats — so comparable() stays
+        #: equal across cores.  Set before anything that builds a
+        #: counter map or coverage object.
+        self.exec_core = set_core(exec_core)
         self.workload_factory = workload_factory
         self.config = config
         self.rng = rng or DeterministicRandom()
@@ -101,8 +113,8 @@ class FuzzEngine:
                                  injector=injector, env_faults=env_faults)
         self.mutator = MutationEngine(self.rng)
         self.queue = FuzzQueue()
-        self.branch_cov = GlobalCoverage()
-        self.pm_cov = GlobalCoverage()  # measured in every configuration
+        self.branch_cov = make_global_coverage()
+        self.pm_cov = make_global_coverage()  # measured in every config
         self.storage = TestCaseStorage(ImageStore(compress=config.sys_opt,
                                                   env_faults=env_faults))
         self.stats = FuzzStats(config_name=config.name)
@@ -162,7 +174,8 @@ class FuzzEngine:
             max_execs_per_worker=worker_max_execs,
             triage_dir=triage_dir,
             stats=self.stats,
-            campaign_info=lambda: self.campaign_meta)
+            campaign_info=lambda: self.campaign_meta,
+            batch_execs=batch_execs, transport=transport)
         self.stats.isolation_backend = self.backend.name
         self.stats.isolation_fallback = self._isolation_fallback
         #: Resilience layer: retries transient harness faults, enforces
@@ -299,7 +312,9 @@ class FuzzEngine:
                 self.corpus_db.maybe_sync(self)
             entry = self.queue.select(self.rng)
             entry.fuzz_rounds += 1
-            for index, data in enumerate(self._children_of(entry)):
+            children = self._children_of(entry)
+            self._plan_children(entry, children)
+            for index, data in enumerate(children):
                 if (self.vclock >= until_vtime
                         or self.stats.executions >= MAX_EXECUTIONS
                         or self._stop_requested):
@@ -308,6 +323,9 @@ class FuzzEngine:
                                      if index < len(self._child_ops) else ())
                 self._run_one(entry, data)
             self._current_ops = ()
+            # Speculative batch results the round did not consume (budget
+            # truncation, load faults) are dropped unmerged.
+            self.backend.discard_plan()
             if self.stats.executions % 64 == 0:
                 self.queue.cull()
 
@@ -437,6 +455,34 @@ class FuzzEngine:
                 ops.append(self.mutator.last_ops)
         self._child_ops = ops
         return children
+
+    def _plan_children(self, entry: QueueEntry, children: List[bytes]) -> None:
+        """Announce the round's jobs so a batching backend can pipeline.
+
+        The plan mirrors exactly the job tuples :meth:`_run_one` will
+        dispatch, in order; a backend without batching ignores it.  The
+        image bytes are resolved through the fault-free store read
+        (:meth:`~repro.core.dedup.ImageStore.raw_serialized`), never the
+        supervised load — planning must not perturb the deterministic
+        fault stream.  An image that cannot be resolved simply goes
+        unplanned (its execution falls back to a single dispatch).
+        """
+        if self.backend.batch_execs <= 1 or not children:
+            return
+        if self.config.img_fuzz is ImgFuzzMode.DIRECT:
+            seed = bytes(self.seed_inputs[0])
+            self.backend.plan([("raw", bytes(data), seed, {})
+                               for data in children])
+            return
+        image_id = entry.image_id or self._seed_image_id
+        if image_id == self._seed_image_id:
+            image_bytes = self._seed_image_bytes
+        else:
+            image_bytes = self.storage.store.raw_serialized(image_id)
+        if image_bytes is None:
+            return
+        self.backend.plan([("run", image_bytes, bytes(data), {})
+                           for data in children])
 
     # ------------------------------------------------------------------
     # One execution + feedback

@@ -18,7 +18,7 @@ import contextlib
 import sys
 from typing import Iterator, List, Optional
 
-from repro.instrument.counter_map import PMCounterMap
+from repro.execcore import make_counter_map
 from repro.instrument.pmops import GLOBAL_REGISTRY, PMOpRegistry
 from repro.pmem.persistence import TraceEvent
 
@@ -40,7 +40,7 @@ class ExecutionContext:
         collect_trace: bool = True,
     ) -> None:
         self.registry = registry or GLOBAL_REGISTRY
-        self.counter_map = PMCounterMap()
+        self.counter_map = make_counter_map()
         self.trace: List[TraceEvent] = []
         self.injector = injector
         self.collect_trace = collect_trace

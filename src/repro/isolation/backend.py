@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import os
 import sys
-from typing import Callable, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Optional, Sequence, Tuple
 
 from repro.core.storage import TriageStore
 from repro.errors import ExecTimeoutError, FuzzerError, WorkerCrashError
@@ -51,12 +52,26 @@ class ExecutionBackend:
     #: SIGKILLs and deaths are reported as ``worker_kill`` events.
     trace = NULL_BUS
     vclock_fn = None
+    #: How many executions one worker dispatch may carry (1 = no batching).
+    batch_execs = 1
 
     def run(self, image: PMImage, data: bytes, **kwargs) -> ExecResult:
         raise NotImplementedError
 
     def run_raw_image(self, image_bytes: bytes, data: bytes) -> ExecResult:
         raise NotImplementedError
+
+    def plan(self, jobs: Sequence[tuple]) -> None:
+        """Advise the backend of the jobs the caller will request next.
+
+        Each job is a ``(job_kind, image_bytes, data, kwargs)`` tuple in
+        the exact order the caller intends to run them.  Backends that
+        batch use the plan to ship several jobs per worker dispatch; the
+        default backend ignores it (a no-op for in-process execution).
+        """
+
+    def discard_plan(self) -> None:
+        """Drop any outstanding plan and speculative results."""
 
     def close(self) -> None:
         """Release backend resources (workers respawn lazily on reuse)."""
@@ -96,16 +111,24 @@ class ForkServerBackend(ExecutionBackend):
         triage: Optional[TriageStore] = None,
         stats=None,
         campaign_info: Optional[Callable[[], dict]] = None,
+        batch_execs: int = 8,
+        transport: str = "auto",
     ) -> None:
         self.executor = executor
         self.pool = ForkWorkerPool(
             executor, workers=workers, wall_timeout=wall_timeout,
             rss_limit_bytes=rss_limit_bytes,
-            max_execs_per_worker=max_execs_per_worker)
+            max_execs_per_worker=max_execs_per_worker,
+            transport=transport)
         self.wall_timeout = wall_timeout
         self.triage = triage
         self.stats = stats
         self.campaign_info = campaign_info or (lambda: {})
+        self.batch_execs = max(1, int(batch_execs))
+        #: Jobs the engine has announced for the current round, in order.
+        self._plan: Deque[tuple] = deque()
+        #: Speculatively executed (job, reply) pairs awaiting consumption.
+        self._pending: Deque[Tuple[tuple, tuple]] = deque()
 
     # ------------------------------------------------------------------
     def run(self, image: PMImage, data: bytes, **kwargs) -> ExecResult:
@@ -118,10 +141,50 @@ class ForkServerBackend(ExecutionBackend):
         self.executor._env_check()
         return self._dispatch("raw", bytes(image_bytes), bytes(data), {})
 
+    # ------------------------------------------------------------------
+    # Batching: plan → speculative batch dispatch → ordered consumption
+    # ------------------------------------------------------------------
+    def plan(self, jobs: Sequence[tuple]) -> None:
+        self.discard_plan()
+        self._plan.extend(jobs)
+
+    def discard_plan(self) -> None:
+        self._plan.clear()
+        self._pending.clear()
+
+    def _obtain(self, job: tuple) -> tuple:
+        """Return the reply for ``job``, batching when the plan matches.
+
+        A job that matches the head of the speculative-result queue is
+        answered from it; a job that matches the head of the plan pulls
+        the next ``batch_execs`` planned jobs into one worker dispatch
+        (the extra replies are queued for the following calls).  A job
+        matching neither — crash-image re-executions interleave with the
+        planned children mid-round — simply passes through as a single
+        dispatch; speculation stays parked until the planned order
+        resumes.  Execution is deterministic per job tuple, so a parked
+        reply is interchangeable with a fresh one, and replies the
+        caller never consumes are dropped by :meth:`discard_plan` with
+        their sideband state unmerged — exactly as if those jobs had
+        never run.
+        """
+        if self._pending and self._pending[0][0] == job:
+            return self._pending.popleft()[1]
+        if self.batch_execs > 1 and self._plan and self._plan[0] == job:
+            batch = [self._plan.popleft()
+                     for _ in range(min(self.batch_execs, len(self._plan)))]
+            replies = self.pool.submit_batch(batch)
+            self._pending.extend(zip(batch, replies))
+            self._pending.popleft()
+            return replies[0]
+        if self._plan and self._plan[0] == job:
+            self._plan.popleft()
+        return self.pool.submit(*job)
+
     def _dispatch(self, job_kind: str, image_bytes: bytes, data: bytes,
                   kwargs: dict) -> ExecResult:
         try:
-            reply = self.pool.submit(job_kind, image_bytes, data, kwargs)
+            reply = self._obtain((job_kind, image_bytes, data, kwargs))
         except WatchdogExpired as exc:
             self._count("watchdog_kills")
             self._emit_kill("watchdog", exc.exit_detail)
@@ -194,6 +257,7 @@ class ForkServerBackend(ExecutionBackend):
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self.discard_plan()
         self.pool.close()
 
     def describe(self) -> dict:
@@ -204,6 +268,8 @@ class ForkServerBackend(ExecutionBackend):
             "rss_limit_bytes": self.pool.rss_limit_bytes,
             "max_execs_per_worker": self.pool.max_execs_per_worker,
             "triage_dir": self.triage.root if self.triage else None,
+            "batch_execs": self.batch_execs,
+            "transport": self.pool.transport,
         }
 
 
@@ -230,6 +296,8 @@ def create_backend(
     triage_dir: Optional[str] = None,
     stats=None,
     campaign_info: Optional[Callable[[], dict]] = None,
+    batch_execs: int = 8,
+    transport: str = "auto",
 ) -> Tuple[ExecutionBackend, str]:
     """Build the requested backend; returns ``(backend, fallback_reason)``.
 
@@ -252,5 +320,6 @@ def create_backend(
         executor, workers=workers, wall_timeout=wall_timeout,
         rss_limit_bytes=rss_limit_bytes,
         max_execs_per_worker=max_execs_per_worker,
-        triage=triage, stats=stats, campaign_info=campaign_info)
+        triage=triage, stats=stats, campaign_info=campaign_info,
+        batch_execs=batch_execs, transport=transport)
     return backend, ""

@@ -4,12 +4,17 @@
 campaign process with the executor already constructed (the AFL++ fork
 server of Section 4.7: fork-after-init, so per-execution startup cost is
 one pipe round-trip, not an interpreter launch).  Jobs are dispatched
-round-robin over a length-prefixed pipe protocol; every dispatch is
-guarded by a *wall-clock* watchdog — a worker that fails to produce a
-complete result frame by the deadline is SIGKILLed and reaped, which is
-the only mechanism that can stop a genuinely runaway target (a true
-infinite loop, unbounded allocation, recursion blowout) that virtual
-time can never interrupt.
+round-robin; every dispatch is guarded by a *wall-clock* watchdog — a
+worker that fails to produce a complete result frame by the deadline is
+SIGKILLed and reaped, which is the only mechanism that can stop a
+genuinely runaway target (a true infinite loop, unbounded allocation,
+recursion blowout) that virtual time can never interrupt.
+
+Frames travel over the shared-memory ring transport
+(:mod:`repro.isolation.ring`) wherever anonymous shared mmap exists,
+falling back to the legacy pickled-pipe protocol otherwise (and
+per-frame, for payloads larger than the ring).  :meth:`submit_batch`
+amortizes the dispatch round-trip over N jobs on one worker.
 
 Workers are recycled after a configurable number of executions (leak
 hygiene, AFL++'s ``AFL_FORKSRV_INIT``-style periodic re-fork) and after
@@ -24,11 +29,16 @@ import os
 import signal
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.isolation.protocol import (FrameDeadline, PipeClosed,
-                                      ProtocolError, read_frame, write_frame)
+                                      ProtocolError)
+from repro.isolation.ring import (DEFAULT_RING_BYTES, Channel, ShmRing,
+                                  ring_available)
 from repro.isolation.worker import worker_main
+
+#: Transport names accepted by ``ForkWorkerPool(transport=...)``.
+TRANSPORTS = ("auto", "ring", "pipe")
 
 
 class WorkerUnavailableError(RuntimeError):
@@ -67,12 +77,11 @@ def describe_wait_status(status: int) -> str:
 
 
 class _Worker:
-    __slots__ = ("pid", "result_fd", "job_fd", "execs")
+    __slots__ = ("pid", "channel", "execs")
 
-    def __init__(self, pid: int, result_fd: int, job_fd: int) -> None:
+    def __init__(self, pid: int, channel: Channel) -> None:
         self.pid = pid
-        self.result_fd = result_fd  # parent reads results here
-        self.job_fd = job_fd  # parent writes jobs here
+        self.channel = channel  # parent-side endpoint
         self.execs = 0
 
 
@@ -87,6 +96,11 @@ class ForkWorkerPool:
         max_execs_per_worker: recycle a worker after this many jobs.
         shutdown_grace: seconds to wait for a graceful exit before
             escalating to SIGKILL.
+        transport: ``"ring"`` (shared-memory frames), ``"pipe"`` (the
+            legacy pickled-pipe protocol) or ``"auto"`` (ring wherever
+            anonymous shared mmap works — graceful fallback, recorded
+            in :attr:`transport`).
+        ring_bytes: per-direction ring capacity for the ring transport.
     """
 
     def __init__(
@@ -97,16 +111,28 @@ class ForkWorkerPool:
         rss_limit_bytes: Optional[int] = None,
         max_execs_per_worker: int = 256,
         shutdown_grace: float = 2.0,
+        transport: str = "auto",
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         if not hasattr(os, "fork"):
             raise WorkerUnavailableError("os.fork is unavailable")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; "
+                             f"known: {', '.join(TRANSPORTS)}")
         self.executor = executor
         self.wall_timeout = wall_timeout
         self.rss_limit_bytes = rss_limit_bytes
         self.max_execs_per_worker = max_execs_per_worker
         self.shutdown_grace = shutdown_grace
+        self.ring_bytes = ring_bytes
+        if transport == "auto":
+            transport = "ring" if ring_available() else "pipe"
+        elif transport == "ring" and not ring_available():  # pragma: no cover
+            transport = "pipe"
+        #: The resolved transport every spawned worker uses.
+        self.transport = transport
         self._workers: List[Optional[_Worker]] = [None] * workers
         self._next = 0
         self.spawned = 0
@@ -118,6 +144,15 @@ class ForkWorkerPool:
     def _spawn(self) -> _Worker:
         job_r, job_w = os.pipe()
         result_r, result_w = os.pipe()
+        job_ring = result_ring = None
+        if self.transport == "ring":
+            try:
+                job_ring = ShmRing(self.ring_bytes)
+                result_ring = ShmRing(self.ring_bytes)
+            except (OSError, ValueError):  # pragma: no cover - no shm
+                if job_ring is not None:
+                    job_ring.close()
+                job_ring = result_ring = None
         sys.stdout.flush()
         sys.stderr.flush()
         pid = os.fork()
@@ -131,26 +166,24 @@ class ForkWorkerPool:
                 os.close(result_r)
                 for sibling in self._workers:
                     if sibling is not None:
-                        for fd in (sibling.result_fd, sibling.job_fd):
+                        for fd in (sibling.channel.recv_fd,
+                                   sibling.channel.send_fd):
                             try:
                                 os.close(fd)
                             except OSError:
                                 pass
-                worker_main(self.executor, job_r, result_w,
-                            self.rss_limit_bytes)
+                channel = Channel(recv_fd=job_r, send_fd=result_w,
+                                  recv_ring=job_ring, send_ring=result_ring)
+                worker_main(self.executor, channel,
+                            rss_limit_bytes=self.rss_limit_bytes)
             finally:
                 os._exit(1)  # worker_main never returns; belt and braces
         os.close(job_r)
         os.close(result_w)
         self.spawned += 1
-        return _Worker(pid=pid, result_fd=result_r, job_fd=job_w)
-
-    def _close_fds(self, worker: _Worker) -> None:
-        for fd in (worker.result_fd, worker.job_fd):
-            try:
-                os.close(fd)
-            except OSError:
-                pass
+        channel = Channel(recv_fd=result_r, send_fd=job_w,
+                          recv_ring=result_ring, send_ring=job_ring)
+        return _Worker(pid=pid, channel=channel)
 
     def _kill_and_reap(self, slot: int) -> str:
         """SIGKILL the worker in ``slot``, reap it, return exit detail."""
@@ -162,7 +195,7 @@ class ForkWorkerPool:
             os.kill(worker.pid, signal.SIGKILL)
         except ProcessLookupError:
             pass
-        self._close_fds(worker)
+        worker.channel.close()
         try:
             _, status = os.waitpid(worker.pid, 0)
         except ChildProcessError:
@@ -175,7 +208,7 @@ class ForkWorkerPool:
         self._workers[slot] = None
         if worker is None:
             return
-        self._close_fds(worker)  # job-pipe EOF tells the child to exit
+        worker.channel.close()  # job-pipe EOF tells the child to exit
         deadline = time.monotonic() + self.shutdown_grace
         while time.monotonic() < deadline:
             try:
@@ -199,6 +232,20 @@ class ForkWorkerPool:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    def _checkout(self) -> Tuple[int, _Worker]:
+        """Pick the next round-robin slot, spawning lazily."""
+        slot = self._next
+        self._next = (self._next + 1) % len(self._workers)
+        worker = self._workers[slot]
+        if worker is None:
+            worker = self._workers[slot] = self._spawn()
+        return slot, worker
+
+    def _account(self, slot: int, worker: _Worker, execs: int) -> None:
+        worker.execs += execs
+        if worker.execs >= self.max_execs_per_worker:
+            self._retire(slot)
+
     def submit(self, job_kind: str, image_bytes: bytes, data: bytes,
                kwargs: dict) -> tuple:
         """Run one job on the next worker; returns the reply frame.
@@ -208,29 +255,64 @@ class ForkWorkerPool:
                 (the worker has been SIGKILLed and reaped).
             WorkerDeath: the worker died mid-job (already reaped).
         """
-        slot = self._next
-        self._next = (self._next + 1) % len(self._workers)
-        worker = self._workers[slot]
-        if worker is None:
-            worker = self._workers[slot] = self._spawn()
+        slot, worker = self._checkout()
         try:
-            write_frame(worker.job_fd, ("job", job_kind, image_bytes,
-                                        bytes(data), kwargs))
+            worker.channel.send(("job", job_kind, image_bytes,
+                                 bytes(data), kwargs))
         except OSError:
             raise WorkerDeath(self._kill_and_reap(slot)) from None
         deadline = time.monotonic() + self.wall_timeout
         try:
-            reply = read_frame(worker.result_fd, deadline=deadline)
+            reply = worker.channel.recv(deadline=deadline)
         except FrameDeadline:
             detail = self._kill_and_reap(slot)
             raise WatchdogExpired(self.wall_timeout, detail) from None
         except (PipeClosed, ProtocolError) as exc:
             detail = self._kill_and_reap(slot)
             raise WorkerDeath(detail or str(exc)) from None
-        worker.execs += 1
-        if worker.execs >= self.max_execs_per_worker:
-            self._retire(slot)
+        self._account(slot, worker, 1)
         return reply
+
+    def submit_batch(self, jobs: Sequence[tuple]) -> List[tuple]:
+        """Run N jobs back-to-back on one worker; returns their replies.
+
+        Each job is a ``(job_kind, image_bytes, data, kwargs)`` tuple.
+        The whole batch shares one frame round-trip and one wall-clock
+        deadline of ``wall_timeout * len(jobs)``; a hang anywhere in the
+        batch therefore still trips the watchdog, and a worker death
+        loses the batch as a unit (the caller re-dispatches singly).
+
+        Raises:
+            WatchdogExpired / WorkerDeath: as :meth:`submit`.
+        """
+        if not jobs:
+            return []
+        if len(jobs) == 1:
+            kind, image_bytes, data, kwargs = jobs[0]
+            return [self.submit(kind, image_bytes, data, kwargs)]
+        slot, worker = self._checkout()
+        frame = ("batch", [(kind, image_bytes, bytes(data), kwargs)
+                           for kind, image_bytes, data, kwargs in jobs])
+        try:
+            worker.channel.send(frame)
+        except OSError:
+            raise WorkerDeath(self._kill_and_reap(slot)) from None
+        budget = self.wall_timeout * len(jobs)
+        deadline = time.monotonic() + budget
+        try:
+            reply = worker.channel.recv(deadline=deadline)
+        except FrameDeadline:
+            detail = self._kill_and_reap(slot)
+            raise WatchdogExpired(budget, detail) from None
+        except (PipeClosed, ProtocolError) as exc:
+            detail = self._kill_and_reap(slot)
+            raise WorkerDeath(detail or str(exc)) from None
+        if (not isinstance(reply, tuple) or reply[0] != "batch"
+                or len(reply[1]) != len(jobs)):
+            detail = self._kill_and_reap(slot)
+            raise WorkerDeath(detail or "malformed batch reply")
+        self._account(slot, worker, len(jobs))
+        return list(reply[1])
 
     # ------------------------------------------------------------------
     @property

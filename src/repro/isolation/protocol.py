@@ -42,7 +42,16 @@ class FrameDeadline(ProtocolError):
 
 def write_frame(fd: int, obj: Any) -> None:
     """Pickle ``obj`` and write it as one length-prefixed frame."""
-    blob = pickle.dumps(obj, protocol=4)
+    write_frame_bytes(fd, pickle.dumps(obj, protocol=4))
+
+
+def write_frame_bytes(fd: int, blob: bytes) -> None:
+    """Write an already-pickled payload as one length-prefixed frame.
+
+    Split out of :func:`write_frame` so the shared-memory ring transport
+    (:mod:`repro.isolation.ring`) can fall back to the pipe wire format
+    for oversized frames without pickling the object twice.
+    """
     if len(blob) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(blob)} bytes exceeds the "
                             f"{MAX_FRAME_BYTES}-byte ceiling")

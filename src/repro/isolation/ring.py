@@ -1,0 +1,199 @@
+"""Shared-memory ring transport for the fork-server worker protocol.
+
+The pickled-pipe protocol (:mod:`repro.isolation.protocol`) pays one
+kernel round-trip per frame *and* streams every payload byte through the
+pipe buffer.  This module moves the payload into an anonymous shared
+``mmap`` created before the fork, so parent and worker exchange frames
+by memcpy; the existing pipes are kept as the *signal* channel — every
+frame is announced by a one-byte token:
+
+* ``b"R"`` — the frame's payload is in the ring (written completely,
+  CRC-stamped, and published by advancing the ring's tail *before* the
+  token is sent);
+* ``b"P"`` — the payload follows on the pipe in the legacy wire format
+  (the fallback for frames larger than the ring, and the whole-channel
+  fallback on platforms without anonymous shared mmap).
+
+Torn-frame safety comes from that ordering: a worker SIGKILLed at any
+point before its token byte leaves the kernel has published nothing —
+the parent sees pipe EOF (``PipeClosed`` → ``WorkerDeath``), never a
+partial frame.  The CRC over the payload is the belt-and-braces check
+against ring-accounting bugs; a mismatch is a ``ProtocolError``, which
+the pool also converts into a typed worker death.
+
+The rings are strict SPSC: the job ring is written only by the parent
+and read only by the worker, the result ring the reverse, and the
+request/response protocol guarantees at most one frame in flight per
+ring — head/tail are plain 8-byte counters, no atomics needed.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pickle
+import struct
+import zlib
+from typing import Any, Optional
+
+from repro.isolation.protocol import (ProtocolError, _read_exact, _write_all,
+                                      read_frame, write_frame,
+                                      write_frame_bytes)
+
+#: Default per-direction ring capacity.  Sized for a full *batch* of
+#: replies (each carries a serialized PM image, ~256 KiB on the stock
+#: workloads, times ``batch_execs``): anonymous mmap pages are
+#: demand-allocated, so unused capacity costs address space, not RSS.
+DEFAULT_RING_BYTES = 8 << 20
+
+_COUNTERS = struct.Struct("<QQ")  # head (bytes read), tail (bytes written)
+_FRAME = struct.Struct("<II")  # payload length, crc32
+
+_TOKEN_RING = b"R"
+_TOKEN_PIPE = b"P"
+
+
+def ring_available() -> bool:
+    """Can this platform back a ring with anonymous shared mmap?"""
+    try:
+        probe = mmap.mmap(-1, mmap.PAGESIZE)
+        probe.close()
+        return True
+    except (OSError, ValueError, OverflowError):  # pragma: no cover
+        return False
+
+
+class ShmRing:
+    """One single-producer single-consumer byte ring over anonymous mmap.
+
+    Monotonic head/tail counters live in the first 16 bytes of the map;
+    payload bytes wrap around the remaining ``capacity``.  Created in
+    the parent before ``os.fork`` so both processes share the pages.
+    """
+
+    HEADER = _COUNTERS.size
+
+    def __init__(self, capacity: int = DEFAULT_RING_BYTES) -> None:
+        if capacity <= _FRAME.size:
+            raise ValueError(f"ring capacity {capacity} is too small")
+        self.capacity = capacity
+        self._mm = mmap.mmap(-1, self.HEADER + capacity)
+
+    def close(self) -> None:
+        """Unmap this process's view (the peer's mapping is unaffected)."""
+        try:
+            self._mm.close()
+        except (BufferError, ValueError):  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+    def try_write(self, payload: bytes) -> bool:
+        """Publish one frame; False if it does not fit right now."""
+        need = _FRAME.size + len(payload)
+        head, tail = _COUNTERS.unpack_from(self._mm, 0)
+        if need > self.capacity - (tail - head):
+            return False
+        self._put(tail, _FRAME.pack(len(payload), zlib.crc32(payload)))
+        self._put(tail + _FRAME.size, payload)
+        # Publish by advancing the tail only after the payload is fully
+        # in place; the reader is only told to look via the pipe token,
+        # which the caller sends after this returns.
+        struct.pack_into("<Q", self._mm, 8, tail + need)
+        return True
+
+    def read(self) -> bytes:
+        """Consume the one announced frame; verifies length and CRC."""
+        head, tail = _COUNTERS.unpack_from(self._mm, 0)
+        if tail - head < _FRAME.size:
+            raise ProtocolError("ring announces a frame but holds none")
+        length, crc = _FRAME.unpack(self._get(head, _FRAME.size))
+        if _FRAME.size + length > tail - head:
+            raise ProtocolError(
+                f"ring frame header announces {length} bytes with only "
+                f"{tail - head - _FRAME.size} available")
+        payload = self._get(head + _FRAME.size, length)
+        if zlib.crc32(payload) != crc:
+            raise ProtocolError("ring frame payload fails its CRC")
+        struct.pack_into("<Q", self._mm, 0, head + _FRAME.size + length)
+        return payload
+
+    # ------------------------------------------------------------------
+    def _put(self, pos: int, data: bytes) -> None:
+        off = pos % self.capacity
+        first = min(len(data), self.capacity - off)
+        base = self.HEADER
+        self._mm[base + off: base + off + first] = data[:first]
+        if first < len(data):
+            self._mm[base: base + len(data) - first] = data[first:]
+
+    def _get(self, pos: int, n: int) -> bytes:
+        off = pos % self.capacity
+        first = min(n, self.capacity - off)
+        base = self.HEADER
+        out = self._mm[base + off: base + off + first]
+        if first < n:
+            out += self._mm[base: base + n - first]
+        return out
+
+
+class Channel:
+    """Bidirectional frame channel: pipe signaling + optional rings.
+
+    With no rings attached this is exactly the legacy pipe protocol
+    (every frame length-prefixed on the fd); with rings attached the
+    pipes carry tokens and the rings carry payloads, falling back to
+    the pipe wire format per-frame when a payload outgrows the ring.
+    """
+
+    __slots__ = ("recv_fd", "send_fd", "recv_ring", "send_ring")
+
+    def __init__(self, recv_fd: int, send_fd: int,
+                 recv_ring: Optional[ShmRing] = None,
+                 send_ring: Optional[ShmRing] = None) -> None:
+        self.recv_fd = recv_fd
+        self.send_fd = send_fd
+        self.recv_ring = recv_ring
+        self.send_ring = send_ring
+
+    @property
+    def transport(self) -> str:
+        return "ring" if self.send_ring is not None else "pipe"
+
+    # ------------------------------------------------------------------
+    def send(self, obj: Any) -> None:
+        if self.send_ring is None:
+            write_frame(self.send_fd, obj)
+            return
+        blob = pickle.dumps(obj, protocol=4)
+        if self.send_ring.try_write(blob):
+            _write_all(self.send_fd, _TOKEN_RING)
+        else:
+            _write_all(self.send_fd, _TOKEN_PIPE)
+            write_frame_bytes(self.send_fd, blob)
+
+    def recv(self, deadline: Optional[float] = None) -> Any:
+        if self.recv_ring is None:
+            return read_frame(self.recv_fd, deadline=deadline)
+        token = _read_exact(self.recv_fd, 1, deadline)
+        if token == _TOKEN_PIPE:
+            return read_frame(self.recv_fd, deadline=deadline)
+        if token != _TOKEN_RING:
+            raise ProtocolError(f"unknown transport token {token!r}")
+        blob = self.recv_ring.read()
+        try:
+            return pickle.loads(blob)
+        except Exception as exc:
+            raise ProtocolError(
+                f"ring frame payload does not unpickle: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close this side's fds and unmap its ring views."""
+        for fd in (self.recv_fd, self.send_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        for ring in (self.recv_ring, self.send_ring):
+            if ring is not None:
+                ring.close()

@@ -308,7 +308,7 @@ class PersistenceDomain:
         if redundant:
             self.emit(TraceEventKind.FLUSH_REDUNDANT, addr, size, site)
 
-    def drain(self, site: str = "") -> None:
+    def drain(self, site: Optional[str] = None) -> None:
         """Order all flushed lines into the media (SFENCE).
 
         If :attr:`crash_at_fence` equals the index of this fence, a
@@ -340,7 +340,7 @@ class PersistenceDomain:
             flushed.clear()
         fence_index = self._fence_count
         self._fence_count += 1
-        self.emit(TraceEventKind.FENCE, 0, 0, site)
+        self.emit(TraceEventKind.FENCE, 0, 0, site or "")
         if fence_index in self._snap_fences:
             self._snapshots.append(MediaSnapshot(
                 "fence", fence_index, fence_index + 1, self._media))

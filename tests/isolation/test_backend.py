@@ -177,6 +177,7 @@ class TestDescribe:
             desc = backend.describe()
         finally:
             backend.close()
+        assert desc.pop("transport") in ("ring", "pipe")
         assert desc == {
             "backend": "fork",
             "workers": 3,
@@ -184,6 +185,7 @@ class TestDescribe:
             "rss_limit_bytes": 1 << 28,
             "max_execs_per_worker": 64,
             "triage_dir": str(tmp_path),
+            "batch_execs": 8,
         }
 
     def test_in_process_describe(self):

@@ -4,8 +4,18 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.bench import BENCHMARKS, load_baseline, run_benchmark, run_suite
 from repro.cli import main
+from repro.execcore import set_core
+
+
+@pytest.fixture(autouse=True)
+def restore_core():
+    """run_suite(exec_core=...) flips process-global state; restore it."""
+    yield
+    set_core(None)
 
 
 class TestRunner:
@@ -47,6 +57,44 @@ class TestRunner:
                   print_fn=lines2.append)
         assert any("vs baseline" in line for line in lines2)
 
+    def test_every_artifact_has_deltas_and_positive_medians(self, tmp_path):
+        """The regression gate: a full quick run must produce, for every
+        benchmark, an artifact with the baseline-delta schema and
+        strictly positive metric medians."""
+        out = tmp_path / "out"
+        run_suite(quick=True, repeats=1, out_dir=str(out),
+                  baseline_dir=None, print_fn=lambda line: None)
+        for name in BENCHMARKS:
+            doc = json.loads((out / f"BENCH_{name}.json").read_text())
+            assert doc["name"] == name
+            assert doc["exec_core"] in ("scalar", "vector")
+            # Delta schema is identical with and without a baseline:
+            # one entry per metric (None when nothing to compare to).
+            assert set(doc["baseline_delta"]) == set(doc["metrics"])
+            assert all(delta is None
+                       for delta in doc["baseline_delta"].values())
+            for key, median in doc["metrics"].items():
+                assert median > 0, (name, key, median)
+        # Re-running against those artifacts as baseline fills the deltas.
+        run_suite(names=["ranges"], quick=True, repeats=1,
+                  out_dir=str(tmp_path / "out2"), baseline_dir=str(out),
+                  print_fn=lambda line: None)
+        doc = json.loads((tmp_path / "out2" / "BENCH_ranges.json")
+                         .read_text())
+        assert set(doc["baseline_delta"]) == set(doc["metrics"])
+        assert all(isinstance(delta, float)
+                   for delta in doc["baseline_delta"].values())
+
+    def test_exec_core_selects_the_measured_core(self, tmp_path):
+        out = tmp_path / "scalar"
+        run_suite(names=["pmem_ops"], quick=True, repeats=1,
+                  out_dir=str(out), baseline_dir=None,
+                  exec_core="scalar", print_fn=lambda line: None)
+        doc = json.loads((out / "BENCH_pmem_ops.json").read_text())
+        assert doc["exec_core"] == "scalar"
+        assert doc["metrics"]["ops_per_s"] == \
+            doc["metrics"]["scalar_ops_per_s"]
+
     def test_unknown_benchmark_rejected(self, tmp_path):
         try:
             run_suite(names=["nope"], out_dir=str(tmp_path))
@@ -67,6 +115,15 @@ class TestCli:
         assert code == 0
         assert (tmp_path / "BENCH_ranges.json").exists()
         assert "ranges" in capsys.readouterr().out
+
+    def test_bench_exec_core_flag(self, tmp_path, capsys):
+        code = main(["bench", "--only", "ranges", "--quick",
+                     "--repeats", "1", "--out-dir", str(tmp_path),
+                     "--baseline-dir", "", "--exec-core", "scalar"])
+        assert code == 0
+        doc = json.loads((tmp_path / "BENCH_ranges.json").read_text())
+        assert doc["exec_core"] == "scalar"
+        assert "scalar core" in capsys.readouterr().out
 
     def test_bench_unknown_name_is_clean_error(self, tmp_path, capsys):
         code = main(["bench", "--only", "warp-drive",

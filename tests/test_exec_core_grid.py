@@ -1,0 +1,136 @@
+"""The PR-9 equivalence grid: the vectorized execution core is
+indistinguishable from the scalar reference.
+
+Contract under test (the tentpole's acceptance criteria):
+
+* byte-identical crash images — every queue entry's stored serialized
+  image matches across cores, not just its content-addressed id;
+* ``FuzzStats.comparable()``-identical campaigns and identical vtime
+  ledgers across {isolation none, fork} x {solo, fleet} x
+  {crashgen singlepass, reexec};
+* the selected core is engine metadata, never a stats field (so the
+  equality above is meaningful, not vacuous).
+
+The small smoke cells run in tier 1; the full grid is ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import PMFUZZ
+from repro.core.pmfuzz import build_engine
+from repro.execcore import DEFAULT_CORE, HAVE_NUMPY, active_core, set_core
+from repro.fuzz.rng import DeterministicRandom
+from repro.orchestrate import run_fleet
+
+needs_fork = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="requires os.fork")
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="vector core needs numpy")
+
+pytestmark = needs_numpy
+
+CORES = ("scalar", "vector")
+
+
+@pytest.fixture(autouse=True)
+def restore_core():
+    """The exec core is process-global state; leave it as we found it."""
+    yield
+    set_core(None)
+
+
+def run_solo(core, isolation, crashgen, tmp_path, name):
+    kwargs = {"exec_core": core}
+    if isolation == "fork":
+        kwargs["triage_dir"] = str(tmp_path / name / "triage")
+    engine = build_engine(
+        "hashmap_tx", PMFUZZ,
+        rng=DeterministicRandom(7).fork("hashmap_tx/grid"),
+        isolation=isolation, crashgen=crashgen, **kwargs)
+    assert engine.exec_core == core == active_core()
+    stats = engine.run(0.4)
+    queue = sorted((e.data, e.image_id) for e in engine.queue.entries)
+    images = {image_id: engine.storage.store.raw_serialized(image_id)
+              for _, image_id in queue if image_id}
+    return stats, queue, images
+
+
+def assert_cell_equal(scalar_run, vector_run):
+    s_stats, s_queue, s_images = scalar_run
+    v_stats, v_queue, v_images = vector_run
+    assert v_stats.comparable() == s_stats.comparable()
+    assert v_stats.metrics == s_stats.metrics
+    assert v_queue == s_queue
+    assert s_stats.executions > 0
+    # Byte-identical crash images: same ids AND same stored bytes.
+    assert set(v_images) == set(s_images)
+    for image_id, blob in s_images.items():
+        assert v_images[image_id] == blob
+
+
+class TestSoloGridSmoke:
+    """Tier-1 cells: one isolation mode each, singlepass crashgen."""
+
+    def test_none_singlepass(self, tmp_path):
+        scalar = run_solo("scalar", "none", "singlepass", tmp_path, "s")
+        vector = run_solo("vector", "none", "singlepass", tmp_path, "v")
+        assert_cell_equal(scalar, vector)
+
+    @needs_fork
+    def test_fork_singlepass(self, tmp_path):
+        scalar = run_solo("scalar", "fork", "singlepass", tmp_path, "s")
+        vector = run_solo("vector", "fork", "singlepass", tmp_path, "v")
+        assert_cell_equal(scalar, vector)
+
+
+@pytest.mark.slow
+class TestSoloGridFull:
+    @pytest.mark.parametrize("isolation", [
+        "none", pytest.param("fork", marks=needs_fork)])
+    @pytest.mark.parametrize("crashgen", ["singlepass", "reexec"])
+    def test_cell(self, tmp_path, isolation, crashgen):
+        scalar = run_solo("scalar", isolation, crashgen, tmp_path, "s")
+        vector = run_solo("vector", isolation, crashgen, tmp_path, "v")
+        assert_cell_equal(scalar, vector)
+
+
+def run_fleet_cell(core, crashgen, tmp_path, name):
+    return run_fleet(
+        "btree", "pmfuzz", 0.5, 2, str(tmp_path / name),
+        sync_every=0.25, poll_interval=0.01, restart_backoff=0.05,
+        engine_kwargs={"exec_core": core, "crashgen": crashgen})
+
+
+class TestFleetGrid:
+    def test_fleet_singlepass(self, tmp_path):
+        scalar = run_fleet_cell("scalar", "singlepass", tmp_path, "s")
+        vector = run_fleet_cell("vector", "singlepass", tmp_path, "v")
+        assert vector.comparable() == scalar.comparable()
+        assert vector.crash_images_generated == \
+            scalar.crash_images_generated
+
+    @pytest.mark.slow
+    def test_fleet_reexec(self, tmp_path):
+        scalar = run_fleet_cell("scalar", "reexec", tmp_path, "s")
+        vector = run_fleet_cell("vector", "reexec", tmp_path, "v")
+        assert vector.comparable() == scalar.comparable()
+
+
+class TestCoreSelection:
+    def test_default_core_is_vector_with_numpy(self):
+        assert DEFAULT_CORE == "vector"
+        assert set_core(None) == "vector"
+
+    def test_engine_records_core_outside_stats(self, tmp_path):
+        stats, _, _ = run_solo("scalar", "none", "singlepass", tmp_path, "s")
+        # The core must never leak into the determinism contract.
+        assert "exec_core" not in stats.comparable()
+        assert not hasattr(stats, "exec_core")
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(Exception):
+            set_core("quantum")
