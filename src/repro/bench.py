@@ -264,6 +264,58 @@ def _bench_executor(quick: bool) -> Dict[str, float]:
     return metrics
 
 
+@_bench("coverage")
+def _bench_coverage(quick: bool) -> Dict[str, float]:
+    """The per-exec fast path: coverage backends × warm-open cache.
+
+    Whole-execution throughput on the btree seed case under each
+    available coverage backend, cold-open vs. warm-open.  The tracer is
+    the single largest per-exec cost (every instrumented line pays it),
+    so ``monitoring_vs_settrace`` is the headline tracer ratio and
+    ``warm_vs_cold`` the prefix-memoization ratio, both host-independent
+    in-sample.
+    """
+    from repro.fuzz.executor import Executor
+    from repro.instrument.covcore import (HAVE_MONITORING, active_backend,
+                                          set_backend)
+    from repro.workloads.registry import get_workload
+
+    execs = 30 if quick else 150
+    current = active_backend()
+
+    def rate(backend: str, warm_open: bool) -> float:
+        set_backend(backend)
+        executor = Executor(lambda: get_workload("btree"),
+                            warm_open=warm_open)
+        image, data, _ = _seed_case(executor)
+        executor.run(image, data)  # populate the warm cache off-clock
+        t0 = time.perf_counter()
+        for _ in range(execs):
+            executor.run(image, data)
+        return execs / (time.perf_counter() - t0)
+
+    try:
+        metrics = {
+            "settrace_cold_execs_per_s": rate("settrace", False),
+            "settrace_warm_execs_per_s": rate("settrace", True),
+        }
+        metrics["warm_vs_cold"] = (metrics["settrace_warm_execs_per_s"]
+                                   / metrics["settrace_cold_execs_per_s"])
+        if HAVE_MONITORING:
+            metrics["monitoring_cold_execs_per_s"] = rate("monitoring", False)
+            metrics["monitoring_warm_execs_per_s"] = rate("monitoring", True)
+            metrics["monitoring_vs_settrace"] = (
+                metrics["monitoring_cold_execs_per_s"]
+                / metrics["settrace_cold_execs_per_s"])
+            fast = metrics["monitoring_warm_execs_per_s"]
+        else:
+            fast = metrics["settrace_warm_execs_per_s"]
+        metrics["execs_per_s"] = fast
+    finally:
+        set_backend(current)
+    return metrics
+
+
 @_bench("crashgen")
 def _bench_crashgen(quick: bool) -> Dict[str, float]:
     from repro.core.crashgen import CrashImageGenerator
@@ -461,6 +513,7 @@ def run_suite(names: Optional[List[str]] = None, quick: bool = False,
               repeats: Optional[int] = None, out_dir: str = ".",
               baseline_dir: Optional[str] = "benchmarks/baseline",
               exec_core: Optional[str] = None,
+              cov_backend: Optional[str] = None,
               print_fn: Callable[[str], None] = print) -> List[dict]:
     """Run the suite, write ``BENCH_<name>.json`` files, print a table.
 
@@ -472,9 +525,13 @@ def run_suite(names: Optional[List[str]] = None, quick: bool = False,
     the baseline in place still records the old-vs-new delta) and the
     execution core it ran on.
     """
+    import platform
+
     from repro.execcore import set_core
+    from repro.instrument.covcore import set_backend
 
     core = set_core(exec_core)
+    backend = set_backend(cov_backend)
     selected = names or list(BENCHMARKS)
     unknown = [n for n in selected if n not in BENCHMARKS]
     if unknown:
@@ -488,6 +545,8 @@ def run_suite(names: Optional[List[str]] = None, quick: bool = False,
         baseline = load_baseline(baseline_dir, name) if baseline_dir else None
         doc = run_benchmark(name, quick=quick, repeats=repeats)
         doc["exec_core"] = core
+        doc["cov_backend"] = backend
+        doc["python"] = platform.python_version()
         doc["baseline_delta"] = baseline_deltas(doc["metrics"], baseline)
         docs.append(doc)
         path = os.path.join(out_dir, f"BENCH_{name}.json")

@@ -112,6 +112,17 @@ def _execcore_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _fastpath_kwargs(args: argparse.Namespace) -> dict:
+    """Per-exec fast-path engine kwargs (empty at the defaults, so
+    checkpoint metadata stays identical to pre-flag campaigns)."""
+    kwargs: dict = {}
+    if getattr(args, "cov_backend", None):
+        kwargs["cov_backend"] = args.cov_backend
+    if getattr(args, "warm_open", "on") == "off":
+        kwargs["warm_open"] = False
+    return kwargs
+
+
 def _corpusdb_kwargs(args: argparse.Namespace) -> dict:
     """Corpus-database engine kwargs (empty when --corpus-db is off, so
     checkpoint metadata stays identical to pre-flag campaigns)."""
@@ -232,7 +243,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         fault_plan=args.fault_plan,
         engine_kwargs={**_isolation_kwargs(args), **_observe_kwargs(args),
                        **_crashgen_kwargs(args), **_corpusdb_kwargs(args),
-                       **_execcore_kwargs(args)},
+                       **_execcore_kwargs(args), **_fastpath_kwargs(args)},
         kill_plan=_parse_kill_plan(args.fleet_kill),
     )
     print(f"configuration     : {stats.config_name}")
@@ -289,7 +300,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                              **_observe_kwargs(args),
                              **_crashgen_kwargs(args),
                              **_corpusdb_kwargs(args),
-                             **_execcore_kwargs(args))
+                             **_execcore_kwargs(args),
+                             **_fastpath_kwargs(args))
     if stats.isolation_fallback:
         print(f"warning: fork isolation unavailable "
               f"({stats.isolation_fallback}); ran in-process",
@@ -496,7 +508,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_suite(names=args.only or None, quick=args.quick,
                   repeats=args.repeats, out_dir=args.out_dir,
                   baseline_dir=args.baseline_dir or None,
-                  exec_core=args.exec_core)
+                  exec_core=args.exec_core,
+                  cov_backend=getattr(args, "cov_backend", None))
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -613,6 +626,19 @@ def build_parser() -> argparse.ArgumentParser:
                            "'scalar' the pure-python reference (default: "
                            "vector when numpy is available; both produce "
                            "identical campaigns)")
+    fuzz.add_argument("--cov-backend", choices=["settrace", "monitoring"],
+                      default=None,
+                      help="branch-coverage backend: 'monitoring' uses "
+                           "the low-overhead sys.monitoring line events "
+                           "(PEP 669, python >= 3.12), 'settrace' the "
+                           "portable reference tracer (default: "
+                           "monitoring where available; both produce "
+                           "identical edge maps)")
+    fuzz.add_argument("--warm-open", choices=["on", "off"], default="on",
+                      help="content-addressed warm-open pool cache: "
+                           "memoizes the post-open recovery/creation "
+                           "prefix per input image (default: on; "
+                           "observably identical either way)")
     fuzz.add_argument("--batch-execs", type=int, default=8, metavar="N",
                       help="executions shipped per fork-worker dispatch "
                            "(fork only; 1 disables batching)")
@@ -801,6 +827,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="execution core the campaign benchmarks run "
                             "on (default: vector when numpy is available)")
+    bench.add_argument("--cov-backend", choices=["settrace", "monitoring"],
+                       default=None,
+                       help="coverage backend the benchmarks run under "
+                            "(default: monitoring where available)")
     bench.add_argument("--baseline-dir", default="benchmarks/baseline",
                        metavar="DIR",
                        help="committed baseline to print deltas against "

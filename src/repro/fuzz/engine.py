@@ -29,6 +29,7 @@ from repro.core.storage import TestCaseStorage
 from repro.core.testcase import TestCaseTree
 from repro.errors import FuzzerError, HarnessFaultError, StorageFaultError
 from repro.execcore import make_global_coverage, set_core
+from repro.instrument.covcore import set_backend as set_cov_backend
 from repro.fuzz.coverage import MAP_SIZE
 from repro.fuzz.executor import CostModel, ExecResult, Executor
 from repro.fuzz.mutators import MutationEngine
@@ -89,6 +90,8 @@ class FuzzEngine:
         status_every: float = 0.5,
         corpus_db: Optional[str] = None,
         corpus_db_every: float = 0.5,
+        cov_backend: Optional[str] = None,
+        warm_open: bool = True,
     ) -> None:
         #: Execution core ("scalar" or "vector"): selects the
         #: persistence-domain / counter-map / coverage implementations
@@ -98,6 +101,11 @@ class FuzzEngine:
         #: equal across cores.  Set before anything that builds a
         #: counter map or coverage object.
         self.exec_core = set_core(exec_core)
+        #: Coverage backend ("settrace" or "monitoring"): same contract
+        #: as the exec core — both produce identical edge maps (the
+        #: fast-path grid is the proof), so the choice is campaign
+        #: metadata, never part of comparable().
+        self.cov_backend = set_cov_backend(cov_backend)
         self.workload_factory = workload_factory
         self.config = config
         self.rng = rng or DeterministicRandom()
@@ -110,7 +118,8 @@ class FuzzEngine:
         self.cost_model = CostModel(sys_opt=config.sys_opt)
         self.env_faults = env_faults
         self.executor = Executor(workload_factory, self.cost_model,
-                                 injector=injector, env_faults=env_faults)
+                                 injector=injector, env_faults=env_faults,
+                                 warm_open=warm_open)
         self.mutator = MutationEngine(self.rng)
         self.queue = FuzzQueue()
         self.branch_cov = make_global_coverage()
@@ -481,7 +490,8 @@ class FuzzEngine:
             image_bytes = self.storage.store.raw_serialized(image_id)
         if image_bytes is None:
             return
-        self.backend.plan([("run", image_bytes, bytes(data), {})
+        self.backend.plan([("run", image_bytes, bytes(data),
+                            {"image_key": image_id})
                            for data in children])
 
     # ------------------------------------------------------------------
@@ -509,7 +519,12 @@ class FuzzEngine:
                     return
                 self.vclock += fault_cost
                 self.profiler.add_vtime("execute", fault_cost)
-                result = self.supervisor.run(image, data, image_id=image_id)
+                # image_id doubles as the warm-open cache key: it is
+                # content-derived by the store, so equal id == equal
+                # image, and the executor skips re-hashing the payload.
+                result = self.supervisor.run(image, data,
+                                             image_id=image_id,
+                                             image_key=image_id)
         self.vclock += result.cost
         self.profiler.add_vtime("execute", result.cost)
         self._m_exec_cost.observe(result.cost)

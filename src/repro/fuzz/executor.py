@@ -29,10 +29,13 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidImageError, ReproError
-from repro.instrument.branchcov import BranchCoverage
+from repro.execcore import make_counter_map
+from repro.fuzz.warmcache import WarmContext, WarmOpenCache
 from repro.instrument.context import ExecutionContext, push_context
+from repro.instrument.covcore import make_branch_coverage
 from repro.pmem.image import PMImage
 from repro.workloads.base import Command, RunOutcome, RunResult, Workload
+from repro.workloads.volatile_ops import VolatileCommandProcessor
 from repro.workloads.mapcli import parse_commands
 
 
@@ -107,6 +110,7 @@ class Executor:
         collect_trace: bool = False,
         max_commands: int = 6,
         env_faults=None,
+        warm_open: bool = True,
     ) -> None:
         # max_commands reproduces the paper's bounded per-test-case
         # execution (the 150 ms limit of Section 4.6): deep persistent
@@ -119,7 +123,17 @@ class Executor:
         self.max_commands = max_commands
         #: optional EnvFaultInjector consulted at the exec fault sites.
         self.env_faults = env_faults
-        self._branch_cov = BranchCoverage()
+        self._branch_cov = make_branch_coverage()
+        # Pooled per-exec state: the 64 KiB PM counter map and the
+        # volatile command processor are allocated once and reset in
+        # place per execution instead of rebuilt on the hot path.
+        self._counter_map = make_counter_map()
+        self._volatile_proc = VolatileCommandProcessor()
+        #: Content-addressed post-open prefix cache (None = disabled).
+        #: Under fork isolation each worker inherits its own copy, so
+        #: the cache is naturally per-process.
+        self.warm_cache: Optional[WarmOpenCache] = \
+            WarmOpenCache() if warm_open else None
 
     # ------------------------------------------------------------------
     def _env_check(self) -> None:
@@ -143,6 +157,7 @@ class Executor:
         weak_states: bool = False,
         commands: Optional[Sequence[Command]] = None,
         snapshot_plan=None,
+        image_key: Optional[str] = None,
         _env_checked: bool = False,
     ) -> ExecResult:
         """Execute command bytes (or pre-parsed commands) on an image.
@@ -163,17 +178,32 @@ class Executor:
         cmds = (list(commands) if commands is not None
                 else parse_commands(data, max_commands=self.max_commands))
         workload: Workload = self.workload_factory()
+        adopt = getattr(workload, "adopt_volatile", None)
+        if adopt is not None:  # duck-typed test doubles may omit it
+            adopt(self._volatile_proc)
+        self._counter_map.reset()
         ctx = ExecutionContext(injector=self.injector,
-                               collect_trace=self.collect_trace)
+                               collect_trace=self.collect_trace,
+                               counter_map=self._counter_map)
         cov = self._branch_cov
         cov.reset()
+        warm = None
+        if self.warm_cache is not None:
+            if (self.injector is None and not self.collect_trace
+                    and not (snapshot_plan is not None and snapshot_plan)):
+                warm = WarmContext(self.warm_cache, image, image_key,
+                                   crash_at_fence, crash_at_store, cov, ctx)
+            else:
+                # Injected faults, trace collection and snapshot plans
+                # need the real prefix to execute every time.
+                self.warm_cache.bypasses += 1
         cov.start()
         try:
             with push_context(ctx):
                 result: RunResult = workload.run(
                     image, cmds, crash_at_fence=crash_at_fence,
                     crash_at_store=crash_at_store, weak_states=weak_states,
-                    snapshot_plan=snapshot_plan,
+                    snapshot_plan=snapshot_plan, warm=warm,
                 )
         except ReproError:
             raise  # harness-level signal; the supervisor classifies it

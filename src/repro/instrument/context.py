@@ -38,9 +38,14 @@ class ExecutionContext:
         registry: Optional[PMOpRegistry] = None,
         injector: Optional[object] = None,
         collect_trace: bool = True,
+        counter_map: Optional[object] = None,
     ) -> None:
         self.registry = registry or GLOBAL_REGISTRY
-        self.counter_map = make_counter_map()
+        # The executor pools one counter map across executions (64 KiB
+        # allocated once, reset in place per exec); standalone contexts
+        # build their own.
+        self.counter_map = counter_map if counter_map is not None \
+            else make_counter_map()
         self.trace: List[TraceEvent] = []
         self.injector = injector
         self.collect_trace = collect_trace

@@ -80,10 +80,37 @@ class PMCounterMap:
         return loc
 
     def reset(self) -> None:
-        """Clear counters and transition state for a fresh execution."""
-        self.counters = bytearray(PM_MAP_SIZE)
-        self.touched = set()
+        """Clear counters and transition state for a fresh execution.
+
+        In place: only the slots hit since the previous reset are
+        zeroed, so the 64 KiB map is allocated once per map lifetime
+        (the executor pools one map across executions) instead of once
+        per execution.
+        """
+        counters = self.counters
+        for slot in self.touched:
+            counters[slot] = 0
+        self.touched.clear()
         self._prev_id = 0
+
+    def preload(self, pairs, prev_id: int) -> None:
+        """Replay a recorded ``(slot, count)`` delta into a fresh map.
+
+        Used by the warm-open cache to re-apply the execution prefix's
+        PM transitions without re-executing it; ``prev_id`` restores
+        Algorithm 1's transition chain.
+        """
+        counters = self.counters
+        touched = self.touched
+        for slot, count in pairs:
+            counters[slot] = count
+            touched.add(slot)
+        self._prev_id = prev_id
+
+    @property
+    def prev_id(self) -> int:
+        """The ``prev >> 1`` transition-chain state (for prefix capture)."""
+        return self._prev_id
 
     def sparse(self):
         """Yield (slot, count) for the slots hit this execution."""
@@ -181,12 +208,33 @@ class VectorPMCounterMap:
         return self._touched
 
     def reset(self) -> None:
-        """Clear counters and transition state for a fresh execution."""
-        self._counters = bytearray(PM_MAP_SIZE)
-        self._counters_np = _np.frombuffer(self._counters, dtype=_np.uint8)
-        self._touched = set()
+        """Clear counters and transition state for a fresh execution.
+
+        In place — the bytearray and its numpy view are kept (the view
+        aliases the buffer, so the buffer must never be replaced); only
+        the slots hit since the previous reset are zeroed.  Pending hits
+        were never applied to the counters, so dropping them is enough.
+        """
+        self._pending.clear()
+        counters = self._counters
+        for slot in self._touched:
+            counters[slot] = 0
+        self._touched.clear()
         self._prev_id = 0
-        self._pending = []
+
+    def preload(self, pairs, prev_id: int) -> None:
+        """Replay a recorded ``(slot, count)`` delta into a fresh map."""
+        counters = self._counters
+        touched = self._touched
+        for slot, count in pairs:
+            counters[slot] = count
+            touched.add(slot)
+        self._prev_id = prev_id
+
+    @property
+    def prev_id(self) -> int:
+        """The ``prev >> 1`` transition-chain state (for prefix capture)."""
+        return self._prev_id
 
     def sparse(self) -> List[Tuple[int, int]]:
         """Return (slot, count) for the slots hit this execution."""

@@ -242,8 +242,68 @@ class PersistenceDomain:
         self._snap_stores = frozenset(stores)
 
     def take_snapshots(self) -> List[MediaSnapshot]:
-        """Return the snapshots captured so far, in execution order."""
-        return list(self._snapshots)
+        """Return the snapshots captured so far, in execution order.
+
+        Warm-open prefix captures (kind ``"warm"``) are internal to the
+        executor's pool cache and never part of a crash-harvest plan, so
+        they are excluded.
+        """
+        return [s for s in self._snapshots if s.kind != "warm"]
+
+    # ------------------------------------------------------------------
+    # Warm-open prefix capture / restore (executor pool cache)
+    # ------------------------------------------------------------------
+    def capture_warm_state(self) -> tuple:
+        """Capture this domain's complete state for later reconstruction.
+
+        Returns ``(snapshot, pending, seq, fence_count, store_count)``:
+        a copy-on-write :class:`MediaSnapshot` of the media (registered
+        with the domain so later fences preserve its view, exactly like
+        a crash-plan snapshot) plus ``{line: (is_flushed, volatile
+        bytes)}`` for every pending line.  Because CLEAN lines have
+        volatile == media by construction, media + pending lines fully
+        determine the domain; counters make the reconstruction
+        observably identical (fence/store indexing, trace seq).
+        """
+        snapshot = MediaSnapshot("warm", -1, self._fence_count, self._media)
+        self._snapshots.append(snapshot)
+        pending: Dict[int, Tuple[bool, bytes]] = {}
+        volatile = self._volatile
+        size = self.size
+        for line, state in self.pending_lines().items():
+            start = line * CACHE_LINE
+            end = start + CACHE_LINE
+            if end > size:
+                end = size
+            pending[line] = (state is LineState.FLUSHED,
+                             bytes(volatile[start:end]))
+        return snapshot, pending, self._seq, self._fence_count, \
+            self._store_count
+
+    def warm_restore(self, pending: Dict[int, Tuple[bool, bytes]],
+                     seq: int, fence_count: int, store_count: int) -> None:
+        """Rebuild the state captured by :meth:`capture_warm_state`.
+
+        ``self`` must be freshly constructed from the captured media
+        (``initial=`` the materialized snapshot); this overlays the
+        pending volatile lines and restores the line states and
+        counters.  Mutation is strictly in place — subclasses keep
+        aliasing views of the byte buffers.
+        """
+        volatile = self._volatile
+        lines = self._lines
+        flushed = self._flushed
+        for line, (is_flushed, data) in pending.items():
+            start = line * CACHE_LINE
+            volatile[start:start + len(data)] = data
+            if is_flushed:
+                lines[line] = LineState.FLUSHED
+                flushed.add(line)
+            else:
+                lines[line] = LineState.DIRTY
+        self._seq = seq
+        self._fence_count = fence_count
+        self._store_count = store_count
 
     # ------------------------------------------------------------------
     # Data-path operations

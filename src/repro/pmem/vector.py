@@ -218,6 +218,37 @@ class VectorPersistenceDomain(PersistenceDomain):
             states[first: last + 1] = bytes(last + 1 - first)
 
     # ------------------------------------------------------------------
+    # Warm-open prefix capture / restore
+    # ------------------------------------------------------------------
+    def warm_restore(self, pending, seq: int, fence_count: int,
+                     store_count: int) -> None:
+        """Vector-state rebuild for :meth:`~repro.pmem.persistence.
+        PersistenceDomain.capture_warm_state` captures.
+
+        Restored FLUSHED lines must re-enter ``_flush_spans`` — the
+        drain scan is bounded by those spans, so a flushed line without
+        one would never persist.  One single-line span per flushed line
+        is fine: spans only bound the scan, the state array is ground
+        truth.  All buffer mutation is in place (the numpy views alias
+        the bytearrays).
+        """
+        volatile = self._volatile
+        states = self._states
+        spans = self._flush_spans
+        for line, (is_flushed, data) in pending.items():
+            start = line * CACHE_LINE
+            volatile[start:start + len(data)] = data
+            if is_flushed:
+                states[line] = _FLUSHED
+                spans.append((line, line))
+                self._span_lines += 1
+            else:
+                states[line] = _DIRTY
+        self._seq = seq
+        self._fence_count = fence_count
+        self._store_count = store_count
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def line_state(self, addr: int) -> LineState:

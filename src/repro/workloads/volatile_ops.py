@@ -43,6 +43,18 @@ class VolatileCommandProcessor:
         self._counters: Dict[str, int] = {}
         self._last_classified: Optional[str] = None
 
+    def reset(self) -> None:
+        """Return to the freshly-constructed state.
+
+        The executor pools one processor across executions; every
+        volatile branch depends only on ``_counters`` /
+        ``_last_classified``, so resetting them makes a reused processor
+        indistinguishable from a new one (determinism-neutral — proved
+        by the reuse test in ``tests/fuzz/test_warmcache.py``).
+        """
+        self._counters.clear()
+        self._last_classified = None
+
     # ------------------------------------------------------------------
     def handle(self, cmd: Command) -> str:
         """Dispatch one volatile command."""

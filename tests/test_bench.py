@@ -9,18 +9,21 @@ import pytest
 from repro.bench import BENCHMARKS, load_baseline, run_benchmark, run_suite
 from repro.cli import main
 from repro.execcore import set_core
+from repro.instrument.covcore import set_backend
 
 
 @pytest.fixture(autouse=True)
 def restore_core():
-    """run_suite(exec_core=...) flips process-global state; restore it."""
+    """run_suite(exec_core=..., cov_backend=...) flips process-global
+    state; restore it."""
     yield
     set_core(None)
+    set_backend(None)
 
 
 class TestRunner:
     def test_registry_covers_the_promised_suite(self):
-        assert {"pmem_ops", "ranges", "executor", "crashgen",
+        assert {"pmem_ops", "ranges", "executor", "coverage", "crashgen",
                 "corpusdb", "campaign"} <= set(BENCHMARKS)
 
     def test_run_benchmark_reports_median_of_repeats(self):
@@ -68,6 +71,8 @@ class TestRunner:
             doc = json.loads((out / f"BENCH_{name}.json").read_text())
             assert doc["name"] == name
             assert doc["exec_core"] in ("scalar", "vector")
+            assert doc["cov_backend"] in ("settrace", "monitoring")
+            assert doc["python"].count(".") == 2
             # Delta schema is identical with and without a baseline:
             # one entry per metric (None when nothing to compare to).
             assert set(doc["baseline_delta"]) == set(doc["metrics"])
@@ -124,6 +129,14 @@ class TestCli:
         doc = json.loads((tmp_path / "BENCH_ranges.json").read_text())
         assert doc["exec_core"] == "scalar"
         assert "scalar core" in capsys.readouterr().out
+
+    def test_bench_cov_backend_flag(self, tmp_path, capsys):
+        code = main(["bench", "--only", "ranges", "--quick",
+                     "--repeats", "1", "--out-dir", str(tmp_path),
+                     "--baseline-dir", "", "--cov-backend", "settrace"])
+        assert code == 0
+        doc = json.loads((tmp_path / "BENCH_ranges.json").read_text())
+        assert doc["cov_backend"] == "settrace"
 
     def test_bench_unknown_name_is_clean_error(self, tmp_path, capsys):
         code = main(["bench", "--only", "warp-drive",
